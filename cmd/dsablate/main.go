@@ -1,0 +1,91 @@
+// Command dsablate runs the ablation studies of the DataScalar design
+// choices DESIGN.md §6 calls out: bus versus ring interconnect,
+// write-allocate versus write-no-allocate under ESP, synchronous versus
+// asynchronous ESP, result communication, and BSHR/broadcast-queue
+// latencies.
+//
+// Usage:
+//
+//	dsablate [-scale N] [-only name]
+//
+// Names: interconnect, writepolicy, syncesp, resultcomm, latencies,
+// placement, scaling, replication.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	datascalar "github.com/wisc-arch/datascalar"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dsablate: ")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	only := flag.String("only", "", "run a single ablation by name")
+	flag.Parse()
+
+	opts := datascalar.DefaultExperimentOptions()
+	opts.Scale = *scale
+
+	type ablation struct {
+		name string
+		run  func() (fmt.Stringer, error)
+	}
+	ablations := []ablation{
+		{"interconnect", func() (fmt.Stringer, error) {
+			r, err := datascalar.AblationInterconnect(opts)
+			return r.Table(), err
+		}},
+		{"writepolicy", func() (fmt.Stringer, error) {
+			r, err := datascalar.AblationWritePolicy(opts)
+			return r.Table(), err
+		}},
+		{"syncesp", func() (fmt.Stringer, error) {
+			r, err := datascalar.AblationSyncESP(opts)
+			return r.Table(), err
+		}},
+		{"resultcomm", func() (fmt.Stringer, error) {
+			r, err := datascalar.AblationResultComm(opts)
+			return r.Table(), err
+		}},
+		{"latencies", func() (fmt.Stringer, error) {
+			r, err := datascalar.AblationLatencies(opts)
+			return r.Table(), err
+		}},
+		{"placement", func() (fmt.Stringer, error) {
+			r, err := datascalar.AblationPlacement(opts)
+			return r.Table(), err
+		}},
+		{"scaling", func() (fmt.Stringer, error) {
+			r, err := datascalar.Scaling(opts)
+			return r.Table(), err
+		}},
+		{"replication", func() (fmt.Stringer, error) {
+			r, err := datascalar.AblationReplication(opts)
+			return r.Table(), err
+		}},
+	}
+
+	ran := 0
+	for _, a := range ablations {
+		if *only != "" && a.name != *only {
+			continue
+		}
+		table, err := a.run()
+		if err != nil {
+			log.Fatalf("%s: %v", a.name, err)
+		}
+		if ran > 0 {
+			fmt.Println()
+		}
+		fmt.Fprint(os.Stdout, table.String())
+		ran++
+	}
+	if ran == 0 {
+		log.Fatalf("unknown ablation %q", *only)
+	}
+}

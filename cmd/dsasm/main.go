@@ -1,0 +1,78 @@
+// Command dsasm assembles, validates, and disassembles programs in the
+// bundled assembly dialect.
+//
+// Usage:
+//
+//	dsasm prog.s                 # assemble and report segment sizes
+//	dsasm -d prog.s              # assemble then disassemble the text
+//	dsasm -run prog.s [-instr N] # assemble and execute functionally
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	datascalar "github.com/wisc-arch/datascalar"
+	"github.com/wisc-arch/datascalar/internal/prog"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dsasm: ")
+	disasm := flag.Bool("d", false, "disassemble the text segment")
+	run := flag.Bool("run", false, "execute the program functionally")
+	instr := flag.Uint64("instr", 0, "instruction limit for -run (0 = none)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	file := flag.Arg(0)
+	src, err := os.ReadFile(file)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := datascalar.Assemble(file, string(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s: %d instructions (%d bytes of text), %d bytes of data, %d pages\n",
+		file, len(p.Text), len(p.Text)*8, len(p.Data), len(p.Pages()))
+	if len(p.Labels) > 0 {
+		fmt.Printf("labels: %d (entry 0x%x)\n", len(p.Labels), p.EntryPC())
+	}
+
+	if *disasm {
+		for i, in := range p.Text {
+			pc := prog.IndexToPC(i)
+			label := ""
+			for name, addr := range p.Labels {
+				if addr == pc {
+					label = name + ":"
+					break
+				}
+			}
+			fmt.Printf("%08x  %-12s %s\n", pc, label, in)
+		}
+	}
+
+	if *run {
+		m, err := datascalar.NewEmulator(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, err := m.Run(*instr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("executed %d instructions, halted=%v\n", n, m.Halted())
+		for r := uint8(1); r < 32; r++ {
+			if v := m.Reg(r); v != 0 {
+				fmt.Printf("  r%-2d = %d (0x%x)\n", r, int64(v), v)
+			}
+		}
+	}
+}

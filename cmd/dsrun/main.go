@@ -1,0 +1,161 @@
+// Command dsrun executes a program — a bundled SPEC95-analogue workload
+// or an assembly file — on a chosen machine model and reports timing and
+// protocol statistics.
+//
+// Usage:
+//
+//	dsrun -workload compress -system ds -nodes 2 [-instr N] [-scale N]
+//	dsrun -asm prog.s -system traditional -nodes 4
+//	dsrun -workload li -system emu            # functional run only
+//
+// Systems: ds (DataScalar), traditional, perfect, emu.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	datascalar "github.com/wisc-arch/datascalar"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dsrun: ")
+	workloadName := flag.String("workload", "", "bundled workload name (see -list)")
+	asmFile := flag.String("asm", "", "assembly source file to run instead of a workload")
+	system := flag.String("system", "ds", "machine model: ds, traditional, perfect, emu")
+	nodes := flag.Int("nodes", 2, "node/chip count for ds and traditional")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	instr := flag.Uint64("instr", 0, "max measured instructions (0 = run to completion)")
+	list := flag.Bool("list", false, "list bundled workloads and exit")
+	report := flag.Bool("report", false, "print full statistics tables after DataScalar runs")
+	flag.Parse()
+
+	if *list {
+		for _, w := range datascalar.Workloads() {
+			timing := ""
+			if w.Timing {
+				timing = "  [timing set]"
+			}
+			fmt.Printf("%-9s (%s)%s\n  %s\n", w.Name, w.Class, timing, w.Regime)
+		}
+		return
+	}
+
+	p, ff, err := loadProgram(*workloadName, *asmFile, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch *system {
+	case "emu":
+		m, err := datascalar.NewEmulator(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, err := m.Run(*instr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("executed %d instructions, halted=%v, pages touched=%d\n",
+			n, m.Halted(), m.Mem().PageCount())
+
+	case "perfect":
+		r, err := datascalar.RunPerfectCache(datascalar.DefaultCoreConfig(), p, *instr, ff)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("perfect cache: %d instructions in %d cycles, IPC %.2f\n",
+			r.Instructions, r.Cycles, r.IPC)
+
+	case "ds":
+		pt, err := datascalar.Partition{NumNodes: *nodes, BlockPages: 1, ReplicateText: true}.Build(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := datascalar.DefaultConfig(*nodes)
+		cfg.MaxInstr = *instr
+		cfg.FastForwardPC = ff
+		m, err := datascalar.NewMachine(cfg, p, pt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := m.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("DataScalar %d nodes: %d instructions in %d cycles, IPC %.2f, correspondence=%v\n",
+			*nodes, r.Instructions, r.Cycles, r.IPC, r.CorrespondenceOK)
+		var bcast, late uint64
+		for _, ns := range r.Nodes {
+			bcast += ns.Broadcasts.Value()
+			late += ns.LateBroadcasts.Value()
+		}
+		fmt.Printf("broadcasts=%d (late %d), bus bytes=%d, bus busy %.0f%%\n",
+			bcast, late, r.BusStats.Bytes.Value(),
+			100*float64(r.BusStats.BusyCycles.Value())/float64(r.Cycles))
+		if *report {
+			for _, table := range r.Report() {
+				fmt.Println()
+				fmt.Print(table.String())
+			}
+		}
+
+	case "traditional":
+		pt, err := datascalar.Partition{NumNodes: *nodes, BlockPages: 1, ReplicateText: true}.Build(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := datascalar.DefaultTraditionalConfig(*nodes)
+		cfg.MaxInstr = *instr
+		cfg.FastForwardPC = ff
+		m, err := datascalar.NewTraditional(cfg, p, pt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := m.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("traditional 1/%d on-chip: %d instructions in %d cycles, IPC %.2f\n",
+			*nodes, r.Instructions, r.Cycles, r.IPC)
+		fmt.Printf("off-chip loads=%d, off-chip stores=%d, writebacks off-chip=%d, bus bytes=%d\n",
+			r.Mem.OffChipLoads.Value(), r.Mem.StoresOff.Value(),
+			r.Mem.WritebacksOff.Value(), r.BusStats.Bytes.Value())
+
+	default:
+		log.Fatalf("unknown system %q (want ds, traditional, perfect, emu)", *system)
+	}
+}
+
+func loadProgram(workloadName, asmFile string, scale int) (*datascalar.Program, uint64, error) {
+	switch {
+	case workloadName != "" && asmFile != "":
+		return nil, 0, fmt.Errorf("use either -workload or -asm, not both")
+	case workloadName != "":
+		w, ok := datascalar.WorkloadByName(workloadName)
+		if !ok {
+			return nil, 0, fmt.Errorf("unknown workload %q (try -list)", workloadName)
+		}
+		p, err := w.Program(scale)
+		if err != nil {
+			return nil, 0, err
+		}
+		return p, p.Labels["bench_main"], nil
+	case asmFile != "":
+		src, err := os.ReadFile(asmFile)
+		if err != nil {
+			return nil, 0, err
+		}
+		p, err := datascalar.Assemble(asmFile, string(src))
+		if err != nil {
+			return nil, 0, err
+		}
+		// Honor a bench_main label if the source defines one.
+		return p, p.Labels["bench_main"], nil
+	default:
+		return nil, 0, fmt.Errorf("specify -workload or -asm (or -list)")
+	}
+}

@@ -1,0 +1,43 @@
+// Command dssense regenerates the paper's Figure 8: IPC sensitivity of
+// the go and compress analogues to cache size, memory access time, bus
+// clock, bus width, and RUU entries, for all five systems Figure 7
+// compares.
+//
+// Usage:
+//
+//	dssense [-scale N] [-instr N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	datascalar "github.com/wisc-arch/datascalar"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dssense: ")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	instr := flag.Uint64("instr", 0, "measured instructions per sweep point (0 = default)")
+	flag.Parse()
+
+	opts := datascalar.DefaultExperimentOptions()
+	opts.Scale = *scale
+	if *instr != 0 {
+		opts.SweepInstr = *instr
+	}
+
+	res, err := datascalar.Figure8(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, t := range res.Tables() {
+		if i > 0 {
+			fmt.Println()
+		}
+		t.Render(os.Stdout)
+	}
+}

@@ -1,0 +1,36 @@
+// Command dsthread regenerates the paper's Table 2: approximate
+// datathread lengths for a four-processor DataScalar system, after
+// profiling-driven page replication and round-robin block distribution.
+//
+// Usage:
+//
+//	dsthread [-scale N] [-instr N]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	datascalar "github.com/wisc-arch/datascalar"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dsthread: ")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	instr := flag.Uint64("instr", 0, "max instructions per benchmark (0 = default)")
+	flag.Parse()
+
+	opts := datascalar.DefaultExperimentOptions()
+	opts.Scale = *scale
+	if *instr != 0 {
+		opts.RefInstr = *instr
+	}
+
+	res, err := datascalar.Table2(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res.Table().Render(os.Stdout)
+}

@@ -1,0 +1,48 @@
+// Command dstiming regenerates the paper's Figure 7 (IPC of a perfect
+// data cache, DataScalar at two and four nodes, and traditional machines
+// with one half and one quarter of memory on-chip) and Table 3 (broadcast
+// statistics) over the six timing benchmarks.
+//
+// Usage:
+//
+//	dstiming [-scale N] [-instr N] [-bshr]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	datascalar "github.com/wisc-arch/datascalar"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dstiming: ")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	instr := flag.Uint64("instr", 0, "measured instructions per run (0 = default)")
+	bshr := flag.Bool("bshr", true, "also print Table 3 (broadcast statistics)")
+	cost := flag.Bool("cost", false, "also print the Wood-Hill cost-effectiveness analysis (paper §4.4)")
+	flag.Parse()
+
+	opts := datascalar.DefaultExperimentOptions()
+	opts.Scale = *scale
+	if *instr != 0 {
+		opts.TimingInstr = *instr
+	}
+
+	f7, err := datascalar.Figure7(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f7.Table().Render(os.Stdout)
+	if *bshr {
+		fmt.Println()
+		datascalar.Table3(f7).Table().Render(os.Stdout)
+	}
+	if *cost {
+		fmt.Println()
+		datascalar.CostEffectiveness(f7).Table().Render(os.Stdout)
+	}
+}

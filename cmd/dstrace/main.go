@@ -1,0 +1,169 @@
+// Command dstrace records a workload's memory reference stream to a
+// compact binary trace file, and replays trace files through the paper's
+// analyses.
+//
+// Usage:
+//
+//	dstrace -record compress -o compress.dstr [-instr N] [-scale N] [-noinstr]
+//	dstrace -analyze compress.dstr -mode traffic
+//	dstrace -analyze compress.dstr -mode thread -nodes 4
+//	dstrace -analyze compress.dstr -mode stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	datascalar "github.com/wisc-arch/datascalar"
+	"github.com/wisc-arch/datascalar/internal/mem"
+	"github.com/wisc-arch/datascalar/internal/prog"
+	"github.com/wisc-arch/datascalar/internal/trace"
+	"github.com/wisc-arch/datascalar/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dstrace: ")
+	record := flag.String("record", "", "workload to record")
+	out := flag.String("o", "", "output trace file for -record")
+	analyze := flag.String("analyze", "", "trace file to analyze")
+	mode := flag.String("mode", "stats", "analysis: traffic, thread, stats")
+	nodes := flag.Int("nodes", 4, "node count for -mode thread")
+	instr := flag.Uint64("instr", 2_000_000, "max instructions to record")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	noInstr := flag.Bool("noinstr", false, "omit instruction-fetch references")
+	flag.Parse()
+
+	switch {
+	case *record != "" && *analyze != "":
+		log.Fatal("use either -record or -analyze")
+	case *record != "":
+		if *out == "" {
+			log.Fatal("-record needs -o FILE")
+		}
+		doRecord(*record, *out, *scale, *instr, !*noInstr)
+	case *analyze != "":
+		doAnalyze(*analyze, *mode, *nodes)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func doRecord(name, out string, scale int, instr uint64, includeInstr bool) {
+	w, ok := workload.ByName(name)
+	if !ok {
+		log.Fatalf("unknown workload %q", name)
+	}
+	p, err := w.Program(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	n, err := trace.Record(f, p, p.Labels["bench_main"], instr, includeInstr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recorded %d references (%.2f bytes/ref) to %s\n",
+		n, float64(info.Size())/float64(n), out)
+}
+
+func doAnalyze(file, mode string, nodes int) {
+	f, err := os.Open(file)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	rd, err := trace.NewReader(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch mode {
+	case "traffic":
+		a := trace.NewTrafficAnalyzer(trace.DefaultTrafficConfig())
+		err := rd.ForEach(func(r trace.Ref) error {
+			if r.Instr {
+				return nil
+			}
+			return a.Observe(r)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := a.Finish()
+		fmt.Printf("accesses=%d misses=%d writebacks=%d\n", res.Accesses, res.Misses, res.Writebacks)
+		fmt.Printf("conventional: %d bytes, %d transactions\n",
+			res.ConventionalBytes, res.ConventionalTransactions)
+		fmt.Printf("ESP:          %d bytes, %d transactions\n", res.ESPBytes, res.ESPTransactions)
+		fmt.Printf("eliminated:   %.0f%% of bytes, %.0f%% of transactions\n",
+			res.TrafficEliminated()*100, res.TransactionsEliminated()*100)
+
+	case "thread":
+		// Reconstruct a page table covering the trace's footprint.
+		pt := mem.NewPageTable(nodes)
+		// First pass is impossible on a stream; assign ownership lazily
+		// round-robin by page number, the distribution the timing runs
+		// use.
+		filter := trace.DefaultMissFilter()
+		an := trace.NewDatathreadAnalyzer(pt)
+		seen := map[uint64]bool{}
+		err := rd.ForEach(func(r trace.Ref) error {
+			pg := prog.PageOf(r.Addr)
+			if !seen[pg] {
+				seen[pg] = true
+				if prog.SegmentOf(r.Addr) == prog.SegText {
+					pt.SetReplicated(pg)
+				} else {
+					pt.SetOwner(pg, int(pg)%nodes)
+				}
+			}
+			if filter.Observe(r) {
+				an.Observe(r.Addr, r.Instr)
+			}
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := an.Finish()
+		fmt.Printf("datathreads: %d, mean length all=%.1f text=%.1f data=%.1f repl=%.1f\n",
+			res.Threads, res.AllMean, res.TextMean, res.DataMean, res.ReplMean)
+
+	case "stats":
+		var refs, loads, stores, ifetch uint64
+		pages := map[uint64]bool{}
+		err := rd.ForEach(func(r trace.Ref) error {
+			refs++
+			pages[prog.PageOf(r.Addr)] = true
+			switch {
+			case r.Instr:
+				ifetch++
+			case r.Store:
+				stores++
+			default:
+				loads++
+			}
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("references=%d (ifetch=%d loads=%d stores=%d), pages touched=%d (%.0f KB)\n",
+			refs, ifetch, loads, stores, len(pages),
+			float64(len(pages))*float64(datascalar.PageSize)/1024)
+
+	default:
+		log.Fatalf("unknown mode %q", mode)
+	}
+}

@@ -1,0 +1,47 @@
+// Command dstraffic regenerates the paper's Table 1: the fraction of
+// off-chip traffic (bytes) and transactions that ESP eliminates for each
+// of the fourteen SPEC95-analogue benchmarks.
+//
+// Usage:
+//
+//	dstraffic [-scale N] [-instr N] [-detail]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	datascalar "github.com/wisc-arch/datascalar"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dstraffic: ")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	instr := flag.Uint64("instr", 0, "max instructions per benchmark (0 = default)")
+	detail := flag.Bool("detail", false, "print per-benchmark miss and writeback counts")
+	flag.Parse()
+
+	opts := datascalar.DefaultExperimentOptions()
+	opts.Scale = *scale
+	if *instr != 0 {
+		opts.RefInstr = *instr
+	}
+
+	res, err := datascalar.Table1(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res.Table().Render(os.Stdout)
+	if *detail {
+		fmt.Println()
+		for _, row := range res.Rows {
+			d := row.Detail
+			fmt.Printf("%-9s accesses=%-9d misses=%-8d writebacks=%-7d conv=%dB/%dtx esp=%dB/%dtx\n",
+				row.Benchmark, d.Accesses, d.Misses, d.Writebacks,
+				d.ConventionalBytes, d.ConventionalTransactions, d.ESPBytes, d.ESPTransactions)
+		}
+	}
+}

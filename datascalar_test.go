@@ -1,0 +1,256 @@
+package datascalar
+
+import (
+	"strings"
+	"testing"
+)
+
+// The facade tests exercise the public API exactly as a downstream user
+// would, guarding against the facade drifting from the internals.
+
+const facadeKernel = `
+        .data
+arr:    .space 32768
+        .text
+        la   r1, arr
+        li   r2, 4096
+        li   r4, 2
+init:   sd   r4, 0(r1)
+        addi r1, r1, 8
+        addi r2, r2, -1
+        bne  r2, zero, init
+bench_main:
+        la   r1, arr
+        li   r2, 4096
+        li   r3, 0
+sum:    ld   r5, 0(r1)
+        add  r3, r3, r5
+        sd   r3, 0(r1)
+        addi r1, r1, 8
+        addi r2, r2, -1
+        bne  r2, zero, sum
+        halt
+`
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	p, err := Assemble("facade", facadeKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Functional execution.
+	em, err := NewEmulator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := em.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !em.Halted() {
+		t.Fatal("program did not halt")
+	}
+
+	// DataScalar run.
+	pt, err := Partition{NumNodes: 2, BlockPages: 1, ReplicateText: true}.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(2)
+	cfg.FastForwardPC = p.Labels["bench_main"]
+	m, err := NewMachine(cfg, p, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CorrespondenceOK || res.IPC <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+
+	// Baseline run.
+	tcfg := DefaultTraditionalConfig(2)
+	tcfg.FastForwardPC = p.Labels["bench_main"]
+	tm, err := NewTraditional(tcfg, p, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := tm.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.IPC <= 0 {
+		t.Fatalf("traditional result = %+v", tr)
+	}
+
+	// Perfect bound.
+	pf, err := RunPerfectCache(DefaultCoreConfig(), p, 0, p.Labels["bench_main"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.IPC < res.IPC || pf.IPC < tr.IPC {
+		t.Fatalf("perfect %.2f below a real system (%0.2f, %0.2f)", pf.IPC, res.IPC, tr.IPC)
+	}
+}
+
+func TestPublicWorkloadRegistry(t *testing.T) {
+	if len(Workloads()) != 15 {
+		t.Fatalf("workloads = %d", len(Workloads()))
+	}
+	if len(TimingWorkloads()) != 6 {
+		t.Fatalf("timing workloads = %d", len(TimingWorkloads()))
+	}
+	w, ok := WorkloadByName("compress")
+	if !ok {
+		t.Fatal("compress missing")
+	}
+	p, err := w.Program(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Labels["bench_main"]; !ok {
+		t.Fatal("bench_main missing")
+	}
+}
+
+func TestPublicMMM(t *testing.T) {
+	res, err := SimulateMMM(MMMConfig{Processors: 2, BroadcastDelay: 2},
+		[]uint64{1, 2, 3}, map[uint64]int{1: 0, 2: 1, 3: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LeadChanges != 2 {
+		t.Fatalf("lead changes = %d", res.LeadChanges)
+	}
+}
+
+func TestPublicCrossingCounts(t *testing.T) {
+	ds, trad := CountCrossings([]int{1, 1, 1, 2}, 0)
+	if ds != 2 || trad != 8 {
+		t.Fatalf("crossings = %d, %d", ds, trad)
+	}
+}
+
+func TestPublicRingOption(t *testing.T) {
+	p, err := Assemble("facade", facadeKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := Partition{NumNodes: 2, BlockPages: 1, ReplicateText: true}.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(2)
+	ring := DefaultRingConfig()
+	cfg.Ring = &ring
+	cfg.FastForwardPC = p.Labels["bench_main"]
+	m, err := NewMachine(cfg, p, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CorrespondenceOK {
+		t.Fatal("ring run violated correspondence")
+	}
+}
+
+func TestPublicFigure1(t *testing.T) {
+	res, table, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 13 {
+		t.Fatalf("cycles = %d", res.Cycles)
+	}
+	if !strings.Contains(table.String(), "lead change") {
+		t.Fatal("table render broken")
+	}
+}
+
+// TestFacadeExperiments exercises every experiment wrapper end to end at
+// reduced sizes, keeping the facade honest.
+func TestFacadeExperiments(t *testing.T) {
+	opts := ExperimentOptions{
+		Scale:       1,
+		TimingInstr: 40_000,
+		RefInstr:    150_000,
+		SweepInstr:  20_000,
+	}
+	if d := DefaultExperimentOptions(); d.TimingInstr == 0 {
+		t.Fatal("default options empty")
+	}
+
+	t1, err := Table1(opts)
+	if err != nil || len(t1.Rows) != 14 {
+		t.Fatalf("Table1: %v (%d rows)", err, len(t1.Rows))
+	}
+	t2, err := Table2(opts)
+	if err != nil || len(t2.Rows) != 14 {
+		t.Fatalf("Table2: %v (%d rows)", err, len(t2.Rows))
+	}
+	f7, err := Figure7(opts)
+	if err != nil || len(f7.Rows) != 6 {
+		t.Fatalf("Figure7: %v (%d rows)", err, len(f7.Rows))
+	}
+	if t3 := Table3(f7); len(t3.Rows) != 6 {
+		t.Fatalf("Table3 rows = %d", len(t3.Rows))
+	}
+	if c := CostEffectiveness(f7); len(c.Rows) != 12 {
+		t.Fatalf("CostEffectiveness rows = %d", len(c.Rows))
+	}
+	if Costup(4, 0.25) != 1.75 {
+		t.Fatal("Costup wrong")
+	}
+	f3, err := Figure3()
+	if err != nil || f3.DSCrossings != 2 || f3.TradCrossings != 8 {
+		t.Fatalf("Figure3: %v %+v", err, f3)
+	}
+}
+
+// TestFacadeAblations exercises the ablation wrappers at reduced sizes.
+func TestFacadeAblations(t *testing.T) {
+	opts := ExperimentOptions{
+		Scale:       1,
+		TimingInstr: 40_000,
+		RefInstr:    150_000,
+		SweepInstr:  20_000,
+	}
+	if r, err := AblationInterconnect(opts); err != nil || len(r.Rows) == 0 {
+		t.Fatalf("interconnect: %v", err)
+	}
+	if r, err := AblationWritePolicy(opts); err != nil || len(r.Rows) == 0 {
+		t.Fatalf("writepolicy: %v", err)
+	}
+	if r, err := AblationSyncESP(opts); err != nil || len(r.Rows) == 0 {
+		t.Fatalf("syncesp: %v", err)
+	}
+	if r, err := AblationResultComm(opts); err != nil || len(r.Rows) == 0 {
+		t.Fatalf("resultcomm: %v", err)
+	}
+	if r, err := AblationLatencies(opts); err != nil || len(r.Rows) == 0 {
+		t.Fatalf("latencies: %v", err)
+	}
+	if r, err := AblationPlacement(opts); err != nil || len(r.Rows) == 0 {
+		t.Fatalf("placement: %v", err)
+	}
+	if NewTransitionProfile() == nil {
+		t.Fatal("transition profile constructor")
+	}
+}
+
+// TestFacadeFigure8 exercises the sensitivity sweep wrapper with a tiny
+// budget (it is the most expensive experiment).
+func TestFacadeFigure8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opts := ExperimentOptions{SweepInstr: 15_000, TimingInstr: 15_000, RefInstr: 50_000, Scale: 1}
+	r, err := Figure8(opts)
+	if err != nil || len(r.Series) != 10 {
+		t.Fatalf("Figure8: %v (%d series)", err, len(r.Series))
+	}
+}

@@ -1,0 +1,48 @@
+// MMM reproduces the paper's Figure 1: the synchronous ESP Massive
+// Memory Machine (the DataScalar ancestor) broadcasting a word reference
+// string in lock-step, stalling at every lead change — and shows how the
+// penalty scales with ownership fragmentation, the problem DataScalar's
+// asynchronous ESP and concurrent datathreads attack.
+//
+//	go run ./examples/mmm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	datascalar "github.com/wisc-arch/datascalar"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The exact Figure 1 example.
+	_, table, err := datascalar.Figure1()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(table.String())
+
+	// Sweep ownership block size for a long reference string: smaller
+	// blocks mean more lead changes and a larger slowdown over the
+	// one-word-per-cycle ideal.
+	fmt.Println("\nLead-change cost vs ownership block size (1024 sequential words, 4 machines):")
+	refs := make([]uint64, 1024)
+	for i := range refs {
+		refs[i] = uint64(i)
+	}
+	cfg := datascalar.MMMConfig{Processors: 4, BroadcastDelay: 2}
+	for _, block := range []uint64{1, 4, 16, 64, 256} {
+		owner := make(map[uint64]int, len(refs))
+		for w := range refs {
+			owner[uint64(w)] = int(uint64(w)/block) % cfg.Processors
+		}
+		res, err := datascalar.SimulateMMM(cfg, refs, owner)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  block %4d words: %4d cycles (%.2fx ideal), %3d lead changes, mean datathread %.1f\n",
+			block, res.Cycles, res.Slowdown(), res.LeadChanges, res.MeanDatathreadLength())
+	}
+}

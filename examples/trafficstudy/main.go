@@ -1,0 +1,58 @@
+// Trafficstudy walks one benchmark's memory reference stream through the
+// paper's Table 1 analysis, showing exactly which traffic classes ESP
+// eliminates: every request (loads become one-way broadcasts) and every
+// write and writeback (stores complete at the owning node).
+//
+//	go run ./examples/trafficstudy [workload]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	datascalar "github.com/wisc-arch/datascalar"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	name := "compress"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	w, ok := datascalar.WorkloadByName(name)
+	if !ok {
+		log.Fatalf("unknown workload %q", name)
+	}
+
+	opts := datascalar.DefaultExperimentOptions()
+	res, err := datascalar.Table1(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, row := range res.Rows {
+		if row.Benchmark != w.Name {
+			continue
+		}
+		d := row.Detail
+		fmt.Printf("%s — %s\n\n", w.Name, w.Regime)
+		fmt.Printf("data accesses:            %d\n", d.Accesses)
+		fmt.Printf("L1 misses:                %d\n", d.Misses)
+		fmt.Printf("writebacks:               %d\n\n", d.Writebacks)
+		fmt.Printf("conventional off-chip traffic: %8d bytes in %d transactions\n",
+			d.ConventionalBytes, d.ConventionalTransactions)
+		fmt.Printf("  requests:   %d x %d bytes\n", d.Misses, 8)
+		fmt.Printf("  responses:  %d x %d bytes\n", d.Misses, 8+32)
+		fmt.Printf("  writebacks: %d x %d bytes\n", d.Writebacks, 8+32)
+		fmt.Printf("ESP off-chip traffic:          %8d bytes in %d transactions\n",
+			d.ESPBytes, d.ESPTransactions)
+		fmt.Printf("  broadcasts: %d x %d bytes (requests and writes never leave the chip)\n\n",
+			d.Misses, 8+32)
+		fmt.Printf("eliminated: %.0f%% of bytes, %.0f%% of transactions\n",
+			row.TrafficEliminated*100, row.TransactionsEliminated*100)
+		return
+	}
+	log.Fatalf("workload %q is not part of the Table 1 suite", name)
+}

@@ -1,0 +1,3 @@
+module github.com/wisc-arch/datascalar
+
+go 1.22

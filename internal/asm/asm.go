@@ -1,0 +1,617 @@
+// Package asm implements a two-pass assembler for the ISA in internal/isa.
+//
+// The workload suite (internal/workload) is written in this assembly
+// language, playing the role the SPEC95 binaries played in the paper. The
+// syntax is MIPS-flavored:
+//
+//	        .text
+//	entry:  li    r1, 100          # comment
+//	loop:   ld    r2, 0(r3)
+//	        add   r4, r4, r2
+//	        addi  r1, r1, -1
+//	        bne   r1, zero, loop
+//	        halt
+//
+//	        .data
+//	arr:    .space 800
+//	vals:   .word  1, 2, -3
+//	pi:     .double 3.14159
+//	msg:    .byte  1, 2, 3
+//	        .align 8
+//
+// Supported directives: .text, .data, .word (8 bytes each), .byte,
+// .double (8-byte IEEE 754), .space N, .align N, .entry LABEL.
+//
+// Pseudo-instructions: la rd, label (expands to li with the label's
+// address), mov rd, rs (add rd, rs, r0), b label (beq r0, r0, label).
+// Register aliases: zero (r0), sp (r29), gp (r30), ra (r31).
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"github.com/wisc-arch/datascalar/internal/isa"
+	"github.com/wisc-arch/datascalar/internal/prog"
+)
+
+// Error is an assembly error with source position.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Assemble assembles source into a program named name.
+func Assemble(name, source string) (*prog.Program, error) {
+	a := &assembler{
+		name:   name,
+		labels: make(map[string]uint64),
+	}
+	if err := a.pass1(source); err != nil {
+		return nil, err
+	}
+	if err := a.pass2(); err != nil {
+		return nil, err
+	}
+	p := &prog.Program{
+		Name:   name,
+		Text:   a.text,
+		Data:   a.data,
+		Entry:  a.entry,
+		Labels: a.labels,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("asm: %w", err)
+	}
+	return p, nil
+}
+
+// stmt is one parsed statement awaiting pass 2.
+type stmt struct {
+	line int
+	op   string
+	args []string
+}
+
+type assembler struct {
+	name   string
+	labels map[string]uint64
+
+	// pass 1 outputs
+	stmts  []stmt // instruction statements in text order
+	data   []byte
+	fixups []fixup // .word values referencing labels, resolved in pass 2
+	entry  uint64
+
+	// pass 2 outputs
+	text []isa.Instr
+}
+
+// pass1 scans the source, expanding data directives immediately (their
+// sizes are known) and recording instruction statements and label
+// addresses for pass 2.
+func (a *assembler) pass1(source string) error {
+	section := ".text"
+	var entryLabel string
+	entryLine := 0
+
+	for lineNo, raw := range strings.Split(source, "\n") {
+		line := lineNo + 1
+		s := raw
+		if i := strings.IndexByte(s, '#'); i >= 0 {
+			s = s[:i]
+		}
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+
+		// Peel leading labels (possibly several on one line).
+		for {
+			i := strings.IndexByte(s, ':')
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(s[:i])
+			if !isIdent(label) {
+				break // ':' inside an operand is impossible in this syntax, but be safe
+			}
+			if _, dup := a.labels[label]; dup {
+				return errf(line, "duplicate label %q", label)
+			}
+			switch section {
+			case ".text":
+				a.labels[label] = prog.IndexToPC(len(a.stmts))
+			case ".data":
+				a.labels[label] = prog.DataBase + uint64(len(a.data))
+			}
+			s = strings.TrimSpace(s[i+1:])
+			if s == "" {
+				break
+			}
+		}
+		if s == "" {
+			continue
+		}
+
+		op, rest := splitOp(s)
+		switch {
+		case op == ".text" || op == ".data":
+			section = op
+		case op == ".entry":
+			entryLabel = strings.TrimSpace(rest)
+			entryLine = line
+			if entryLabel == "" {
+				return errf(line, ".entry needs a label")
+			}
+		case strings.HasPrefix(op, "."):
+			if section != ".data" {
+				return errf(line, "directive %s only allowed in .data", op)
+			}
+			if err := a.dataDirective(line, op, rest); err != nil {
+				return err
+			}
+		default:
+			if section != ".text" {
+				return errf(line, "instruction %q in .data section", op)
+			}
+			a.stmts = append(a.stmts, stmt{line: line, op: op, args: splitArgs(rest)})
+		}
+	}
+
+	if entryLabel != "" {
+		addr, ok := a.labels[entryLabel]
+		if !ok {
+			return errf(entryLine, ".entry: undefined label %q", entryLabel)
+		}
+		a.entry = addr
+	}
+	return nil
+}
+
+func (a *assembler) dataDirective(line int, op, rest string) error {
+	args := splitArgs(rest)
+	switch op {
+	case ".word":
+		for _, arg := range args {
+			v, err := parseInt(arg)
+			if err != nil {
+				// Possibly a label (maybe a forward reference): reserve
+				// space now and resolve in pass 2.
+				a.fixups = append(a.fixups, fixup{line: line, off: len(a.data), expr: arg})
+				v = 0
+			}
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], uint64(v))
+			a.data = append(a.data, b[:]...)
+		}
+	case ".byte":
+		for _, arg := range args {
+			v, err := a.constExpr(line, arg)
+			if err != nil {
+				return err
+			}
+			if v < -128 || v > 255 {
+				return errf(line, ".byte value %d out of range", v)
+			}
+			a.data = append(a.data, byte(v))
+		}
+	case ".double":
+		for _, arg := range args {
+			f, err := strconv.ParseFloat(arg, 64)
+			if err != nil {
+				return errf(line, ".double: %v", err)
+			}
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
+			a.data = append(a.data, b[:]...)
+		}
+	case ".space":
+		if len(args) != 1 {
+			return errf(line, ".space needs one size argument")
+		}
+		n, err := a.constExpr(line, args[0])
+		if err != nil {
+			return err
+		}
+		if n < 0 || n > 1<<28 {
+			return errf(line, ".space size %d out of range", n)
+		}
+		a.data = append(a.data, make([]byte, n)...)
+	case ".align":
+		if len(args) != 1 {
+			return errf(line, ".align needs one argument")
+		}
+		n, err := a.constExpr(line, args[0])
+		if err != nil {
+			return err
+		}
+		if n <= 0 || n&(n-1) != 0 {
+			return errf(line, ".align %d not a positive power of two", n)
+		}
+		for uint64(len(a.data))%uint64(n) != 0 {
+			a.data = append(a.data, 0)
+		}
+	default:
+		return errf(line, "unknown directive %s", op)
+	}
+	return nil
+}
+
+// fixup is a .word cell whose value is a label expression, resolved once
+// all labels are known.
+type fixup struct {
+	line int
+	off  int
+	expr string
+}
+
+// pass2 encodes instruction statements now that all labels are known, and
+// resolves deferred data fixups.
+func (a *assembler) pass2() error {
+	for _, fx := range a.fixups {
+		v, err := a.constExpr(fx.line, fx.expr)
+		if err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(a.data[fx.off:], uint64(v))
+	}
+	a.text = make([]isa.Instr, 0, len(a.stmts))
+	for _, st := range a.stmts {
+		in, err := a.encode(st)
+		if err != nil {
+			return err
+		}
+		a.text = append(a.text, in)
+	}
+	return nil
+}
+
+func (a *assembler) encode(st stmt) (isa.Instr, error) {
+	line := st.line
+	need := func(n int) error {
+		if len(st.args) != n {
+			return errf(line, "%s: want %d operands, got %d", st.op, n, len(st.args))
+		}
+		return nil
+	}
+
+	// Pseudo-instructions first.
+	switch st.op {
+	case "la":
+		if err := need(2); err != nil {
+			return isa.Instr{}, err
+		}
+		rd, err := intReg(line, st.args[0])
+		if err != nil {
+			return isa.Instr{}, err
+		}
+		addr, ok := a.labels[st.args[1]]
+		if !ok {
+			return isa.Instr{}, errf(line, "la: undefined label %q", st.args[1])
+		}
+		return isa.Instr{Op: isa.OpLI, Rd: rd, Imm: int64(addr)}, nil
+	case "mov":
+		if err := need(2); err != nil {
+			return isa.Instr{}, err
+		}
+		rd, err := intReg(line, st.args[0])
+		if err != nil {
+			return isa.Instr{}, err
+		}
+		rs, err := intReg(line, st.args[1])
+		if err != nil {
+			return isa.Instr{}, err
+		}
+		return isa.Instr{Op: isa.OpADD, Rd: rd, Rs1: rs, Rs2: isa.RegZero}, nil
+	case "b":
+		if err := need(1); err != nil {
+			return isa.Instr{}, err
+		}
+		tgt, err := a.target(line, st.args[0])
+		if err != nil {
+			return isa.Instr{}, err
+		}
+		return isa.Instr{Op: isa.OpBEQ, Rs1: isa.RegZero, Rs2: isa.RegZero, Target: tgt}, nil
+	}
+
+	op := isa.OpByName(st.op)
+	if op == isa.OpInvalid {
+		return isa.Instr{}, errf(line, "unknown mnemonic %q", st.op)
+	}
+
+	var in isa.Instr
+	in.Op = op
+	var err error
+	switch op.Format() {
+	case isa.FmtNone:
+		err = need(0)
+	case isa.FmtRRR:
+		if err = need(3); err == nil {
+			in.Rd, in.Rs1, in.Rs2, err = reg3(line, st.args, intReg)
+		}
+	case isa.FmtRRI:
+		if err = need(3); err == nil {
+			if in.Rd, err = intReg(line, st.args[0]); err == nil {
+				if in.Rs1, err = intReg(line, st.args[1]); err == nil {
+					in.Imm, err = a.constExpr(line, st.args[2])
+				}
+			}
+		}
+	case isa.FmtRI:
+		if err = need(2); err == nil {
+			if in.Rd, err = intReg(line, st.args[0]); err == nil {
+				in.Imm, err = a.constExpr(line, st.args[1])
+			}
+		}
+	case isa.FmtLoad, isa.FmtFLoad, isa.FmtStore, isa.FmtFStore:
+		if err = need(2); err == nil {
+			in, err = a.memOperand(line, in, st.args)
+		}
+	case isa.FmtFRR:
+		if err = need(3); err == nil {
+			in.Rd, in.Rs1, in.Rs2, err = reg3(line, st.args, fpReg)
+		}
+	case isa.FmtFR:
+		if err = need(2); err == nil {
+			if in.Rd, err = fpReg(line, st.args[0]); err == nil {
+				in.Rs1, err = fpReg(line, st.args[1])
+			}
+		}
+	case isa.FmtF2I:
+		if err = need(2); err == nil {
+			if in.Rd, err = intReg(line, st.args[0]); err == nil {
+				in.Rs1, err = fpReg(line, st.args[1])
+			}
+		}
+	case isa.FmtI2F:
+		if err = need(2); err == nil {
+			if in.Rd, err = fpReg(line, st.args[0]); err == nil {
+				in.Rs1, err = intReg(line, st.args[1])
+			}
+		}
+	case isa.FmtFCmp:
+		if err = need(3); err == nil {
+			if in.Rd, err = intReg(line, st.args[0]); err == nil {
+				if in.Rs1, err = fpReg(line, st.args[1]); err == nil {
+					in.Rs2, err = fpReg(line, st.args[2])
+				}
+			}
+		}
+	case isa.FmtBranch:
+		if err = need(3); err == nil {
+			if in.Rs1, err = intReg(line, st.args[0]); err == nil {
+				if in.Rs2, err = intReg(line, st.args[1]); err == nil {
+					in.Target, err = a.target(line, st.args[2])
+				}
+			}
+		}
+	case isa.FmtJump:
+		if err = need(1); err == nil {
+			in.Target, err = a.target(line, st.args[0])
+		}
+	case isa.FmtRegion:
+		if err = need(1); err == nil {
+			in, err = a.addrOperand(line, in, st.args[0])
+		}
+	case isa.FmtJReg:
+		if op == isa.OpJALR {
+			if err = need(2); err == nil {
+				if in.Rd, err = intReg(line, st.args[0]); err == nil {
+					in.Rs1, err = intReg(line, st.args[1])
+				}
+			}
+		} else {
+			if err = need(1); err == nil {
+				in.Rs1, err = intReg(line, st.args[0])
+			}
+		}
+	default:
+		err = errf(line, "unhandled format for %s", op)
+	}
+	if err != nil {
+		return isa.Instr{}, err
+	}
+	return in, nil
+}
+
+// addrOperand parses "offset(base)" into Imm and Rs1.
+func (a *assembler) addrOperand(line int, in isa.Instr, memArg string) (isa.Instr, error) {
+	open := strings.IndexByte(memArg, '(')
+	closeP := strings.IndexByte(memArg, ')')
+	if open < 0 || closeP < open {
+		return in, errf(line, "bad memory operand %q, want offset(base)", memArg)
+	}
+	offStr := strings.TrimSpace(memArg[:open])
+	baseStr := strings.TrimSpace(memArg[open+1 : closeP])
+	var err error
+	if offStr == "" {
+		in.Imm = 0
+	} else if in.Imm, err = a.constExpr(line, offStr); err != nil {
+		return in, err
+	}
+	if in.Rs1, err = intReg(line, baseStr); err != nil {
+		return in, err
+	}
+	return in, nil
+}
+
+// memOperand parses "reg, offset(base)" for loads and stores.
+func (a *assembler) memOperand(line int, in isa.Instr, args []string) (isa.Instr, error) {
+	regArg := args[0]
+	in, err := a.addrOperand(line, in, args[1])
+	if err != nil {
+		return in, err
+	}
+	regParse := intReg
+	if in.Op.Format() == isa.FmtFLoad || in.Op.Format() == isa.FmtFStore {
+		regParse = fpReg
+	}
+	r, err := regParse(line, regArg)
+	if err != nil {
+		return in, err
+	}
+	if in.Op.IsLoad() {
+		in.Rd = r
+	} else {
+		in.Rs2 = r
+	}
+	return in, nil
+}
+
+// target resolves a branch/jump target: a label or a numeric address.
+func (a *assembler) target(line int, arg string) (uint64, error) {
+	if addr, ok := a.labels[arg]; ok {
+		return addr, nil
+	}
+	if v, err := parseInt(arg); err == nil {
+		return uint64(v), nil
+	}
+	return 0, errf(line, "undefined label %q", arg)
+}
+
+// constExpr evaluates an immediate: a number, a data/text label address, or
+// label+offset / label-offset.
+func (a *assembler) constExpr(line int, arg string) (int64, error) {
+	if v, err := parseInt(arg); err == nil {
+		return v, nil
+	}
+	// label, label+N, label-N
+	for i := 1; i < len(arg); i++ {
+		if arg[i] == '+' || arg[i] == '-' {
+			base, ok := a.labels[arg[:i]]
+			if !ok {
+				continue
+			}
+			off, err := parseInt(arg[i:])
+			if err != nil {
+				return 0, errf(line, "bad offset in %q", arg)
+			}
+			return int64(base) + off, nil
+		}
+	}
+	if addr, ok := a.labels[arg]; ok {
+		return int64(addr), nil
+	}
+	return 0, errf(line, "bad immediate %q", arg)
+}
+
+func parseInt(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	} else if strings.HasPrefix(s, "+") {
+		s = s[1:]
+	}
+	var v uint64
+	var err error
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		v, err = strconv.ParseUint(s[2:], 16, 64)
+	} else {
+		v, err = strconv.ParseUint(s, 10, 64)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		return -int64(v), nil
+	}
+	return int64(v), nil
+}
+
+var regAliases = map[string]uint8{
+	"zero": isa.RegZero,
+	"sp":   isa.RegSP,
+	"gp":   isa.RegGP,
+	"ra":   isa.RegRA,
+}
+
+func intReg(line int, s string) (uint8, error) {
+	s = strings.TrimSpace(s)
+	if n, ok := regAliases[s]; ok {
+		return n, nil
+	}
+	if len(s) >= 2 && s[0] == 'r' {
+		if n, err := strconv.Atoi(s[1:]); err == nil && n >= 0 && n < isa.NumIntRegs {
+			return uint8(n), nil
+		}
+	}
+	return 0, errf(line, "bad integer register %q", s)
+}
+
+func fpReg(line int, s string) (uint8, error) {
+	s = strings.TrimSpace(s)
+	if len(s) >= 2 && s[0] == 'f' {
+		if n, err := strconv.Atoi(s[1:]); err == nil && n >= 0 && n < isa.NumFPRegs {
+			return uint8(n), nil
+		}
+	}
+	return 0, errf(line, "bad fp register %q", s)
+}
+
+func reg3(line int, args []string, parse func(int, string) (uint8, error)) (uint8, uint8, uint8, error) {
+	a, err := parse(line, args[0])
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	b, err := parse(line, args[1])
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	c, err := parse(line, args[2])
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return a, b, c, nil
+}
+
+func splitOp(s string) (op, rest string) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' || s[i] == '\t' {
+			return strings.ToLower(s[:i]), s[i+1:]
+		}
+	}
+	return strings.ToLower(s), ""
+}
+
+func splitArgs(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		out = append(out, strings.TrimSpace(p))
+	}
+	return out
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

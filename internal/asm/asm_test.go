@@ -1,0 +1,336 @@
+package asm
+
+import (
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/wisc-arch/datascalar/internal/isa"
+	"github.com/wisc-arch/datascalar/internal/prog"
+)
+
+func mustAssemble(t *testing.T, src string) *prog.Program {
+	t.Helper()
+	p, err := Assemble("test", src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+func TestBasicProgram(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+start:  li    r1, 10
+        li    r2, 0
+loop:   add   r2, r2, r1
+        addi  r1, r1, -1
+        bne   r1, zero, loop
+        halt
+`)
+	if len(p.Text) != 6 {
+		t.Fatalf("text len = %d, want 6", len(p.Text))
+	}
+	if p.Text[0].Op != isa.OpLI || p.Text[0].Rd != 1 || p.Text[0].Imm != 10 {
+		t.Errorf("instr 0 = %v", p.Text[0])
+	}
+	bne := p.Text[4]
+	if bne.Op != isa.OpBNE || bne.Target != prog.IndexToPC(2) {
+		t.Errorf("bne = %v, want target 0x%x", bne, prog.IndexToPC(2))
+	}
+	if p.Labels["loop"] != prog.IndexToPC(2) {
+		t.Errorf("label loop = 0x%x", p.Labels["loop"])
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	p := mustAssemble(t, `
+        .data
+w:      .word  1, -2, 0x10
+b:      .byte  7, 255
+        .align 8
+d:      .double 1.5
+sp1:    .space 16
+        .text
+        la    r1, w
+        la    r2, d
+        halt
+`)
+	if p.Labels["w"] != prog.DataBase {
+		t.Errorf("w = 0x%x", p.Labels["w"])
+	}
+	if got := int64(binary.LittleEndian.Uint64(p.Data[8:16])); got != -2 {
+		t.Errorf("word[1] = %d, want -2", got)
+	}
+	if p.Data[24] != 7 || p.Data[25] != 255 {
+		t.Errorf("bytes = %d,%d", p.Data[24], p.Data[25])
+	}
+	dOff := p.Labels["d"] - prog.DataBase
+	if dOff%8 != 0 {
+		t.Errorf("d not aligned: off %d", dOff)
+	}
+	f := math.Float64frombits(binary.LittleEndian.Uint64(p.Data[dOff : dOff+8]))
+	if f != 1.5 {
+		t.Errorf("double = %v", f)
+	}
+	spOff := p.Labels["sp1"] - prog.DataBase
+	if uint64(len(p.Data)) != spOff+16 {
+		t.Errorf("space sizing: len=%d want %d", len(p.Data), spOff+16)
+	}
+	// la expands to li with the absolute address.
+	if p.Text[0].Op != isa.OpLI || uint64(p.Text[0].Imm) != p.Labels["w"] {
+		t.Errorf("la = %v", p.Text[0])
+	}
+}
+
+func TestMemOperands(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+        ld    r1, 8(r2)
+        sd    r3, -16(r4)
+        fld   f1, 0(r5)
+        fsd   f2, 24(r6)
+        lw    r7, (r8)
+        halt
+`)
+	ld := p.Text[0]
+	if ld.Op != isa.OpLD || ld.Rd != 1 || ld.Rs1 != 2 || ld.Imm != 8 {
+		t.Errorf("ld = %+v", ld)
+	}
+	sd := p.Text[1]
+	if sd.Op != isa.OpSD || sd.Rs2 != 3 || sd.Rs1 != 4 || sd.Imm != -16 {
+		t.Errorf("sd = %+v", sd)
+	}
+	fld := p.Text[2]
+	if fld.Op != isa.OpFLD || fld.Rd != 1 || fld.Rs1 != 5 {
+		t.Errorf("fld = %+v", fld)
+	}
+	fsd := p.Text[3]
+	if fsd.Op != isa.OpFSD || fsd.Rs2 != 2 || fsd.Rs1 != 6 || fsd.Imm != 24 {
+		t.Errorf("fsd = %+v", fsd)
+	}
+	lw := p.Text[4]
+	if lw.Op != isa.OpLW || lw.Imm != 0 || lw.Rs1 != 8 {
+		t.Errorf("lw = %+v", lw)
+	}
+}
+
+func TestPseudoInstructions(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+top:    mov   r1, r2
+        b     top
+        halt
+`)
+	if p.Text[0].Op != isa.OpADD || p.Text[0].Rs2 != isa.RegZero {
+		t.Errorf("mov = %v", p.Text[0])
+	}
+	if p.Text[1].Op != isa.OpBEQ || p.Text[1].Target != prog.IndexToPC(0) {
+		t.Errorf("b = %v", p.Text[1])
+	}
+}
+
+func TestEntryDirective(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+        nop
+main:   halt
+        .entry main
+`)
+	if p.EntryPC() != prog.IndexToPC(1) {
+		t.Errorf("entry = 0x%x, want 0x%x", p.EntryPC(), prog.IndexToPC(1))
+	}
+}
+
+func TestFPAndJumps(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+        fadd  f1, f2, f3
+        fneg  f4, f1
+        feq   r1, f1, f4
+        fcvtdw f5, r1
+        fcvtwd r2, f5
+        jal   fn
+        halt
+fn:     jr    ra
+`)
+	if p.Text[0].Op != isa.OpFADD {
+		t.Errorf("fadd = %v", p.Text[0])
+	}
+	if p.Text[5].Op != isa.OpJAL || p.Text[5].Target != prog.IndexToPC(7) {
+		t.Errorf("jal = %v", p.Text[5])
+	}
+	if p.Text[7].Op != isa.OpJR || p.Text[7].Rs1 != isa.RegRA {
+		t.Errorf("jr = %v", p.Text[7])
+	}
+}
+
+func TestLabelArithmetic(t *testing.T) {
+	p := mustAssemble(t, `
+        .data
+arr:    .space 64
+        .text
+        li    r1, arr+8
+        li    r2, arr-8
+        halt
+`)
+	if uint64(p.Text[0].Imm) != p.Labels["arr"]+8 {
+		t.Errorf("arr+8 = 0x%x", p.Text[0].Imm)
+	}
+	if uint64(p.Text[1].Imm) != p.Labels["arr"]-8 {
+		t.Errorf("arr-8 = 0x%x", p.Text[1].Imm)
+	}
+}
+
+func TestWordForwardReference(t *testing.T) {
+	p := mustAssemble(t, `
+        .data
+head:   .word next          # forward reference
+next:   .word head          # backward reference
+        .text
+        halt
+`)
+	got := binary.LittleEndian.Uint64(p.Data[0:8])
+	if got != p.Labels["next"] {
+		t.Errorf("forward ref = 0x%x, want 0x%x", got, p.Labels["next"])
+	}
+	got = binary.LittleEndian.Uint64(p.Data[8:16])
+	if got != p.Labels["head"] {
+		t.Errorf("backward ref = 0x%x, want 0x%x", got, p.Labels["head"])
+	}
+}
+
+func TestWordUndefinedLabelRejected(t *testing.T) {
+	if _, err := Assemble("bad", "\t.data\nx:\t.word nowhere\n\t.text\n\thalt"); err == nil {
+		t.Fatal("undefined .word label accepted")
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	p := mustAssemble(t, `
+# full-line comment
+
+        .text
+        nop      # trailing comment
+        halt
+`)
+	if len(p.Text) != 2 {
+		t.Fatalf("text len = %d", len(p.Text))
+	}
+}
+
+func TestMultipleLabelsSameLine(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+a: b:   nop
+        halt
+`)
+	if p.Labels["a"] != p.Labels["b"] || p.Labels["a"] != prog.IndexToPC(0) {
+		t.Errorf("labels a=0x%x b=0x%x", p.Labels["a"], p.Labels["b"])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown mnemonic":   "\t.text\n\tfrob r1, r2\n\thalt",
+		"undefined label":    "\t.text\n\tj nowhere\n\thalt",
+		"duplicate label":    "\t.text\nx: nop\nx: halt",
+		"bad register":       "\t.text\n\tadd r1, r2, r99\n\thalt",
+		"bad fp register":    "\t.text\n\tfadd f1, f2, r3\n\thalt",
+		"wrong operands":     "\t.text\n\tadd r1, r2\n\thalt",
+		"bad mem operand":    "\t.text\n\tld r1, r2\n\thalt",
+		"instr in data":      "\t.data\n\tnop",
+		"directive in text":  "\t.text\n\t.word 4\n\thalt",
+		"bad byte range":     "\t.data\n\t.byte 300\n\t.text\n\thalt",
+		"bad align":          "\t.data\n\t.align 3\n\t.text\n\thalt",
+		"bad space":          "\t.data\n\t.space -1\n\t.text\n\thalt",
+		"bad entry":          "\t.text\n\thalt\n\t.entry missing",
+		"empty entry":        "\t.text\n\thalt\n\t.entry",
+		"bad immediate":      "\t.text\n\tli r1, frobnitz\n\thalt",
+		"unknown directive":  "\t.data\n\t.quux 1\n\t.text\n\thalt",
+		"jalr operand count": "\t.text\n\tjalr r1\n\thalt",
+	}
+	for name, src := range cases {
+		if _, err := Assemble("bad", src); err == nil {
+			t.Errorf("%s: accepted", name)
+		} else if !strings.Contains(err.Error(), "line") && !strings.Contains(err.Error(), "asm") {
+			t.Errorf("%s: error lacks context: %v", name, err)
+		}
+	}
+}
+
+func TestErrorHasLineNumber(t *testing.T) {
+	_, err := Assemble("bad", "\t.text\n\tnop\n\tfrob r1\n\thalt")
+	if err == nil {
+		t.Fatal("accepted bad program")
+	}
+	var ae *Error
+	if !asError(err, &ae) {
+		t.Fatalf("error type %T, want *Error", err)
+	}
+	if ae.Line != 3 {
+		t.Errorf("error line = %d, want 3", ae.Line)
+	}
+}
+
+func asError(err error, target **Error) bool {
+	e, ok := err.(*Error)
+	if ok {
+		*target = e
+	}
+	return ok
+}
+
+// Round trip: every mnemonic that the disassembler prints should reassemble
+// to the same instruction (for formats with unambiguous text).
+func TestDisasmReassembleRoundTrip(t *testing.T) {
+	src := `
+        .text
+        add   r1, r2, r3
+        addi  r4, r5, -6
+        li    r7, 123456789
+        ld    r8, 16(r9)
+        sd    r10, 8(r11)
+        fld   f1, 0(r2)
+        fsd   f3, 8(r4)
+        fadd  f5, f6, f7
+        fmul  f8, f9, f10
+        feq   r12, f1, f2
+        slt   r13, r14, r15
+        halt
+`
+	p := mustAssemble(t, src)
+	var lines []string
+	lines = append(lines, ".text")
+	for _, in := range p.Text {
+		lines = append(lines, in.String())
+	}
+	p2 := mustAssemble(t, strings.Join(lines, "\n"))
+	if len(p2.Text) != len(p.Text) {
+		t.Fatalf("reassembled %d instrs, want %d", len(p2.Text), len(p.Text))
+	}
+	for i := range p.Text {
+		if p.Text[i] != p2.Text[i] {
+			t.Errorf("instr %d: %v != %v", i, p.Text[i], p2.Text[i])
+		}
+	}
+}
+
+func TestRegionMarkers(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+        privb 16(r3)
+        prive
+        halt
+`)
+	if p.Text[0].Op != isa.OpPRIVB || p.Text[0].Rs1 != 3 || p.Text[0].Imm != 16 {
+		t.Fatalf("privb = %+v", p.Text[0])
+	}
+	if p.Text[1].Op != isa.OpPRIVE {
+		t.Fatalf("prive = %+v", p.Text[1])
+	}
+	if _, err := Assemble("bad", "\t.text\n\tprivb r1\n\thalt"); err == nil {
+		t.Fatal("privb without address operand accepted")
+	}
+}

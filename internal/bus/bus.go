@@ -1,0 +1,241 @@
+// Package bus models the global interconnect connecting the IRAM chips:
+// a single split-transaction bus with configurable width and clock
+// divisor, round-robin arbitration among chips, and free broadcast (every
+// transaction is observed by all chips, as on a physical bus — the
+// property that makes buses the natural DataScalar interconnect).
+//
+// The same bus carries three message kinds:
+//
+//   - Broadcast: a DataScalar owner pushing a loaded line (with its
+//     address tag) to every other node. No request ever precedes it.
+//   - Request:  a traditional CPU chip asking an off-chip memory for a
+//     line (header-sized message).
+//   - Response: the off-chip memory returning the line.
+//
+// Writebacks in the traditional machine are modeled as Request-kind
+// messages carrying a full line (address + data, no response needed).
+package bus
+
+import (
+	"fmt"
+
+	"github.com/wisc-arch/datascalar/internal/stats"
+)
+
+// HeaderBytes is the address/tag overhead carried by every message.
+// Asynchronous ESP requires tags on broadcasts (unlike the synchronous
+// MMM, where total order made them inferable).
+const HeaderBytes = 8
+
+// Kind classifies messages.
+type Kind uint8
+
+const (
+	// Broadcast is an ESP data push, delivered to every node but the
+	// sender.
+	Broadcast Kind = iota
+	// Request is a point-to-point message that expects a response (or a
+	// writeback, which expects none).
+	Request
+	// Response is a point-to-point data return.
+	Response
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Broadcast:
+		return "broadcast"
+	case Request:
+		return "request"
+	case Response:
+		return "response"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Message is one bus transaction.
+type Message struct {
+	Kind Kind
+	Src  int
+	Dst  int // ignored for Broadcast
+	Addr uint64
+	// PayloadBytes is the data size excluding the header (0 for bare
+	// requests, line size for data-bearing messages).
+	PayloadBytes int
+	// ReadyAt is the first cycle the message may arbitrate for the bus
+	// (senders fold their network-interface/broadcast-queue penalty in
+	// here).
+	ReadyAt uint64
+	// Seq tags the message for correlation by receivers (e.g. reparative
+	// broadcasts versus the original commit order).
+	Seq uint64
+	// Reparative marks a late (commit-time) broadcast issued to repair a
+	// false hit, for Table 3 accounting.
+	Reparative bool
+}
+
+// WireBytes is the total size on the wire.
+func (m Message) WireBytes() int { return HeaderBytes + m.PayloadBytes }
+
+// Config describes the bus.
+type Config struct {
+	// WidthBytes is the datapath width (the paper's global bus is 8
+	// bytes wide).
+	WidthBytes int
+	// ClockDivisor is CPU cycles per bus cycle (a 100 MHz bus under a
+	// 1 GHz core has divisor 10).
+	ClockDivisor uint64
+}
+
+// Validate checks structural soundness.
+func (c Config) Validate() error {
+	if c.WidthBytes <= 0 {
+		return fmt.Errorf("bus: width must be positive")
+	}
+	if c.ClockDivisor == 0 {
+		return fmt.Errorf("bus: clock divisor must be positive")
+	}
+	return nil
+}
+
+// DefaultConfig returns the paper's global-bus parameters: 8 bytes wide at
+// half the core clock (the paper's target is a high-integration module where the global bus runs near core speed; the sensitivity analysis sweeps the divisor).
+func DefaultConfig() Config { return Config{WidthBytes: 8, ClockDivisor: 2} }
+
+// TransferCycles returns the bus occupancy in CPU cycles for a message of
+// the given wire size.
+func (c Config) TransferCycles(wireBytes int) uint64 {
+	beats := (wireBytes + c.WidthBytes - 1) / c.WidthBytes
+	if beats == 0 {
+		beats = 1
+	}
+	return uint64(beats) * c.ClockDivisor
+}
+
+// Stats counts bus activity.
+type Stats struct {
+	Messages    stats.Counter
+	Bytes       stats.Counter
+	BusyCycles  stats.Counter
+	ByKindMsgs  [3]stats.Counter
+	ByKindBytes [3]stats.Counter
+	ArbWaits    stats.Counter // messages that waited for a busy bus
+	MaxQueueLen int           // high-water mark across all source queues
+	TotalQueued stats.Counter // messages ever enqueued
+}
+
+// Bus is the interconnect instance. Drive it cycle by cycle: enqueue
+// messages at any time, then call Tick once per CPU cycle; deliveries
+// come back from Tick at transfer completion.
+type Bus struct {
+	cfg     Config
+	queues  [][]Message // per-source FIFOs
+	rrNext  int
+	busy    bool
+	doneAt  uint64
+	current Message
+	stats   Stats
+}
+
+// New builds a bus connecting numNodes chips. It panics on invalid
+// configuration (experiment-setup error).
+func New(cfg Config, numNodes int) *Bus {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if numNodes <= 0 {
+		panic("bus: need at least one node")
+	}
+	return &Bus{cfg: cfg, queues: make([][]Message, numNodes)}
+}
+
+// Config returns the bus configuration.
+func (b *Bus) Config() Config { return b.cfg }
+
+// Stats returns the bus counters.
+func (b *Bus) Stats() *Stats { return &b.stats }
+
+// Enqueue submits a message from its source chip's network interface.
+func (b *Bus) Enqueue(m Message) {
+	if m.Src < 0 || m.Src >= len(b.queues) {
+		panic(fmt.Sprintf("bus: bad source %d", m.Src))
+	}
+	b.queues[m.Src] = append(b.queues[m.Src], m)
+	b.stats.TotalQueued.Inc()
+	if n := len(b.queues[m.Src]); n > b.stats.MaxQueueLen {
+		b.stats.MaxQueueLen = n
+	}
+}
+
+// Pending returns the number of queued (not yet delivered) messages,
+// including the one in flight.
+func (b *Bus) Pending() int {
+	n := 0
+	for _, q := range b.queues {
+		n += len(q)
+	}
+	if b.busy {
+		n++
+	}
+	return n
+}
+
+// Tick advances the bus to CPU cycle now. It returns the message whose
+// transfer completed this cycle, if any. Call with strictly increasing
+// cycle numbers.
+func (b *Bus) Tick(now uint64) (Message, bool) {
+	var delivered Message
+	var ok bool
+	if b.busy && now >= b.doneAt {
+		delivered, ok = b.current, true
+		b.busy = false
+	}
+	if !b.busy {
+		b.arbitrate(now)
+	}
+	return delivered, ok
+}
+
+// arbitrate grants the bus to the next ready message in round-robin
+// order, starting after the last grantee's source.
+func (b *Bus) arbitrate(now uint64) {
+	n := len(b.queues)
+	for i := 0; i < n; i++ {
+		src := (b.rrNext + i) % n
+		q := b.queues[src]
+		if len(q) == 0 || q[0].ReadyAt > now {
+			continue
+		}
+		m := q[0]
+		b.queues[src] = q[1:]
+		b.rrNext = (src + 1) % n
+		b.busy = true
+		cycles := b.cfg.TransferCycles(m.WireBytes())
+		b.doneAt = now + cycles
+		b.current = m
+		b.stats.Messages.Inc()
+		b.stats.Bytes.Add(uint64(m.WireBytes()))
+		b.stats.BusyCycles.Add(cycles)
+		b.stats.ByKindMsgs[m.Kind].Inc()
+		b.stats.ByKindBytes[m.Kind].Add(uint64(m.WireBytes()))
+		if m.ReadyAt < now {
+			b.stats.ArbWaits.Inc()
+		}
+		return
+	}
+}
+
+// Drain advances the bus until all queued messages are delivered,
+// returning them in delivery order along with the cycle the last delivery
+// completed. Used by tests and end-of-run cleanup.
+func (b *Bus) Drain(now uint64) ([]Message, uint64) {
+	var out []Message
+	for b.Pending() > 0 {
+		if m, ok := b.Tick(now); ok {
+			out = append(out, m)
+		}
+		now++
+	}
+	return out, now
+}

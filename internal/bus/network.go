@@ -1,0 +1,63 @@
+package bus
+
+// Arrival is one message landing at one node. Broadcast messages produce
+// one arrival per receiving node; on a bus they all land in the same
+// cycle, on a ring they land hop by hop.
+type Arrival struct {
+	Node int
+	Msg  Message
+}
+
+// Network abstracts the global interconnect so machines can run over a
+// bus or a ring (the paper discusses both: buses make broadcasts free,
+// rings offer higher performance with every node observing passing
+// messages).
+type Network interface {
+	// Enqueue submits a message from its source chip.
+	Enqueue(m Message)
+	// Tick advances to CPU cycle now (strictly increasing) and returns
+	// the arrivals completing this cycle.
+	Tick(now uint64) []Arrival
+	// Pending returns the number of undelivered messages.
+	Pending() int
+	// NetStats returns the shared traffic counters.
+	NetStats() *Stats
+}
+
+// numNodes returns the node count the bus was built for.
+func (b *Bus) numNodes() int { return len(b.queues) }
+
+// NetStats implements Network.
+func (b *Bus) NetStats() *Stats { return &b.stats }
+
+// TickArrivals implements the Network Tick contract for the bus: a
+// completing broadcast arrives at every node but the sender in the same
+// cycle (every bus transaction is an implicit broadcast); point-to-point
+// messages arrive at their destination.
+func (b *Bus) TickArrivals(now uint64) []Arrival {
+	msg, ok := b.Tick(now)
+	if !ok {
+		return nil
+	}
+	if msg.Kind == Broadcast {
+		out := make([]Arrival, 0, b.numNodes()-1)
+		for n := 0; n < b.numNodes(); n++ {
+			if n != msg.Src {
+				out = append(out, Arrival{Node: n, Msg: msg})
+			}
+		}
+		return out
+	}
+	return []Arrival{{Node: msg.Dst, Msg: msg}}
+}
+
+// busNetwork adapts Bus to the Network interface.
+type busNetwork struct{ *Bus }
+
+// NewNetwork builds a bus-backed Network.
+func NewNetwork(cfg Config, numNodes int) Network {
+	return busNetwork{New(cfg, numNodes)}
+}
+
+// Tick implements Network.
+func (b busNetwork) Tick(now uint64) []Arrival { return b.TickArrivals(now) }

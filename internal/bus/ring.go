@@ -1,0 +1,158 @@
+package bus
+
+import "fmt"
+
+// RingConfig describes a unidirectional point-to-point ring, the
+// interconnect the paper envisions for high-performance DataScalar
+// systems ("on a ring, operations are observed by all nodes if the
+// sender is responsible for removing its own message" — the IEEE/ANSI
+// SCI style).
+type RingConfig struct {
+	// WidthBytes is each link's datapath width.
+	WidthBytes int
+	// ClockDivisor is CPU cycles per link cycle.
+	ClockDivisor uint64
+	// HopCycles is the per-node forwarding latency added at each hop.
+	HopCycles uint64
+}
+
+// DefaultRingConfig returns links matching the default bus width at the
+// same clock with a one-cycle hop latency.
+func DefaultRingConfig() RingConfig {
+	return RingConfig{WidthBytes: 8, ClockDivisor: 2, HopCycles: 1}
+}
+
+// Validate checks structural soundness.
+func (c RingConfig) Validate() error {
+	if c.WidthBytes <= 0 {
+		return fmt.Errorf("ring: width must be positive")
+	}
+	if c.ClockDivisor == 0 {
+		return fmt.Errorf("ring: clock divisor must be positive")
+	}
+	return nil
+}
+
+// transferCycles is the link occupancy for one message.
+func (c RingConfig) transferCycles(wireBytes int) uint64 {
+	beats := (wireBytes + c.WidthBytes - 1) / c.WidthBytes
+	if beats == 0 {
+		beats = 1
+	}
+	return uint64(beats)*c.ClockDivisor + c.HopCycles
+}
+
+// ringMsg is one message in flight on the ring.
+type ringMsg struct {
+	msg Message
+	// at is the node the message sits at (or is travelling toward when
+	// inFlight); next hop uses link `at`.
+	at int
+	// readyAt is the cycle the current hop completes (when inFlight) or
+	// the earliest departure cycle (when sitting).
+	readyAt uint64
+	// inFlight marks a hop in progress whose arrival at `at` has not yet
+	// been processed.
+	inFlight bool
+	// remaining counts hops left before removal: a broadcast circles
+	// back to its sender; a point-to-point message stops at its
+	// destination.
+	remaining int
+}
+
+// Ring is a unidirectional ring Network. Each link carries at most one
+// message at a time; messages advance hop by hop, broadcasts delivering
+// at every intermediate node and being removed by their sender, exactly
+// the behaviour the paper describes for SCI-style rings. Unlike the bus,
+// separate links carry different messages concurrently, so aggregate
+// bandwidth scales with node count — the reason the paper prefers rings
+// for larger systems — at the cost of multi-hop broadcast latency.
+type Ring struct {
+	cfg RingConfig
+	n   int
+	// linkFree[i] is the first cycle link i->i+1 is idle.
+	linkFree []uint64
+	flight   []*ringMsg
+	stats    Stats
+}
+
+// NewRing builds a ring of numNodes nodes. It panics on invalid
+// configuration (experiment-setup error).
+func NewRing(cfg RingConfig, numNodes int) *Ring {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if numNodes <= 0 {
+		panic("ring: need at least one node")
+	}
+	return &Ring{cfg: cfg, n: numNodes, linkFree: make([]uint64, numNodes)}
+}
+
+// Config returns the ring configuration.
+func (r *Ring) Config() RingConfig { return r.cfg }
+
+// NetStats implements Network.
+func (r *Ring) NetStats() *Stats { return &r.stats }
+
+// Enqueue implements Network.
+func (r *Ring) Enqueue(m Message) {
+	if m.Src < 0 || m.Src >= r.n {
+		panic(fmt.Sprintf("ring: bad source %d", m.Src))
+	}
+	hops := r.n // broadcast: full circle back to the sender
+	if m.Kind != Broadcast {
+		hops = (m.Dst - m.Src + r.n) % r.n
+		if hops == 0 {
+			hops = r.n // self-send degenerates to a full loop; callers avoid it
+		}
+	}
+	r.flight = append(r.flight, &ringMsg{msg: m, at: m.Src, readyAt: m.ReadyAt, remaining: hops})
+	r.stats.TotalQueued.Inc()
+	r.stats.Messages.Inc()
+	r.stats.Bytes.Add(uint64(m.WireBytes()))
+	r.stats.ByKindMsgs[m.Kind].Inc()
+	r.stats.ByKindBytes[m.Kind].Add(uint64(m.WireBytes()))
+}
+
+// Pending implements Network.
+func (r *Ring) Pending() int { return len(r.flight) }
+
+// Tick implements Network. Each message alternates between completing a
+// hop (delivering at the node it reaches, when appropriate) and starting
+// the next one as soon as its outgoing link is free; distinct links
+// carry distinct messages concurrently.
+func (r *Ring) Tick(now uint64) []Arrival {
+	var out []Arrival
+	kept := r.flight[:0]
+	for _, f := range r.flight {
+		// Complete an in-progress hop whose transfer has finished.
+		if f.inFlight && f.readyAt <= now {
+			f.inFlight = false
+			f.remaining--
+			deliver := false
+			if f.msg.Kind == Broadcast {
+				deliver = f.at != f.msg.Src
+			} else {
+				deliver = f.at == f.msg.Dst
+			}
+			if deliver {
+				out = append(out, Arrival{Node: f.at, Msg: f.msg})
+			}
+			if f.remaining == 0 {
+				continue // removed from the ring (sender strip / dst sink)
+			}
+		}
+		// Start the next hop if sitting, ready, and the link is free.
+		if !f.inFlight && f.readyAt <= now && r.linkFree[f.at] <= now {
+			occ := r.cfg.transferCycles(f.msg.WireBytes())
+			r.linkFree[f.at] = now + occ
+			r.stats.BusyCycles.Add(occ)
+			f.at = (f.at + 1) % r.n
+			f.readyAt = now + occ
+			f.inFlight = true
+		}
+		kept = append(kept, f)
+	}
+	r.flight = kept
+	return out
+}

@@ -1,0 +1,242 @@
+// Package core implements the paper's primary contribution: the
+// DataScalar machine. N processor+memory nodes run the same program
+// redundantly (SPSD execution); owners of communicated pages broadcast
+// loaded lines over the global bus (asynchronous ESP), non-owners wait in
+// Broadcast Status Holding Registers (BSHRs), stores complete only at
+// owners, and the first-level caches are kept *correspondent* across
+// nodes by updating tags only at commit through a Commit Update Buffer,
+// with false hits repaired by reparative broadcasts / BSHR squashes and
+// false misses folded by miss merging (Section 4 of the paper).
+package core
+
+import (
+	"github.com/wisc-arch/datascalar/internal/ooo"
+	"github.com/wisc-arch/datascalar/internal/stats"
+)
+
+// BSHRStats counts BSHR activity for the paper's Table 3.
+type BSHRStats struct {
+	// Allocs counts waiting entries created (a load had to wait for a
+	// broadcast).
+	Allocs stats.Counter
+	// Joins counts loads that merged into an existing waiting entry.
+	Joins stats.Counter
+	// BufferedHits counts loads that found their data already waiting in
+	// the BSHR — the broadcast arrived before the local processor asked,
+	// i.e. another node ran ahead (datathreading evidence; the paper's
+	// "data found in BSHR" column).
+	BufferedHits stats.Counter
+	// Arrivals counts broadcasts received from the bus.
+	Arrivals stats.Counter
+	// Matched counts arrivals that satisfied a waiting entry.
+	Matched stats.Counter
+	// Buffered counts arrivals stored for a future request.
+	Buffered stats.Counter
+	// Squashes counts entries/arrivals squashed due to false hits (the
+	// paper's "BSHR squashes" column).
+	Squashes stats.Counter
+	// Overflows counts arrivals buffered beyond the configured capacity.
+	// Broadcasts are never dropped — ESP has no re-request path, so a
+	// dropped broadcast would deadlock the consumer; real hardware would
+	// assert bus backpressure here instead (the paper notes rebroadcast
+	// complications for full receive queues). Run-ahead is bounded by the
+	// RUU, so the overshoot is small; Overflows and MaxBuffered quantify
+	// how much capacity a real implementation would need.
+	Overflows stats.Counter
+	// MaxWaiting and MaxBuffered are entry-count high-water marks.
+	MaxWaiting  int
+	MaxBuffered int
+}
+
+// Accesses returns the total number of BSHR operations, the denominator
+// used for Table 3's squash percentage.
+func (s *BSHRStats) Accesses() uint64 {
+	return s.Allocs.Value() + s.Joins.Value() + s.BufferedHits.Value() +
+		s.Arrivals.Value() + s.Squashes.Value()
+}
+
+type bshrEntry struct {
+	line uint64
+	// waiting entries hold load tokens blocked on the broadcast; buffered
+	// entries (waiting == nil, hasData) hold early data instead.
+	waiting   []ooo.LoadToken
+	hasData   bool
+	arrivedAt uint64
+	seq       uint64 // insertion order, for earliest-first matching
+}
+
+// BSHR implements the broadcast-receiving structure of the paper's
+// simulated chip (Figure 5): a queue searched associatively by address.
+// An arriving broadcast frees the earliest waiting entry for its address;
+// with no waiter it is buffered so a later request sees an on-chip hit.
+// Waiting entries are never dropped (that would deadlock the machine);
+// buffered entries beyond the capacity evict the oldest buffered entry,
+// which is safe — the corresponding load simply misses later.
+type BSHR struct {
+	entries   []bshrEntry
+	bufferCap int
+	nextSeq   uint64
+	// owed counts, per line, arrivals this node must absorb because a
+	// commit-time fill had no local consumer (see Absorb). Owed arrivals
+	// are only absorbed when no waiter exists, so a pending load can
+	// never starve.
+	owed  map[uint64]int
+	stats BSHRStats
+}
+
+// NewBSHR builds a BSHR whose buffered-data capacity is bufferCap
+// entries (a soft bound; see BSHRStats.Overflows).
+func NewBSHR(bufferCap int) *BSHR {
+	if bufferCap <= 0 {
+		bufferCap = 1
+	}
+	return &BSHR{bufferCap: bufferCap, owed: make(map[uint64]int)}
+}
+
+// Stats returns the BSHR counters.
+func (b *BSHR) Stats() *BSHRStats { return &b.stats }
+
+// Request records that load tok needs line's data. It returns
+// (dataReady=true, arrivedAt) when a buffered broadcast already holds the
+// data (consumed by this call); otherwise the token waits and is released
+// by a future Arrive.
+func (b *BSHR) Request(line uint64, tok ooo.LoadToken) (dataReady bool, arrivedAt uint64) {
+	// Earliest buffered entry for the line, if any.
+	if i := b.find(line, true); i >= 0 {
+		at := b.entries[i].arrivedAt
+		b.remove(i)
+		b.stats.BufferedHits.Inc()
+		return true, at
+	}
+	// Join an existing waiting entry for the line.
+	if i := b.find(line, false); i >= 0 {
+		b.entries[i].waiting = append(b.entries[i].waiting, tok)
+		b.stats.Joins.Inc()
+		return false, 0
+	}
+	b.entries = append(b.entries, bshrEntry{line: line, waiting: []ooo.LoadToken{tok}, seq: b.nextSeq})
+	b.nextSeq++
+	b.stats.Allocs.Inc()
+	if n := b.numWaiting(); n > b.stats.MaxWaiting {
+		b.stats.MaxWaiting = n
+	}
+	return false, 0
+}
+
+// Arrive delivers a broadcast of line at cycle now. It returns the load
+// tokens released (empty when the broadcast was buffered or squashed).
+func (b *BSHR) Arrive(line uint64, now uint64) []ooo.LoadToken {
+	b.stats.Arrivals.Inc()
+	// Waiting consumers always match first so that no pending load can
+	// starve.
+	if i := b.find(line, false); i >= 0 {
+		toks := b.entries[i].waiting
+		b.remove(i)
+		b.stats.Matched.Inc()
+		return toks
+	}
+	// Absorb arrivals owed from fills that had no local consumer.
+	if b.owed[line] > 0 {
+		b.owed[line]--
+		if b.owed[line] == 0 {
+			delete(b.owed, line)
+		}
+		b.stats.Squashes.Inc()
+		return nil
+	}
+	// Buffer for a future request. Capacity is a soft bound: see the
+	// Overflows documentation.
+	if b.numBuffered() >= b.bufferCap {
+		b.stats.Overflows.Inc()
+	}
+	b.entries = append(b.entries, bshrEntry{line: line, hasData: true, arrivedAt: now, seq: b.nextSeq})
+	b.nextSeq++
+	b.stats.Buffered.Inc()
+	if n := b.numBuffered(); n > b.stats.MaxBuffered {
+		b.stats.MaxBuffered = n
+	}
+	return nil
+}
+
+// Absorb consumes exactly one arrival of line that this node will not
+// use: the caller (the commit-time fill handler) determined that no local
+// load claims the broadcast paired with the fill it is committing. A
+// buffered copy is removed immediately; otherwise the next arrival with
+// no waiting consumer is dropped. Because fills and broadcasts pair
+// one-to-one per line (the owner guarantees one broadcast per fill) and
+// waiters always match first, absorption can never starve a load.
+func (b *BSHR) Absorb(line uint64) {
+	if i := b.find(line, true); i >= 0 {
+		b.remove(i)
+		b.stats.Squashes.Inc()
+		return
+	}
+	b.owed[line]++
+}
+
+// HasWaiter reports whether any load is waiting on line.
+func (b *BSHR) HasWaiter(line uint64) bool { return b.find(line, false) >= 0 }
+
+// WaitingLines returns the lines with waiting entries (diagnostics).
+func (b *BSHR) WaitingLines() []uint64 {
+	var out []uint64
+	for i := range b.entries {
+		if !b.entries[i].hasData {
+			out = append(out, b.entries[i].line)
+		}
+	}
+	return out
+}
+
+// BufferedLines returns the lines with buffered data (diagnostics).
+func (b *BSHR) BufferedLines() []uint64 {
+	var out []uint64
+	for i := range b.entries {
+		if b.entries[i].hasData {
+			out = append(out, b.entries[i].line)
+		}
+	}
+	return out
+}
+
+// Waiting returns the number of waiting entries (for watchdog
+// diagnostics).
+func (b *BSHR) Waiting() int { return b.numWaiting() }
+
+func (b *BSHR) find(line uint64, buffered bool) int {
+	best := -1
+	for i := range b.entries {
+		e := &b.entries[i]
+		if e.line != line || e.hasData != buffered {
+			continue
+		}
+		if best < 0 || e.seq < b.entries[best].seq {
+			best = i
+		}
+	}
+	return best
+}
+
+func (b *BSHR) remove(i int) {
+	b.entries = append(b.entries[:i], b.entries[i+1:]...)
+}
+
+func (b *BSHR) numWaiting() int {
+	n := 0
+	for i := range b.entries {
+		if !b.entries[i].hasData {
+			n++
+		}
+	}
+	return n
+}
+
+func (b *BSHR) numBuffered() int {
+	n := 0
+	for i := range b.entries {
+		if b.entries[i].hasData {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/wisc-arch/datascalar/internal/asm"
+	"github.com/wisc-arch/datascalar/internal/bus"
+	"github.com/wisc-arch/datascalar/internal/mem"
+	"github.com/wisc-arch/datascalar/internal/stats"
+)
+
+// The protocol fuzzer: random straight-line memory programs run under a
+// deliberately tiny, conflict-prone cache so that lines bounce in and
+// out between issue and commit — the regime that produces false hits,
+// false misses, reparative broadcasts, and absorb traffic. Every program
+// must complete (no protocol deadlock), keep the caches correspondent,
+// and leave identical architectural state at every node.
+
+// randomProgram emits a straight-line program of n memory operations over
+// `pages` data pages, with register-computed addresses, occasional
+// read-modify-write chains, and (when privRegions) private reduction
+// regions.
+func randomProgram(rng *stats.RNG, n, pages int, privRegions bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "        .data\narea:   .space %d\n        .text\n", pages*8192)
+	fmt.Fprintf(&b, "        la   r1, area\n        li   r9, 1\nbench_main:\n")
+	inRegion := false
+	for i := 0; i < n; i++ {
+		// Addresses constrained to the area, 8-aligned, biased toward a
+		// small set of conflicting lines.
+		var off int
+		if rng.Intn(3) == 0 {
+			off = rng.Intn(pages*8192/8) * 8 // anywhere
+		} else {
+			off = (rng.Intn(16)*512 + rng.Intn(4)*8) % (pages * 8192) // conflict-prone
+		}
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // load
+			fmt.Fprintf(&b, "        li   r2, %d\n", off)
+			fmt.Fprintf(&b, "        add  r3, r1, r2\n")
+			fmt.Fprintf(&b, "        ld   r4, 0(r3)\n")
+			fmt.Fprintf(&b, "        add  r9, r9, r4\n")
+		case 4, 5, 6: // store
+			fmt.Fprintf(&b, "        li   r2, %d\n", off)
+			fmt.Fprintf(&b, "        add  r3, r1, r2\n")
+			fmt.Fprintf(&b, "        sd   r9, 0(r3)\n")
+		case 7: // read-modify-write (load feeds store)
+			fmt.Fprintf(&b, "        li   r2, %d\n", off)
+			fmt.Fprintf(&b, "        add  r3, r1, r2\n")
+			fmt.Fprintf(&b, "        ld   r4, 0(r3)\n")
+			fmt.Fprintf(&b, "        addi r4, r4, 7\n")
+			fmt.Fprintf(&b, "        sd   r4, 0(r3)\n")
+		case 8: // dependent pointer-ish access: address derived from data
+			fmt.Fprintf(&b, "        li   r2, %d\n", off)
+			fmt.Fprintf(&b, "        add  r3, r1, r2\n")
+			fmt.Fprintf(&b, "        ld   r4, 0(r3)\n")
+			fmt.Fprintf(&b, "        andi r4, r4, %d\n", pages*8192-8)
+			fmt.Fprintf(&b, "        andi r4, r4, -8\n")
+			fmt.Fprintf(&b, "        add  r3, r1, r4\n")
+			fmt.Fprintf(&b, "        ld   r5, 0(r3)\n")
+			fmt.Fprintf(&b, "        add  r9, r9, r5\n")
+		case 9:
+			if privRegions && !inRegion && rng.Intn(2) == 0 {
+				fmt.Fprintf(&b, "        li   r2, %d\n", off)
+				fmt.Fprintf(&b, "        add  r3, r1, r2\n")
+				fmt.Fprintf(&b, "        privb 0(r3)\n")
+				inRegion = true
+			} else if inRegion {
+				fmt.Fprintf(&b, "        prive\n")
+				inRegion = false
+			} else {
+				fmt.Fprintf(&b, "        nop\n")
+			}
+		}
+	}
+	if inRegion {
+		fmt.Fprintf(&b, "        prive\n")
+	}
+	fmt.Fprintf(&b, "        halt\n")
+	return b.String()
+}
+
+func fuzzOnce(t *testing.T, seed uint64, nodes int, privRegions, resultComm bool) {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	src := randomProgram(rng, 120, 4, privRegions)
+	p, err := asm.Assemble(fmt.Sprintf("fuzz-%d", seed), src)
+	if err != nil {
+		t.Fatalf("seed %d: assemble: %v", seed, err)
+	}
+	pt, err := mem.Partition{NumNodes: nodes, BlockPages: 1, ReplicateText: true}.Build(p)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	cfg := DefaultConfig(nodes)
+	cfg.L1.SizeBytes = 512 // conflict-prone: stress the protocol
+	cfg.WatchdogCycles = 300_000
+	cfg.DigestInterval = 8 // dense correspondence sampling
+	cfg.ResultComm = resultComm
+	m, err := NewMachine(cfg, p, pt)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	r, err := m.Run()
+	if err != nil {
+		t.Fatalf("seed %d (nodes=%d priv=%v rc=%v): %v", seed, nodes, privRegions, resultComm, err)
+	}
+	if !r.CorrespondenceOK {
+		t.Fatalf("seed %d: correspondence violated: %s\nprogram:\n%s",
+			seed, m.CorrespondenceReport(), src)
+	}
+	// Architectural state identical across nodes.
+	ref := m.NodeEmu(0)
+	for i := 1; i < nodes; i++ {
+		em := m.NodeEmu(i)
+		for reg := uint8(1); reg < 32; reg++ {
+			if em.Reg(reg) != ref.Reg(reg) {
+				t.Fatalf("seed %d: node %d r%d = %d, node 0 has %d",
+					seed, i, reg, em.Reg(reg), ref.Reg(reg))
+			}
+		}
+	}
+}
+
+func TestProtocolFuzz(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		fuzzOnce(t, seed, 2, false, false)
+	}
+}
+
+func TestProtocolFuzzThreeNodes(t *testing.T) {
+	// Odd node counts exercise asymmetric ownership splits.
+	for seed := uint64(100); seed <= 112; seed++ {
+		fuzzOnce(t, seed, 3, false, false)
+	}
+}
+
+func TestProtocolFuzzWithRegions(t *testing.T) {
+	for seed := uint64(200); seed <= 215; seed++ {
+		fuzzOnce(t, seed, 2, true, true)
+	}
+}
+
+func TestProtocolFuzzRegionsInert(t *testing.T) {
+	// The same region-bearing programs with result communication off.
+	for seed := uint64(200); seed <= 210; seed++ {
+		fuzzOnce(t, seed, 2, true, false)
+	}
+}
+
+func TestProtocolFuzzFourNodesTinyBus(t *testing.T) {
+	// A slow, narrow bus maximizes in-flight skew between nodes.
+	for seed := uint64(300); seed <= 308; seed++ {
+		rng := stats.NewRNG(seed)
+		src := randomProgram(rng, 100, 4, false)
+		p, err := asm.Assemble("fuzz", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt, err := mem.Partition{NumNodes: 4, BlockPages: 1, ReplicateText: true}.Build(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig(4)
+		cfg.L1.SizeBytes = 512
+		cfg.Bus.WidthBytes = 2
+		cfg.Bus.ClockDivisor = 8
+		cfg.WatchdogCycles = 500_000
+		cfg.DigestInterval = 8
+		m, err := NewMachine(cfg, p, pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := m.Run()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !r.CorrespondenceOK {
+			t.Fatalf("seed %d: correspondence violated", seed)
+		}
+	}
+}
+
+func TestProtocolFuzzOnRing(t *testing.T) {
+	// The correspondence protocol must hold regardless of interconnect:
+	// on a ring, broadcasts reach different nodes at different cycles,
+	// widening the issue-time divergence between nodes.
+	ringCfg := bus.DefaultRingConfig()
+	for seed := uint64(400); seed <= 412; seed++ {
+		rng := stats.NewRNG(seed)
+		src := randomProgram(rng, 100, 4, false)
+		p, err := asm.Assemble("fuzz", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt, err := mem.Partition{NumNodes: 3, BlockPages: 1, ReplicateText: true}.Build(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig(3)
+		cfg.L1.SizeBytes = 512
+		cfg.Ring = &ringCfg
+		cfg.WatchdogCycles = 500_000
+		cfg.DigestInterval = 8
+		m, err := NewMachine(cfg, p, pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := m.Run()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !r.CorrespondenceOK {
+			t.Fatalf("seed %d: correspondence violated on ring: %s", seed, m.CorrespondenceReport())
+		}
+	}
+}
+
+func TestProtocolFuzzRegionsOnRing(t *testing.T) {
+	ringCfg := bus.DefaultRingConfig()
+	for seed := uint64(500); seed <= 508; seed++ {
+		rng := stats.NewRNG(seed)
+		src := randomProgram(rng, 100, 4, true)
+		p, err := asm.Assemble("fuzz", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt, err := mem.Partition{NumNodes: 2, BlockPages: 1, ReplicateText: true}.Build(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig(2)
+		cfg.L1.SizeBytes = 512
+		cfg.Ring = &ringCfg
+		cfg.ResultComm = true
+		cfg.WatchdogCycles = 500_000
+		cfg.DigestInterval = 8
+		m, err := NewMachine(cfg, p, pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := m.Run()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !r.CorrespondenceOK {
+			t.Fatalf("seed %d: correspondence violated: %s", seed, m.CorrespondenceReport())
+		}
+	}
+}

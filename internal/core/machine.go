@@ -1,0 +1,366 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/wisc-arch/datascalar/internal/bus"
+	"github.com/wisc-arch/datascalar/internal/cache"
+	"github.com/wisc-arch/datascalar/internal/emu"
+	"github.com/wisc-arch/datascalar/internal/mem"
+	"github.com/wisc-arch/datascalar/internal/ooo"
+	"github.com/wisc-arch/datascalar/internal/prog"
+)
+
+// Config parameterizes a DataScalar machine. DefaultConfig matches the
+// paper's simulated implementation (Section 4.2): 8-way 1 GHz out-of-order
+// cores with 256 RUU entries, 16 KB direct-mapped single-cycle write-back
+// write-no-allocate L1 data caches, 8 ns on-chip memory banks behind a
+// 256-bit on-chip bus, and an 8-byte global bus at half the core
+// clock, with two-cycle broadcast-queue and BSHR penalties.
+type Config struct {
+	Nodes int
+	Core  ooo.Config
+	L1    cache.Config
+	DRAM  mem.DRAMConfig
+	Bus   bus.Config
+	// Ring, when non-nil, replaces the global bus with a unidirectional
+	// point-to-point ring (paper Section 4.4 discusses both
+	// interconnects); Bus is ignored in that case.
+	Ring *bus.RingConfig
+
+	// L1HitCycles is the load-to-use latency of an L1 hit.
+	L1HitCycles uint64
+	// BSHRCycles is the BSHR access latency applied when a load's data is
+	// found in (or arrives at) the BSHR.
+	BSHRCycles uint64
+	// BcastQueueCycles is the penalty between a broadcast being generated
+	// and it arbitrating for the global bus.
+	BcastQueueCycles uint64
+	// BSHRBufferCap bounds buffered (early-arriving) broadcast entries.
+	BSHRBufferCap int
+
+	// MaxInstr bounds each node's dynamic instruction count (0 = run to
+	// completion).
+	MaxInstr uint64
+	// FastForwardPC functionally executes each node's emulator up to this
+	// PC before timing begins (0 = none), skipping initialization phases
+	// — the experiment harness points it at the kernels' bench_main
+	// label. All nodes fast-forward identically.
+	FastForwardPC uint64
+	// WatchdogCycles aborts the run when no node commits for this many
+	// cycles (0 = default). A firing watchdog indicates a protocol
+	// deadlock — exactly what the cache-correspondence machinery exists
+	// to prevent.
+	WatchdogCycles uint64
+	// DigestInterval samples each node's tag-state digest every that many
+	// committed memory operations for the correspondence check (0
+	// disables sampling; the final state is always checked).
+	DigestInterval uint64
+	// TraceLine, when non-zero, records every protocol event touching
+	// that line address for post-mortem debugging; the trace is appended
+	// to deadlock errors.
+	TraceLine uint64
+	// ResultComm enables result communication (paper Section 5.1):
+	// PRIVB/PRIVE regions execute only at the node owning their data,
+	// with uncached local accesses and no operand broadcasts; other
+	// nodes skip the region and receive its results through ordinary ESP
+	// when post-region code loads them. With the flag off, the markers
+	// are inert and region accesses take the normal broadcast path.
+	ResultComm bool
+}
+
+// DefaultConfig returns the paper's parameters for an n-node machine.
+func DefaultConfig(n int) Config {
+	return Config{
+		Nodes: n,
+		Core:  ooo.DefaultConfig(),
+		L1: cache.Config{
+			Name:      "dl1",
+			SizeBytes: 16 * 1024,
+			LineBytes: 32,
+			Assoc:     1, // direct-mapped for speed, as in the paper
+			Write:     cache.WriteBack,
+			Alloc:     cache.WriteNoAllocate,
+		},
+		DRAM:             mem.DefaultDRAM(),
+		Bus:              bus.DefaultConfig(),
+		L1HitCycles:      1,
+		BSHRCycles:       2,
+		BcastQueueCycles: 2,
+		BSHRBufferCap:    64,
+		DigestInterval:   512,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("core: need at least one node")
+	}
+	if err := c.Core.Validate(); err != nil {
+		return err
+	}
+	if err := c.L1.Validate(); err != nil {
+		return err
+	}
+	if err := c.DRAM.Validate(); err != nil {
+		return err
+	}
+	if err := c.Bus.Validate(); err != nil {
+		return err
+	}
+	if c.L1HitCycles == 0 {
+		return fmt.Errorf("core: L1 hit latency must be positive")
+	}
+	if c.L1.Alloc != cache.WriteNoAllocate {
+		// The correspondence protocol implemented here commits stores
+		// without a fill path; write-allocate would need store-miss
+		// broadcasts (the paper argues no-allocate is superior under ESP
+		// anyway).
+		return fmt.Errorf("core: the DataScalar timing model requires a write-no-allocate L1")
+	}
+	return nil
+}
+
+// Result summarizes one DataScalar run.
+type Result struct {
+	Cycles       uint64
+	Instructions uint64 // per node (identical across nodes)
+	IPC          float64
+	Nodes        []NodeStats
+	BSHR         []BSHRStats
+	Core         []ooo.Stats
+	BusStats     bus.Stats
+	// CorrespondenceOK reports whether every sampled tag-state digest
+	// matched across nodes (and the final states matched).
+	CorrespondenceOK bool
+}
+
+// Machine is an N-node DataScalar system.
+type Machine struct {
+	cfg    Config
+	pt     *mem.PageTable
+	net    bus.Network
+	nodes  []*node
+	now    uint64
+	events []string // TraceLine event log
+}
+
+// Events returns the TraceLine event log (debugging).
+func (m *Machine) Events() []string { return m.events }
+
+func (m *Machine) traceEvent(node int, format string, args ...any) {
+	m.events = append(m.events, fmt.Sprintf("cycle=%d node=%d ", m.now, node)+fmt.Sprintf(format, args...))
+}
+
+// NewMachine builds a DataScalar machine executing program p under the
+// given page-table partition. The page table's node count must match the
+// configuration.
+func NewMachine(cfg Config, p *prog.Program, pt *mem.PageTable) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if pt.NumNodes() != cfg.Nodes {
+		return nil, fmt.Errorf("core: page table built for %d nodes, machine has %d", pt.NumNodes(), cfg.Nodes)
+	}
+	var net bus.Network
+	if cfg.Ring != nil {
+		net = bus.NewRing(*cfg.Ring, cfg.Nodes)
+	} else {
+		net = bus.NewNetwork(cfg.Bus, cfg.Nodes)
+	}
+	m := &Machine{
+		cfg: cfg,
+		pt:  pt,
+		net: net,
+	}
+	for id := 0; id < cfg.Nodes; id++ {
+		em, err := emu.New(p)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.FastForwardPC != 0 {
+			if _, ok, err := em.RunUntilPC(cfg.FastForwardPC, 200_000_000); err != nil {
+				return nil, fmt.Errorf("core: fast-forward: %w", err)
+			} else if !ok {
+				return nil, fmt.Errorf("core: fast-forward never reached pc 0x%x", cfg.FastForwardPC)
+			}
+		}
+		nd := &node{
+			id:          id,
+			cfg:         &m.cfg,
+			emu:         em,
+			l1:          cache.New(cfg.L1),
+			dram:        mem.NewDRAM(cfg.DRAM),
+			bshr:        NewBSHR(cfg.BSHRBufferCap),
+			pt:          pt,
+			net:         m.net,
+			outstanding: make(map[uint64]*missEntry),
+			inflight:    make(map[ooo.LoadToken]issueInfo),
+			digests:     make(map[uint64]uint64),
+		}
+		nd.m = m
+		var source ooo.Source = ooo.NewEmuSource(em, cfg.MaxInstr)
+		if cfg.ResultComm {
+			source = &regionSource{
+				inner:   source,
+				pt:      pt,
+				nodeID:  id,
+				skipped: &nd.stats.SkippedInstr,
+			}
+		}
+		nd.core = ooo.New(cfg.Core, source, nd)
+		m.nodes = append(m.nodes, nd)
+	}
+	return m, nil
+}
+
+// Network returns the machine's interconnect (for stats inspection).
+func (m *Machine) Network() bus.Network { return m.net }
+
+// Run executes the program to completion on all nodes, interleaving all
+// contexts cycle by cycle (the paper's simulator "switches contexts after
+// executing each cycle").
+func (m *Machine) Run() (Result, error) {
+	watchdog := m.cfg.WatchdogCycles
+	if watchdog == 0 {
+		watchdog = 2_000_000
+	}
+	lastProgress := uint64(0)
+	lastTotal := uint64(0)
+
+	for {
+		done := true
+		for _, nd := range m.nodes {
+			if !nd.core.Done() {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+
+		// Interconnect first: deliveries at cycle t are visible to the
+		// cores at t.
+		for _, arr := range m.net.Tick(m.now) {
+			if arr.Msg.Kind == bus.Broadcast {
+				m.nodes[arr.Node].onBroadcast(arr.Msg.Addr, m.now)
+			}
+		}
+		var total uint64
+		for _, nd := range m.nodes {
+			if !nd.core.Done() {
+				nd.core.Cycle(m.now)
+				if err := nd.core.Err(); err != nil {
+					return Result{}, fmt.Errorf("core: node %d: %w", nd.id, err)
+				}
+			}
+			total += nd.core.Committed()
+		}
+		if total != lastTotal {
+			lastTotal = total
+			lastProgress = m.now
+		} else if m.now-lastProgress > watchdog {
+			return Result{}, m.deadlockError()
+		}
+		m.now++
+	}
+
+	return m.collect(), nil
+}
+
+func (m *Machine) deadlockError() error {
+	detail := ""
+	for _, nd := range m.nodes {
+		detail += fmt.Sprintf("\n node%d{committed=%d memCommits=%d outstanding=%d busPending=%d",
+			nd.id, nd.core.Committed(), nd.memCommits, len(nd.outstanding), m.net.Pending())
+		for _, line := range nd.bshr.WaitingLines() {
+			detail += fmt.Sprintf(" wait[0x%x owner=%d repl=%v]",
+				line, m.pt.OwnerOf(line), m.pt.IsReplicated(line))
+		}
+		detail += fmt.Sprintf(" buffered=%d}", len(nd.bshr.BufferedLines()))
+	}
+	if n := len(m.events); n > 0 {
+		start := 0
+		if n > 80 {
+			start = n - 80
+		}
+		for _, ev := range m.events[start:] {
+			detail += "\n  " + ev
+		}
+	}
+	return fmt.Errorf("core: deadlock: no commit progress at cycle %d:%s", m.now, detail)
+}
+
+func (m *Machine) collect() Result {
+	r := Result{
+		Cycles:           m.now,
+		Instructions:     m.nodes[0].core.Committed(),
+		BusStats:         *m.net.NetStats(),
+		CorrespondenceOK: m.checkCorrespondence(),
+	}
+	for _, nd := range m.nodes {
+		r.Nodes = append(r.Nodes, nd.stats)
+		r.BSHR = append(r.BSHR, *nd.bshr.Stats())
+		r.Core = append(r.Core, *nd.core.Stats())
+	}
+	if r.Cycles > 0 {
+		r.IPC = float64(r.Instructions) / float64(r.Cycles)
+	}
+	return r
+}
+
+// CorrespondenceReport explains a correspondence failure: per-node
+// committed-memory-op counts, and the first sampled milestone whose tag
+// digests disagree. Empty when the invariant holds.
+func (m *Machine) CorrespondenceReport() string {
+	if m.checkCorrespondence() {
+		return ""
+	}
+	out := ""
+	ref := m.nodes[0]
+	for _, nd := range m.nodes {
+		out += fmt.Sprintf("node%d{memCommits=%d finalDigest=%x} ", nd.id, nd.memCommits, nd.l1.StateDigest())
+	}
+	// Find the smallest mismatching sampled milestone.
+	var worst uint64
+	found := false
+	for k, v := range ref.digests {
+		for _, nd := range m.nodes[1:] {
+			if ov, ok := nd.digests[k]; ok && ov != v {
+				if !found || k < worst {
+					worst, found = k, true
+				}
+			}
+		}
+	}
+	if found {
+		out += fmt.Sprintf("first digest mismatch at memCommits=%d", worst)
+	}
+	return out
+}
+
+// checkCorrespondence verifies the protocol invariant: every node's tag
+// state is identical at equal committed-memory-op counts.
+func (m *Machine) checkCorrespondence() bool {
+	ref := m.nodes[0]
+	for _, nd := range m.nodes[1:] {
+		if nd.memCommits != ref.memCommits {
+			return false
+		}
+		if nd.l1.StateDigest() != ref.l1.StateDigest() {
+			return false
+		}
+		for k, v := range ref.digests {
+			if ov, ok := nd.digests[k]; ok && ov != v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// NodeEmu returns node i's functional emulator (tests use it to verify
+// architectural results).
+func (m *Machine) NodeEmu(i int) *emu.Machine { return m.nodes[i].emu }

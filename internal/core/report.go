@@ -1,0 +1,48 @@
+package core
+
+import (
+	"github.com/wisc-arch/datascalar/internal/stats"
+)
+
+// Report renders a run's statistics as human-readable tables: the
+// machine summary, then one row per node covering the ESP, correspondence,
+// and BSHR counters. cmd/dsrun and downstream users print it after runs.
+func (r Result) Report() []*stats.Table {
+	summary := stats.NewTable(
+		"DataScalar run",
+		"cycles", "instructions", "IPC", "correspondence",
+		"bus msgs", "bus bytes", "bus busy")
+	corr := "ok"
+	if !r.CorrespondenceOK {
+		corr = "VIOLATED"
+	}
+	busy := stats.Ratio{Part: r.BusStats.BusyCycles.Value(), Whole: r.Cycles}
+	summary.AddRowf(r.Cycles, r.Instructions, r.IPC, corr,
+		r.BusStats.Messages.Value(), r.BusStats.Bytes.Value(),
+		stats.FormatPercent(busy.Percent()))
+
+	nodes := stats.NewTable(
+		"Per-node ESP and correspondence activity",
+		"node", "issue hits", "issue misses", "merged", "local", "remote",
+		"broadcasts", "late", "false hits", "false misses", "fills")
+	for i, ns := range r.Nodes {
+		nodes.AddRowf(i,
+			ns.IssueHits.Value(), ns.IssueMisses.Value(), ns.MergedMisses.Value(),
+			ns.LocalMisses.Value(), ns.RemoteMisses.Value(),
+			ns.Broadcasts.Value(), ns.LateBroadcasts.Value(),
+			ns.FalseHits.Value(), ns.FalseMisses.Value(), ns.Fills.Value())
+	}
+
+	bshr := stats.NewTable(
+		"Per-node BSHR activity",
+		"node", "waits", "joins", "found waiting", "arrivals", "matched",
+		"buffered", "absorbed", "max buffered")
+	for i, b := range r.BSHR {
+		bshr.AddRowf(i,
+			b.Allocs.Value(), b.Joins.Value(), b.BufferedHits.Value(),
+			b.Arrivals.Value(), b.Matched.Value(), b.Buffered.Value(),
+			b.Squashes.Value(), b.MaxBuffered)
+	}
+
+	return []*stats.Table{summary, nodes, bshr}
+}

@@ -1,0 +1,72 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EncodedBytes is the size of one serialized instruction. Serialization is
+// used for program-image round-trips (e.g. snapshotting assembled programs
+// in tests); the architectural footprint in the simulated address space is
+// the separate constant InstrBytes.
+const EncodedBytes = 24
+
+// Encode serializes in into a fixed-width little-endian record.
+func (in Instr) Encode(dst []byte) error {
+	if len(dst) < EncodedBytes {
+		return fmt.Errorf("isa: encode buffer too small (%d < %d)", len(dst), EncodedBytes)
+	}
+	binary.LittleEndian.PutUint16(dst[0:2], uint16(in.Op))
+	dst[2] = in.Rd
+	dst[3] = in.Rs1
+	dst[4] = in.Rs2
+	dst[5], dst[6], dst[7] = 0, 0, 0 // reserved
+	binary.LittleEndian.PutUint64(dst[8:16], uint64(in.Imm))
+	binary.LittleEndian.PutUint64(dst[16:24], in.Target)
+	return nil
+}
+
+// Decode deserializes one instruction from src, validating the result.
+func Decode(src []byte) (Instr, error) {
+	if len(src) < EncodedBytes {
+		return Instr{}, fmt.Errorf("isa: decode buffer too small (%d < %d)", len(src), EncodedBytes)
+	}
+	in := Instr{
+		Op:     Op(binary.LittleEndian.Uint16(src[0:2])),
+		Rd:     src[2],
+		Rs1:    src[3],
+		Rs2:    src[4],
+		Imm:    int64(binary.LittleEndian.Uint64(src[8:16])),
+		Target: binary.LittleEndian.Uint64(src[16:24]),
+	}
+	if err := in.Validate(); err != nil {
+		return Instr{}, err
+	}
+	return in, nil
+}
+
+// EncodeText serializes a whole text segment.
+func EncodeText(text []Instr) []byte {
+	out := make([]byte, len(text)*EncodedBytes)
+	for i, in := range text {
+		// Encode cannot fail here: the buffer is sized exactly.
+		_ = in.Encode(out[i*EncodedBytes:])
+	}
+	return out
+}
+
+// DecodeText deserializes a whole text segment.
+func DecodeText(b []byte) ([]Instr, error) {
+	if len(b)%EncodedBytes != 0 {
+		return nil, fmt.Errorf("isa: text blob length %d not a multiple of %d", len(b), EncodedBytes)
+	}
+	out := make([]Instr, len(b)/EncodedBytes)
+	for i := range out {
+		in, err := Decode(b[i*EncodedBytes:])
+		if err != nil {
+			return nil, fmt.Errorf("isa: instruction %d: %w", i, err)
+		}
+		out[i] = in
+	}
+	return out, nil
+}

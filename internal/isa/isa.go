@@ -1,0 +1,509 @@
+// Package isa defines the instruction-set architecture executed by the
+// simulators in this repository: a 64-bit, MIPS/DLX-flavored RISC with 32
+// integer and 32 floating-point registers.
+//
+// The paper evaluated DataScalar on SimpleScalar, whose ISA is a MIPS
+// derivative; this package plays the same role. The DataScalar results do
+// not depend on ISA details, only on the dynamic instruction and memory
+// reference streams, so the ISA is kept deliberately small while still
+// being expressive enough to write the SPEC95-analogue workloads in
+// internal/workload.
+//
+// Conventions:
+//   - R0 is hardwired to zero.
+//   - R29 is the stack pointer by software convention (alias "sp").
+//   - R31 is the link register written by JAL (alias "ra").
+//   - Every instruction occupies InstrBytes bytes of the text segment, so
+//     instruction-fetch addresses are meaningful for the locality analyses
+//     (the paper's Table 2 measures instruction-reference datathreads).
+package isa
+
+import "fmt"
+
+// InstrBytes is the architectural footprint of one instruction in the text
+// segment. Fetch addresses advance by this much.
+const InstrBytes = 8
+
+// NumIntRegs and NumFPRegs are the architectural register file sizes.
+const (
+	NumIntRegs = 32
+	NumFPRegs  = 32
+)
+
+// Software-convention register numbers.
+const (
+	RegZero = 0  // hardwired zero
+	RegSP   = 29 // stack pointer
+	RegGP   = 30 // global pointer
+	RegRA   = 31 // link register written by JAL
+)
+
+// Op identifies an operation. The zero value is OpInvalid so that
+// uninitialized instructions are caught by validation.
+type Op uint16
+
+// Operations. Grouped by format; see opInfo for per-op metadata.
+const (
+	OpInvalid Op = iota
+
+	// Integer register-register.
+	OpADD
+	OpSUB
+	OpMUL
+	OpDIV
+	OpREM
+	OpAND
+	OpOR
+	OpXOR
+	OpNOR
+	OpSLL
+	OpSRL
+	OpSRA
+	OpSLT
+	OpSLTU
+
+	// Integer register-immediate.
+	OpADDI
+	OpANDI
+	OpORI
+	OpXORI
+	OpSLLI
+	OpSRLI
+	OpSRAI
+	OpSLTI
+	OpLI // load full 64-bit immediate
+
+	// Memory. Loads write Rd; stores read Rs2 (value) and Rs1 (base).
+	OpLB
+	OpLBU
+	OpLW
+	OpLWU
+	OpLD
+	OpSB
+	OpSW
+	OpSD
+	OpFLD // FP load (64-bit), writes Fd
+	OpFSD // FP store (64-bit), reads Fs2
+
+	// Floating point (double precision).
+	OpFADD
+	OpFSUB
+	OpFMUL
+	OpFDIV
+	OpFNEG
+	OpFABS
+	OpFSQRT
+	OpFMOV
+	OpFCVTDW // int reg -> fp reg (convert)
+	OpFCVTWD // fp reg -> int reg (truncate)
+	OpFEQ    // fp compare, writes int Rd (0/1)
+	OpFLT
+	OpFLE
+
+	// Control.
+	OpBEQ
+	OpBNE
+	OpBLT
+	OpBGE
+	OpBLTU
+	OpBGEU
+	OpJ
+	OpJAL
+	OpJR
+	OpJALR
+
+	// Miscellaneous.
+	OpNOP
+	OpHALT
+
+	// Result-communication region markers (paper Section 5.1): PRIVB
+	// opens a private computation region whose owner is the node holding
+	// the page of the marker's effective address; PRIVE closes it.
+	// Inside the region, memory accesses bypass the caches at the owner
+	// and other DataScalar nodes skip the region's execution entirely,
+	// receiving only its results (through later ordinary accesses).
+	OpPRIVB
+	OpPRIVE
+
+	numOps // sentinel; keep last
+)
+
+// Fmt classifies instruction formats, which determines which Instr fields
+// are meaningful.
+type Fmt uint8
+
+const (
+	FmtNone   Fmt = iota // NOP, HALT
+	FmtRRR               // rd <- rs1 op rs2
+	FmtRRI               // rd <- rs1 op imm
+	FmtRI                // rd <- imm (LI)
+	FmtLoad              // rd <- mem[rs1+imm]
+	FmtStore             // mem[rs1+imm] <- rs2
+	FmtFLoad             // fd <- mem[rs1+imm]
+	FmtFStore            // mem[rs1+imm] <- fs2
+	FmtFRR               // fd <- fs1 op fs2
+	FmtFR                // fd <- op fs1
+	FmtF2I               // rd <- op fs1 (compare/convert to int)
+	FmtI2F               // fd <- op rs1 (convert from int)
+	FmtFCmp              // rd <- fs1 cmp fs2
+	FmtBranch            // if rs1 cmp rs2 goto target
+	FmtJump              // goto target (J), or call (JAL: ra <- pc+8)
+	FmtJReg              // goto rs1 (JR), or call via reg (JALR)
+	FmtRegion            // region marker with an effective address (PRIVB)
+)
+
+// Class groups operations by the functional unit that executes them; the
+// out-of-order timing model assigns latency per class.
+type Class uint8
+
+const (
+	ClassIntALU Class = iota
+	ClassIntMul
+	ClassIntDiv
+	ClassFPAdd
+	ClassFPMul
+	ClassFPDiv
+	ClassLoad
+	ClassStore
+	ClassBranch
+	ClassMisc
+	NumClasses
+)
+
+// info holds static metadata for one operation.
+type info struct {
+	name  string
+	fmt   Fmt
+	class Class
+	// memBytes is the access width for loads/stores, 0 otherwise.
+	memBytes uint8
+}
+
+var opInfo = [numOps]info{
+	OpInvalid: {"invalid", FmtNone, ClassMisc, 0},
+
+	OpADD:  {"add", FmtRRR, ClassIntALU, 0},
+	OpSUB:  {"sub", FmtRRR, ClassIntALU, 0},
+	OpMUL:  {"mul", FmtRRR, ClassIntMul, 0},
+	OpDIV:  {"div", FmtRRR, ClassIntDiv, 0},
+	OpREM:  {"rem", FmtRRR, ClassIntDiv, 0},
+	OpAND:  {"and", FmtRRR, ClassIntALU, 0},
+	OpOR:   {"or", FmtRRR, ClassIntALU, 0},
+	OpXOR:  {"xor", FmtRRR, ClassIntALU, 0},
+	OpNOR:  {"nor", FmtRRR, ClassIntALU, 0},
+	OpSLL:  {"sll", FmtRRR, ClassIntALU, 0},
+	OpSRL:  {"srl", FmtRRR, ClassIntALU, 0},
+	OpSRA:  {"sra", FmtRRR, ClassIntALU, 0},
+	OpSLT:  {"slt", FmtRRR, ClassIntALU, 0},
+	OpSLTU: {"sltu", FmtRRR, ClassIntALU, 0},
+
+	OpADDI: {"addi", FmtRRI, ClassIntALU, 0},
+	OpANDI: {"andi", FmtRRI, ClassIntALU, 0},
+	OpORI:  {"ori", FmtRRI, ClassIntALU, 0},
+	OpXORI: {"xori", FmtRRI, ClassIntALU, 0},
+	OpSLLI: {"slli", FmtRRI, ClassIntALU, 0},
+	OpSRLI: {"srli", FmtRRI, ClassIntALU, 0},
+	OpSRAI: {"srai", FmtRRI, ClassIntALU, 0},
+	OpSLTI: {"slti", FmtRRI, ClassIntALU, 0},
+	OpLI:   {"li", FmtRI, ClassIntALU, 0},
+
+	OpLB:  {"lb", FmtLoad, ClassLoad, 1},
+	OpLBU: {"lbu", FmtLoad, ClassLoad, 1},
+	OpLW:  {"lw", FmtLoad, ClassLoad, 4},
+	OpLWU: {"lwu", FmtLoad, ClassLoad, 4},
+	OpLD:  {"ld", FmtLoad, ClassLoad, 8},
+	OpSB:  {"sb", FmtStore, ClassStore, 1},
+	OpSW:  {"sw", FmtStore, ClassStore, 4},
+	OpSD:  {"sd", FmtStore, ClassStore, 8},
+	OpFLD: {"fld", FmtFLoad, ClassLoad, 8},
+	OpFSD: {"fsd", FmtFStore, ClassStore, 8},
+
+	OpFADD:   {"fadd", FmtFRR, ClassFPAdd, 0},
+	OpFSUB:   {"fsub", FmtFRR, ClassFPAdd, 0},
+	OpFMUL:   {"fmul", FmtFRR, ClassFPMul, 0},
+	OpFDIV:   {"fdiv", FmtFRR, ClassFPDiv, 0},
+	OpFNEG:   {"fneg", FmtFR, ClassFPAdd, 0},
+	OpFABS:   {"fabs", FmtFR, ClassFPAdd, 0},
+	OpFSQRT:  {"fsqrt", FmtFR, ClassFPDiv, 0},
+	OpFMOV:   {"fmov", FmtFR, ClassFPAdd, 0},
+	OpFCVTDW: {"fcvtdw", FmtI2F, ClassFPAdd, 0},
+	OpFCVTWD: {"fcvtwd", FmtF2I, ClassFPAdd, 0},
+	OpFEQ:    {"feq", FmtFCmp, ClassFPAdd, 0},
+	OpFLT:    {"flt", FmtFCmp, ClassFPAdd, 0},
+	OpFLE:    {"fle", FmtFCmp, ClassFPAdd, 0},
+
+	OpBEQ:  {"beq", FmtBranch, ClassBranch, 0},
+	OpBNE:  {"bne", FmtBranch, ClassBranch, 0},
+	OpBLT:  {"blt", FmtBranch, ClassBranch, 0},
+	OpBGE:  {"bge", FmtBranch, ClassBranch, 0},
+	OpBLTU: {"bltu", FmtBranch, ClassBranch, 0},
+	OpBGEU: {"bgeu", FmtBranch, ClassBranch, 0},
+	OpJ:    {"j", FmtJump, ClassBranch, 0},
+	OpJAL:  {"jal", FmtJump, ClassBranch, 0},
+	OpJR:   {"jr", FmtJReg, ClassBranch, 0},
+	OpJALR: {"jalr", FmtJReg, ClassBranch, 0},
+
+	OpNOP:  {"nop", FmtNone, ClassMisc, 0},
+	OpHALT: {"halt", FmtNone, ClassMisc, 0},
+
+	OpPRIVB: {"privb", FmtRegion, ClassMisc, 0},
+	OpPRIVE: {"prive", FmtNone, ClassMisc, 0},
+}
+
+// Valid reports whether op is a defined operation (excluding OpInvalid).
+func (op Op) Valid() bool { return op > OpInvalid && op < numOps }
+
+// String returns the assembly mnemonic.
+func (op Op) String() string {
+	if op >= numOps {
+		return fmt.Sprintf("op(%d)", uint16(op))
+	}
+	return opInfo[op].name
+}
+
+// Format returns the instruction format.
+func (op Op) Format() Fmt {
+	if op >= numOps {
+		return FmtNone
+	}
+	return opInfo[op].fmt
+}
+
+// Class returns the functional-unit class.
+func (op Op) Class() Class {
+	if op >= numOps {
+		return ClassMisc
+	}
+	return opInfo[op].class
+}
+
+// MemBytes returns the memory access width for loads and stores, 0 for
+// other operations.
+func (op Op) MemBytes() int {
+	if op >= numOps {
+		return 0
+	}
+	return int(opInfo[op].memBytes)
+}
+
+// IsLoad reports whether op reads memory.
+func (op Op) IsLoad() bool {
+	f := op.Format()
+	return f == FmtLoad || f == FmtFLoad
+}
+
+// IsStore reports whether op writes memory.
+func (op Op) IsStore() bool {
+	f := op.Format()
+	return f == FmtStore || f == FmtFStore
+}
+
+// IsMem reports whether op accesses memory.
+func (op Op) IsMem() bool { return op.IsLoad() || op.IsStore() }
+
+// IsBranch reports whether op is a conditional branch.
+func (op Op) IsBranch() bool { return op.Format() == FmtBranch }
+
+// IsControl reports whether op can change the PC non-sequentially.
+func (op Op) IsControl() bool {
+	switch op.Format() {
+	case FmtBranch, FmtJump, FmtJReg:
+		return true
+	}
+	return false
+}
+
+// OpByName returns the operation with the given mnemonic, or OpInvalid.
+func OpByName(name string) Op {
+	return opsByName[name]
+}
+
+var opsByName = func() map[string]Op {
+	m := make(map[string]Op, int(numOps))
+	for op := OpInvalid + 1; op < numOps; op++ {
+		m[opInfo[op].name] = op
+	}
+	return m
+}()
+
+// Ops returns all defined operations in numeric order.
+func Ops() []Op {
+	out := make([]Op, 0, int(numOps)-1)
+	for op := OpInvalid + 1; op < numOps; op++ {
+		out = append(out, op)
+	}
+	return out
+}
+
+// Instr is one decoded instruction. Field meaning depends on Op.Format():
+//
+//	FmtRRR:    Rd <- Rs1 op Rs2
+//	FmtRRI:    Rd <- Rs1 op Imm
+//	FmtRI:     Rd <- Imm
+//	FmtLoad:   Rd <- mem[Rs1+Imm]
+//	FmtStore:  mem[Rs1+Imm] <- Rs2
+//	FmtFLoad:  Fd <- mem[Rs1+Imm]        (Fd aliased onto Rd)
+//	FmtFStore: mem[Rs1+Imm] <- Fs2       (Fs2 aliased onto Rs2)
+//	FmtFRR:    Fd <- Fs1 op Fs2
+//	FmtFR:     Fd <- op Fs1
+//	FmtF2I:    Rd <- convert(Fs1)
+//	FmtI2F:    Fd <- convert(Rs1)
+//	FmtFCmp:   Rd <- Fs1 cmp Fs2
+//	FmtBranch: if Rs1 cmp Rs2: pc <- Target
+//	FmtJump:   pc <- Target; JAL also Rra <- pc+InstrBytes
+//	FmtJReg:   pc <- Rs1; JALR also Rd <- pc+InstrBytes
+//
+// FP register numbers reuse the Rd/Rs1/Rs2 fields; the format disambiguates
+// which file they index.
+type Instr struct {
+	Op     Op
+	Rd     uint8
+	Rs1    uint8
+	Rs2    uint8
+	Imm    int64
+	Target uint64 // absolute byte address for branches/jumps
+}
+
+// String disassembles the instruction.
+func (in Instr) String() string {
+	switch in.Op.Format() {
+	case FmtNone:
+		return in.Op.String()
+	case FmtRRR:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Rd, in.Rs1, in.Rs2)
+	case FmtRRI:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+	case FmtRI:
+		return fmt.Sprintf("%s r%d, %d", in.Op, in.Rd, in.Imm)
+	case FmtLoad:
+		return fmt.Sprintf("%s r%d, %d(r%d)", in.Op, in.Rd, in.Imm, in.Rs1)
+	case FmtStore:
+		return fmt.Sprintf("%s r%d, %d(r%d)", in.Op, in.Rs2, in.Imm, in.Rs1)
+	case FmtFLoad:
+		return fmt.Sprintf("%s f%d, %d(r%d)", in.Op, in.Rd, in.Imm, in.Rs1)
+	case FmtFStore:
+		return fmt.Sprintf("%s f%d, %d(r%d)", in.Op, in.Rs2, in.Imm, in.Rs1)
+	case FmtFRR:
+		return fmt.Sprintf("%s f%d, f%d, f%d", in.Op, in.Rd, in.Rs1, in.Rs2)
+	case FmtFR:
+		return fmt.Sprintf("%s f%d, f%d", in.Op, in.Rd, in.Rs1)
+	case FmtF2I:
+		return fmt.Sprintf("%s r%d, f%d", in.Op, in.Rd, in.Rs1)
+	case FmtI2F:
+		return fmt.Sprintf("%s f%d, r%d", in.Op, in.Rd, in.Rs1)
+	case FmtFCmp:
+		return fmt.Sprintf("%s r%d, f%d, f%d", in.Op, in.Rd, in.Rs1, in.Rs2)
+	case FmtRegion:
+		return fmt.Sprintf("%s %d(r%d)", in.Op, in.Imm, in.Rs1)
+	case FmtBranch:
+		return fmt.Sprintf("%s r%d, r%d, 0x%x", in.Op, in.Rs1, in.Rs2, in.Target)
+	case FmtJump:
+		return fmt.Sprintf("%s 0x%x", in.Op, in.Target)
+	case FmtJReg:
+		if in.Op == OpJALR {
+			return fmt.Sprintf("%s r%d, r%d", in.Op, in.Rd, in.Rs1)
+		}
+		return fmt.Sprintf("%s r%d", in.Op, in.Rs1)
+	}
+	return fmt.Sprintf("%s ???", in.Op)
+}
+
+// Validate checks structural well-formedness: defined op and in-range
+// register numbers. It does not check Target reachability, which is the
+// loader's job.
+func (in Instr) Validate() error {
+	if !in.Op.Valid() {
+		return fmt.Errorf("isa: invalid op %d", in.Op)
+	}
+	if in.Rd >= NumIntRegs || in.Rs1 >= NumIntRegs || in.Rs2 >= NumIntRegs {
+		// FP register numbers share the same 0..31 range.
+		return fmt.Errorf("isa: register out of range in %q", in.String())
+	}
+	return nil
+}
+
+// SrcRegs appends to dst the source register operands of in, tagged by
+// file, and returns the extended slice. Used by the timing model to build
+// dependence edges.
+func (in Instr) SrcRegs(dst []RegRef) []RegRef {
+	switch in.Op.Format() {
+	case FmtRRR:
+		dst = append(dst, IntReg(in.Rs1), IntReg(in.Rs2))
+	case FmtRRI:
+		dst = append(dst, IntReg(in.Rs1))
+	case FmtLoad, FmtFLoad:
+		dst = append(dst, IntReg(in.Rs1))
+	case FmtStore:
+		dst = append(dst, IntReg(in.Rs1), IntReg(in.Rs2))
+	case FmtFStore:
+		dst = append(dst, IntReg(in.Rs1), FPReg(in.Rs2))
+	case FmtFRR, FmtFCmp:
+		dst = append(dst, FPReg(in.Rs1), FPReg(in.Rs2))
+	case FmtFR, FmtF2I:
+		dst = append(dst, FPReg(in.Rs1))
+	case FmtI2F:
+		dst = append(dst, IntReg(in.Rs1))
+	case FmtBranch:
+		dst = append(dst, IntReg(in.Rs1), IntReg(in.Rs2))
+	case FmtJReg, FmtRegion:
+		dst = append(dst, IntReg(in.Rs1))
+	}
+	return dst
+}
+
+// DstReg returns the destination register of in and whether it has one.
+// Writes to R0 are reported as no destination, matching its hardwired-zero
+// semantics.
+func (in Instr) DstReg() (RegRef, bool) {
+	switch in.Op.Format() {
+	case FmtRRR, FmtRRI, FmtRI, FmtLoad, FmtF2I, FmtFCmp:
+		if in.Rd == RegZero {
+			return RegRef{}, false
+		}
+		return IntReg(in.Rd), true
+	case FmtFLoad, FmtFRR, FmtFR, FmtI2F:
+		return FPReg(in.Rd), true
+	case FmtJump:
+		if in.Op == OpJAL {
+			return IntReg(RegRA), true
+		}
+	case FmtJReg:
+		if in.Op == OpJALR {
+			if in.Rd == RegZero {
+				return RegRef{}, false
+			}
+			return IntReg(in.Rd), true
+		}
+	}
+	return RegRef{}, false
+}
+
+// RegRef names one architectural register in either file. The timing model
+// uses it as a map key for dependence tracking.
+type RegRef struct {
+	FP  bool
+	Num uint8
+}
+
+// IntReg returns a reference to integer register n.
+func IntReg(n uint8) RegRef { return RegRef{FP: false, Num: n} }
+
+// FPReg returns a reference to floating-point register n.
+func FPReg(n uint8) RegRef { return RegRef{FP: true, Num: n} }
+
+// String renders the register name.
+func (r RegRef) String() string {
+	if r.FP {
+		return fmt.Sprintf("f%d", r.Num)
+	}
+	return fmt.Sprintf("r%d", r.Num)
+}
+
+// Index returns a dense index in [0, NumIntRegs+NumFPRegs) suitable for
+// array-backed scoreboards.
+func (r RegRef) Index() int {
+	if r.FP {
+		return NumIntRegs + int(r.Num)
+	}
+	return int(r.Num)
+}

@@ -1,0 +1,101 @@
+package mem
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// DRAMConfig describes one node's on-chip main memory: multiple banks,
+// each with a fixed access latency, interleaved at line granularity. The
+// paper's target is fast on-chip DRAM ("banks that can be accessed in
+// 8 ns" at a 1 GHz core, i.e. 8 cycles) behind a 256-bit on-chip bus
+// clocked at processor frequency.
+type DRAMConfig struct {
+	// AccessCycles is the bank access latency in CPU cycles.
+	AccessCycles uint64
+	// NumBanks is the number of independently busy banks (power of two).
+	NumBanks int
+	// InterleaveBytes is the stride at which consecutive addresses move
+	// to the next bank (typically the cache line size; power of two).
+	InterleaveBytes int
+	// BusCycles is the on-chip transfer time per line over the internal
+	// memory bus (256-bit bus moving a 32-byte line = 1 cycle).
+	BusCycles uint64
+}
+
+// Validate checks structural soundness.
+func (c DRAMConfig) Validate() error {
+	switch {
+	case c.AccessCycles == 0:
+		return fmt.Errorf("mem: dram access latency must be positive")
+	case c.NumBanks <= 0 || bits.OnesCount(uint(c.NumBanks)) != 1:
+		return fmt.Errorf("mem: dram banks %d not a positive power of two", c.NumBanks)
+	case c.InterleaveBytes <= 0 || bits.OnesCount(uint(c.InterleaveBytes)) != 1:
+		return fmt.Errorf("mem: dram interleave %d not a positive power of two", c.InterleaveBytes)
+	}
+	return nil
+}
+
+// DefaultDRAM returns the paper's memory parameters at a 1 GHz core:
+// 8-cycle banks, 8-way interleaved at 32-byte lines, 1-cycle on-chip bus.
+func DefaultDRAM() DRAMConfig {
+	return DRAMConfig{AccessCycles: 8, NumBanks: 8, InterleaveBytes: 32, BusCycles: 1}
+}
+
+// DRAM models one node's main-memory timing. It tracks per-bank busy
+// windows so that concurrent accesses to one bank queue while accesses to
+// distinct banks overlap — the property datathreading exploits when one
+// node runs ahead fetching several owned operands.
+type DRAM struct {
+	cfg      DRAMConfig
+	bankFree []uint64 // first cycle each bank is idle
+	shift    uint
+	mask     uint64
+	accesses uint64
+	stalls   uint64 // cycles spent waiting for a busy bank, summed
+}
+
+// NewDRAM builds the timing model. It panics on invalid configuration,
+// which is always an experiment-setup bug.
+func NewDRAM(cfg DRAMConfig) *DRAM {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &DRAM{
+		cfg:      cfg,
+		bankFree: make([]uint64, cfg.NumBanks),
+		shift:    uint(bits.TrailingZeros(uint(cfg.InterleaveBytes))),
+		mask:     uint64(cfg.NumBanks - 1),
+	}
+}
+
+// Config returns the configuration.
+func (d *DRAM) Config() DRAMConfig { return d.cfg }
+
+// BankOf returns the bank index servicing addr.
+func (d *DRAM) BankOf(addr uint64) int {
+	return int((addr >> d.shift) & d.mask)
+}
+
+// Access schedules a line access beginning no earlier than now and
+// returns the cycle at which the data is available at the requester
+// (bank access plus on-chip bus transfer).
+func (d *DRAM) Access(now uint64, addr uint64) uint64 {
+	b := d.BankOf(addr)
+	start := now
+	if d.bankFree[b] > start {
+		d.stalls += d.bankFree[b] - start
+		start = d.bankFree[b]
+	}
+	done := start + d.cfg.AccessCycles
+	d.bankFree[b] = done
+	d.accesses++
+	return done + d.cfg.BusCycles
+}
+
+// Accesses returns the total access count.
+func (d *DRAM) Accesses() uint64 { return d.accesses }
+
+// StallCycles returns the total cycles accesses spent queued on busy
+// banks.
+func (d *DRAM) StallCycles() uint64 { return d.stalls }

@@ -1,0 +1,419 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/wisc-arch/datascalar/internal/isa"
+	"github.com/wisc-arch/datascalar/internal/prog"
+	"github.com/wisc-arch/datascalar/internal/stats"
+)
+
+func TestPageTableBasics(t *testing.T) {
+	pt := NewPageTable(4)
+	pt.SetReplicated(10)
+	pt.SetOwner(11, 2)
+
+	if e, ok := pt.Lookup(10 * prog.PageSize); !ok || e.Kind != Replicated || e.Owner != -1 {
+		t.Fatalf("replicated entry = %+v, %v", e, ok)
+	}
+	if e, ok := pt.Lookup(11*prog.PageSize + 500); !ok || e.Kind != Communicated || e.Owner != 2 {
+		t.Fatalf("communicated entry = %+v, %v", e, ok)
+	}
+	if _, ok := pt.Lookup(99 * prog.PageSize); ok {
+		t.Fatal("unmapped page resolved")
+	}
+	if !pt.IsReplicated(10 * prog.PageSize) {
+		t.Fatal("IsReplicated false")
+	}
+	if pt.OwnerOf(11*prog.PageSize) != 2 {
+		t.Fatal("OwnerOf wrong")
+	}
+	for node := 0; node < 4; node++ {
+		if !pt.Owns(10*prog.PageSize, node) {
+			t.Errorf("node %d does not own replicated page", node)
+		}
+		want := node == 2
+		if pt.Owns(11*prog.PageSize, node) != want {
+			t.Errorf("node %d ownership of page 11 = %v", node, !want)
+		}
+	}
+	r, c := pt.CountByKind()
+	if r != 1 || c != 1 {
+		t.Fatalf("counts = %d, %d", r, c)
+	}
+}
+
+func TestPageTablePanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero nodes", func() { NewPageTable(0) })
+	pt := NewPageTable(2)
+	mustPanic("bad owner", func() { pt.SetOwner(1, 5) })
+	mustPanic("unmapped MustLookup", func() { pt.MustLookup(0) })
+}
+
+func TestNodeBytes(t *testing.T) {
+	pt := NewPageTable(2)
+	pt.SetReplicated(0)
+	pt.SetOwner(1, 0)
+	pt.SetOwner(2, 1)
+	pt.SetOwner(3, 1)
+	if got := pt.NodeBytes(0); got != 2*prog.PageSize {
+		t.Errorf("node0 bytes = %d", got)
+	}
+	if got := pt.NodeBytes(1); got != 3*prog.PageSize {
+		t.Errorf("node1 bytes = %d", got)
+	}
+}
+
+func testProgram(dataPages int) *prog.Program {
+	return &prog.Program{
+		Name:      "t",
+		Text:      []isa.Instr{{Op: isa.OpHALT}},
+		Data:      make([]byte, dataPages*prog.PageSize),
+		HeapBytes: 0,
+	}
+}
+
+func TestPartitionRoundRobin(t *testing.T) {
+	p := testProgram(8)
+	pt, err := Partition{NumNodes: 4, BlockPages: 1, ReplicateText: true}.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Text page replicated.
+	if !pt.IsReplicated(prog.TextBase) {
+		t.Fatal("text page not replicated")
+	}
+	// Data pages round-robin 0,1,2,3,0,1,2,3.
+	for i := 0; i < 8; i++ {
+		addr := uint64(prog.DataBase) + uint64(i)*prog.PageSize
+		if got := pt.OwnerOf(addr); got != i%4 {
+			t.Errorf("data page %d owner = %d, want %d", i, got, i%4)
+		}
+	}
+}
+
+func TestPartitionBlocks(t *testing.T) {
+	p := testProgram(8)
+	pt, err := Partition{NumNodes: 2, BlockPages: 3, ReplicateText: true}.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 0, 1, 1, 1, 0, 0}
+	for i, w := range want {
+		addr := uint64(prog.DataBase) + uint64(i)*prog.PageSize
+		if got := pt.OwnerOf(addr); got != w {
+			t.Errorf("page %d owner = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestPartitionExplicitReplication(t *testing.T) {
+	p := testProgram(4)
+	hot := prog.PageOf(prog.DataBase + prog.PageSize) // second data page
+	pt, err := Partition{
+		NumNodes:        2,
+		ReplicateText:   false,
+		ReplicatedPages: map[uint64]bool{hot: true},
+	}.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pt.IsReplicated(hot * prog.PageSize) {
+		t.Fatal("explicit page not replicated")
+	}
+	// Text not replicated here: it is distributed like data.
+	if pt.MustLookup(prog.TextBase).Kind != Communicated {
+		t.Fatal("text replicated despite ReplicateText=false")
+	}
+	// Replicated pages are skipped by the round-robin, so the remaining
+	// pages still alternate owners.
+	if pt.OwnerOf(prog.DataBase) == pt.OwnerOf(prog.DataBase+2*prog.PageSize) {
+		t.Fatal("round-robin did not skip replicated page")
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	if _, err := (Partition{NumNodes: 0}).Build(testProgram(1)); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+}
+
+// Property: every program page is mapped, and communicated pages per node
+// differ by at most BlockPages when BlockPages divides evenly.
+func TestPartitionCoverageQuick(t *testing.T) {
+	f := func(nPages, nNodes, block uint8) bool {
+		pages := int(nPages%32) + 1
+		nodes := int(nNodes%4) + 1
+		bp := int(block%4) + 1
+		p := testProgram(pages)
+		pt, err := Partition{NumNodes: nodes, BlockPages: bp, ReplicateText: true}.Build(p)
+		if err != nil {
+			return false
+		}
+		for _, pg := range p.Pages() {
+			if _, ok := pt.Lookup(pg * prog.PageSize); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfilerHeatOrdering(t *testing.T) {
+	pr := NewProfiler()
+	hot := uint64(prog.DataBase)
+	warm := uint64(prog.DataBase + prog.PageSize)
+	cold := uint64(prog.DataBase + 2*prog.PageSize)
+	for i := 0; i < 10; i++ {
+		pr.Observe(hot + uint64(i)*8)
+	}
+	for i := 0; i < 5; i++ {
+		pr.Observe(warm)
+	}
+	pr.Observe(cold)
+	order := pr.PagesByHeat()
+	if len(order) != 3 {
+		t.Fatalf("pages = %v", order)
+	}
+	if order[0] != prog.PageOf(hot) || order[1] != prog.PageOf(warm) || order[2] != prog.PageOf(cold) {
+		t.Fatalf("heat order = %v", order)
+	}
+	if pr.Count(prog.PageOf(hot)) != 10 {
+		t.Fatalf("count = %d", pr.Count(prog.PageOf(hot)))
+	}
+}
+
+func TestProfilerTieBreakDeterminism(t *testing.T) {
+	pr := NewProfiler()
+	// Three pages with equal counts must sort by page number.
+	for i := 2; i >= 0; i-- {
+		pr.Observe(uint64(prog.DataBase) + uint64(i)*prog.PageSize)
+	}
+	order := pr.PagesByHeat()
+	for i := 1; i < len(order); i++ {
+		if order[i] <= order[i-1] {
+			t.Fatalf("tie-break not ascending: %v", order)
+		}
+	}
+}
+
+func TestSelectReplicated(t *testing.T) {
+	pr := NewProfiler()
+	// 4 hot text pages, 4 hot data pages (text hotter).
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 10-i; j++ {
+			pr.Observe(uint64(prog.TextBase) + uint64(i)*prog.PageSize)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 5-i; j++ {
+			pr.Observe(uint64(prog.DataBase) + uint64(i)*prog.PageSize)
+		}
+	}
+	sel := pr.SelectReplicated(4, map[prog.Segment]int{prog.SegText: 2})
+	if len(sel) != 4 {
+		t.Fatalf("selected %d pages", len(sel))
+	}
+	counts := SegmentCounts(sel)
+	if counts[prog.SegText] != 2 {
+		t.Fatalf("text picks = %d, want capped at 2", counts[prog.SegText])
+	}
+	if counts[prog.SegGlobal] != 2 {
+		t.Fatalf("global picks = %d, want 2", counts[prog.SegGlobal])
+	}
+}
+
+func TestDRAMBasics(t *testing.T) {
+	d := NewDRAM(DRAMConfig{AccessCycles: 8, NumBanks: 2, InterleaveBytes: 32, BusCycles: 1})
+	// Two accesses to different banks overlap fully.
+	doneA := d.Access(100, 0)  // bank 0
+	doneB := d.Access(100, 32) // bank 1
+	if doneA != 109 || doneB != 109 {
+		t.Fatalf("parallel banks: %d, %d, want 109, 109", doneA, doneB)
+	}
+	// Same bank queues.
+	doneC := d.Access(100, 64) // bank 0 again, free at 108
+	if doneC != 117 {
+		t.Fatalf("queued access done = %d, want 117", doneC)
+	}
+	if d.Accesses() != 3 {
+		t.Fatalf("accesses = %d", d.Accesses())
+	}
+	if d.StallCycles() != 8 {
+		t.Fatalf("stalls = %d, want 8", d.StallCycles())
+	}
+}
+
+func TestDRAMBankMapping(t *testing.T) {
+	d := NewDRAM(DefaultDRAM())
+	if d.BankOf(0) == d.BankOf(32) {
+		t.Fatal("adjacent lines in same bank")
+	}
+	if d.BankOf(0) != d.BankOf(8*32) {
+		t.Fatal("bank mapping does not wrap at NumBanks")
+	}
+}
+
+func TestDRAMValidate(t *testing.T) {
+	bad := []DRAMConfig{
+		{AccessCycles: 0, NumBanks: 1, InterleaveBytes: 32},
+		{AccessCycles: 8, NumBanks: 3, InterleaveBytes: 32},
+		{AccessCycles: 8, NumBanks: 4, InterleaveBytes: 0},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad dram config %d accepted", i)
+		}
+	}
+	if err := DefaultDRAM().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+// Property: DRAM completion times are monotone per bank and never before
+// now + access latency.
+func TestDRAMMonotoneQuick(t *testing.T) {
+	cfg := DefaultDRAM()
+	f := func(addrs []uint16) bool {
+		d := NewDRAM(cfg)
+		lastPerBank := make(map[int]uint64)
+		now := uint64(0)
+		for _, a := range addrs {
+			done := d.Access(now, uint64(a))
+			if done < now+cfg.AccessCycles {
+				return false
+			}
+			b := d.BankOf(uint64(a))
+			if done <= lastPerBank[b] {
+				return false
+			}
+			lastPerBank[b] = done
+			now += 2
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransitionProfileCounts(t *testing.T) {
+	tp := NewTransitionProfile()
+	p0 := uint64(prog.DataBase)
+	p1 := p0 + prog.PageSize
+	p2 := p0 + 2*prog.PageSize
+	for _, a := range []uint64{p0, p0 + 8, p1, p0, p1, p2} {
+		tp.Observe(a)
+	}
+	if tp.Pages() != 3 {
+		t.Fatalf("pages = %d", tp.Pages())
+	}
+	// Transitions: p0->p1 (x2 as undirected p0-p1 plus p1->p0), p1->p2.
+	placement := tp.OptimizePlacement(2, nil)
+	// p0 and p1 share the heaviest edge; with capacity ceil(3/2)=2 they
+	// must land together, p2 alone.
+	if placement[prog.PageOf(p0)] != placement[prog.PageOf(p1)] {
+		t.Fatalf("hot pair split: %v", placement)
+	}
+	if placement[prog.PageOf(p2)] == placement[prog.PageOf(p0)] {
+		t.Fatalf("capacity violated: %v", placement)
+	}
+}
+
+func TestOptimizePlacementBalance(t *testing.T) {
+	tp := NewTransitionProfile()
+	// A chain across 8 pages: 0-1-2-...-7 with decaying weights.
+	base := uint64(prog.DataBase)
+	for rep := 0; rep < 4; rep++ {
+		for i := uint64(0); i < 8; i++ {
+			tp.Observe(base + i*prog.PageSize)
+		}
+	}
+	placement := tp.OptimizePlacement(4, nil)
+	load := map[int]int{}
+	for _, owner := range placement {
+		load[owner]++
+		if owner < 0 || owner >= 4 {
+			t.Fatalf("owner out of range: %v", placement)
+		}
+	}
+	for n, l := range load {
+		if l > 2 {
+			t.Fatalf("node %d owns %d pages (cap 2): %v", n, l, placement)
+		}
+	}
+	// Chain neighbors should pair up: count same-owner adjacent pairs.
+	same := 0
+	for i := uint64(0); i < 7; i++ {
+		if placement[prog.PageOf(base+i*prog.PageSize)] == placement[prog.PageOf(base+(i+1)*prog.PageSize)] {
+			same++
+		}
+	}
+	if same < 3 {
+		t.Fatalf("only %d/7 adjacent pairs co-located", same)
+	}
+}
+
+func TestOptimizePlacementRespectsFixed(t *testing.T) {
+	tp := NewTransitionProfile()
+	base := uint64(prog.DataBase)
+	for i := uint64(0); i < 4; i++ {
+		tp.Observe(base + i*prog.PageSize)
+	}
+	fixed := map[uint64]bool{prog.PageOf(base): true}
+	placement := tp.OptimizePlacement(2, fixed)
+	if _, ok := placement[prog.PageOf(base)]; ok {
+		t.Fatal("fixed page placed")
+	}
+}
+
+func TestOptimizePlacementDeterminism(t *testing.T) {
+	mk := func() map[uint64]int {
+		tp := NewTransitionProfile()
+		r := stats.NewRNG(42)
+		base := uint64(prog.DataBase)
+		for i := 0; i < 5000; i++ {
+			tp.Observe(base + uint64(r.Intn(16))*prog.PageSize)
+		}
+		return tp.OptimizePlacement(4, nil)
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatal("sizes differ")
+	}
+	for pg, owner := range a {
+		if b[pg] != owner {
+			t.Fatalf("nondeterministic placement at page %d", pg)
+		}
+	}
+}
+
+func TestBuildOptimized(t *testing.T) {
+	all := []uint64{10, 11, 12, 13}
+	placement := map[uint64]int{10: 1, 11: 1}
+	repl := map[uint64]bool{13: true}
+	pt := BuildOptimized(all, placement, repl, 2)
+	if pt.OwnerOf(10*prog.PageSize) != 1 || pt.OwnerOf(11*prog.PageSize) != 1 {
+		t.Fatal("placement ignored")
+	}
+	if !pt.IsReplicated(13 * prog.PageSize) {
+		t.Fatal("replication ignored")
+	}
+	// Page 12 (cold) dealt round-robin starting at node 0.
+	if pt.OwnerOf(12*prog.PageSize) != 0 {
+		t.Fatalf("cold page owner = %d", pt.OwnerOf(12*prog.PageSize))
+	}
+}

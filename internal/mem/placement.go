@@ -1,0 +1,192 @@
+package mem
+
+import (
+	"sort"
+
+	"github.com/wisc-arch/datascalar/internal/prog"
+)
+
+// Profile-guided page placement. The paper observes that DataScalar
+// "would benefit from special support to increase datathread length or
+// raise the number of datathreads executing concurrently"; ownership
+// assignment is the softest such support. Round-robin distribution
+// ignores the reference stream, so consecutive misses hop nodes as often
+// as not; placing pages that are referenced consecutively on the same
+// node lengthens datathreads without any hardware change.
+//
+// TransitionProfile counts, for each ordered page pair (a, b), how often
+// a miss to a page of b directly followed a miss to a page of a. The
+// optimizer then groups pages into N balanced clusters, greedily merging
+// across the heaviest transition edges — a capacity-bounded variant of
+// greedy graph clustering.
+
+// TransitionProfile accumulates page-to-page transition counts from a
+// miss stream.
+type TransitionProfile struct {
+	prev    uint64
+	started bool
+	counts  map[[2]uint64]uint64
+	pages   map[uint64]uint64 // page -> total touches
+}
+
+// NewTransitionProfile returns an empty profile.
+func NewTransitionProfile() *TransitionProfile {
+	return &TransitionProfile{
+		counts: make(map[[2]uint64]uint64),
+		pages:  make(map[uint64]uint64),
+	}
+}
+
+// Observe feeds the next miss address.
+func (t *TransitionProfile) Observe(addr uint64) {
+	pg := prog.PageOf(addr)
+	t.pages[pg]++
+	if t.started && t.prev != pg {
+		key := [2]uint64{t.prev, pg}
+		if t.prev > pg {
+			key = [2]uint64{pg, t.prev}
+		}
+		t.counts[key]++
+	}
+	t.prev, t.started = pg, true
+}
+
+// Pages returns the number of distinct pages observed.
+func (t *TransitionProfile) Pages() int { return len(t.pages) }
+
+// edge is one undirected transition edge.
+type edge struct {
+	a, b   uint64
+	weight uint64
+}
+
+// OptimizePlacement assigns every observed page an owner in [0, nodes)
+// such that heavy transition edges tend to stay within one node while
+// page counts stay balanced (no node owns more than ceil(P/nodes)+slack
+// pages — capacity is the DataScalar constraint: each node's memory holds
+// 1/N of the data set).
+//
+// Pages in `fixed` (e.g. replicated pages) are skipped. The result maps
+// page -> owner for the caller to feed into a PageTable.
+func (t *TransitionProfile) OptimizePlacement(nodes int, fixed map[uint64]bool) map[uint64]int {
+	if nodes < 1 {
+		nodes = 1
+	}
+	// Collect movable pages deterministically.
+	var pages []uint64
+	for pg := range t.pages {
+		if !fixed[pg] {
+			pages = append(pages, pg)
+		}
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	if len(pages) == 0 {
+		return map[uint64]int{}
+	}
+	cap := (len(pages) + nodes - 1) / nodes
+
+	// Union-find clusters bounded by capacity.
+	parent := make(map[uint64]uint64, len(pages))
+	size := make(map[uint64]int, len(pages))
+	for _, pg := range pages {
+		parent[pg] = pg
+		size[pg] = 1
+	}
+	var find func(uint64) uint64
+	find = func(x uint64) uint64 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+
+	// Edges sorted by descending weight, ties broken by page numbers for
+	// determinism.
+	var edges []edge
+	for key, w := range t.counts {
+		if fixed[key[0]] || fixed[key[1]] {
+			continue
+		}
+		if _, ok := parent[key[0]]; !ok {
+			continue
+		}
+		if _, ok := parent[key[1]]; !ok {
+			continue
+		}
+		edges = append(edges, edge{a: key[0], b: key[1], weight: w})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].weight != edges[j].weight {
+			return edges[i].weight > edges[j].weight
+		}
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		return edges[i].b < edges[j].b
+	})
+	for _, e := range edges {
+		ra, rb := find(e.a), find(e.b)
+		if ra == rb || size[ra]+size[rb] > cap {
+			continue
+		}
+		parent[rb] = ra
+		size[ra] += size[rb]
+	}
+
+	// Pack clusters onto nodes, largest first, onto the least-loaded
+	// node (balanced bin packing).
+	clusters := make(map[uint64][]uint64)
+	for _, pg := range pages {
+		r := find(pg)
+		clusters[r] = append(clusters[r], pg)
+	}
+	var roots []uint64
+	for r := range clusters {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		if len(clusters[roots[i]]) != len(clusters[roots[j]]) {
+			return len(clusters[roots[i]]) > len(clusters[roots[j]])
+		}
+		return roots[i] < roots[j]
+	})
+	load := make([]int, nodes)
+	out := make(map[uint64]int, len(pages))
+	for _, r := range roots {
+		best := 0
+		for n := 1; n < nodes; n++ {
+			if load[n] < load[best] {
+				best = n
+			}
+		}
+		for _, pg := range clusters[r] {
+			out[pg] = best
+		}
+		load[best] += len(clusters[r])
+	}
+	return out
+}
+
+// BuildOptimized builds a page table whose communicated pages follow the
+// optimized placement, with any page absent from the placement (cold
+// pages the profile never saw) dealt round-robin, and pages in
+// replicated present at every node.
+func BuildOptimized(allPages []uint64, placement map[uint64]int, replicated map[uint64]bool, nodes int) *PageTable {
+	pt := NewPageTable(nodes)
+	rr := 0
+	for _, pg := range allPages {
+		switch {
+		case replicated[pg]:
+			pt.SetReplicated(pg)
+		default:
+			if owner, ok := placement[pg]; ok {
+				pt.SetOwner(pg, owner)
+			} else {
+				pt.SetOwner(pg, rr%nodes)
+				rr++
+			}
+		}
+	}
+	return pt
+}

@@ -1,0 +1,32 @@
+package ooo
+
+import "fmt"
+
+// Run drives a standalone core (one whose MemPort never leaves loads
+// pending, or completes them internally) until the program commits fully.
+// watchdog aborts the run if no instruction commits for that many cycles
+// (0 uses a generous default); a firing watchdog indicates a model
+// deadlock and is always a bug.
+func Run(c *Core, watchdog uint64) (cycles uint64, err error) {
+	if watchdog == 0 {
+		watchdog = 1_000_000
+	}
+	now := uint64(0)
+	lastCommitted := uint64(0)
+	lastProgress := uint64(0)
+	for !c.Done() {
+		c.Cycle(now)
+		if c.Err() != nil {
+			return now, c.Err()
+		}
+		if c.Committed() != lastCommitted {
+			lastCommitted = c.Committed()
+			lastProgress = now
+		} else if now-lastProgress > watchdog {
+			return now, fmt.Errorf("ooo: no commit progress for %d cycles at cycle %d (committed %d)",
+				watchdog, now, c.Committed())
+		}
+		now++
+	}
+	return now, nil
+}

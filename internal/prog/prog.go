@@ -1,0 +1,216 @@
+// Package prog defines the program image the emulator loads and the
+// simulated virtual address-space layout shared by every model.
+//
+// Layout (matching the segment classes the paper's Table 2 reports —
+// text, globals, heap, stack):
+//
+//	0x0001_0000  text    (instructions, InstrBytes each)
+//	0x1000_0000  globals (assembled .data)
+//	0x2000_0000  heap    (workload-managed; grows up)
+//	0x3000_0000  stack   (grows down from StackTop)
+//
+// Pages are PageSize bytes (8 KB, the granularity the paper replicates and
+// distributes at).
+package prog
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/wisc-arch/datascalar/internal/isa"
+)
+
+// Address-space layout constants.
+const (
+	PageSize  = 8192 // 8 KB pages, as in the paper's Table 2
+	TextBase  = 0x0001_0000
+	DataBase  = 0x1000_0000
+	HeapBase  = 0x2000_0000
+	StackTop  = 0x3000_0000
+	StackBase = StackTop - 1<<20 // 1 MB default stack reservation
+)
+
+// Segment classifies an address range, mirroring the paper's text / global
+// / heap / stack breakdown.
+type Segment uint8
+
+const (
+	SegText Segment = iota
+	SegGlobal
+	SegHeap
+	SegStack
+	NumSegments
+)
+
+// String names the segment.
+func (s Segment) String() string {
+	switch s {
+	case SegText:
+		return "text"
+	case SegGlobal:
+		return "global"
+	case SegHeap:
+		return "heap"
+	case SegStack:
+		return "stack"
+	}
+	return fmt.Sprintf("segment(%d)", uint8(s))
+}
+
+// SegmentOf classifies a virtual address.
+func SegmentOf(addr uint64) Segment {
+	switch {
+	case addr < DataBase:
+		return SegText
+	case addr < HeapBase:
+		return SegGlobal
+	case addr < StackBase:
+		return SegHeap
+	default:
+		return SegStack
+	}
+}
+
+// PageOf returns the page number containing addr.
+func PageOf(addr uint64) uint64 { return addr / PageSize }
+
+// PageBase returns the first address of the page containing addr.
+func PageBase(addr uint64) uint64 { return addr &^ (PageSize - 1) }
+
+// Program is a fully linked executable image.
+type Program struct {
+	Name string
+
+	// Text is the instruction stream; instruction i lives at architectural
+	// address TextBase + i*isa.InstrBytes.
+	Text []isa.Instr
+
+	// Data is the initialized globals image, loaded at DataBase.
+	Data []byte
+
+	// Entry is the starting PC. It defaults to TextBase.
+	Entry uint64
+
+	// HeapBytes is the amount of heap the workload will touch, declared up
+	// front so the loader can build page tables for the whole footprint.
+	HeapBytes uint64
+
+	// StackBytes is the stack reservation (<= StackTop-StackBase).
+	StackBytes uint64
+
+	// Labels maps symbol names to addresses (text labels to instruction
+	// addresses, data labels to DataBase-relative absolute addresses).
+	Labels map[string]uint64
+}
+
+// TextEnd returns one past the last text address.
+func (p *Program) TextEnd() uint64 {
+	return TextBase + uint64(len(p.Text))*isa.InstrBytes
+}
+
+// DataEnd returns one past the last initialized-data address.
+func (p *Program) DataEnd() uint64 {
+	return DataBase + uint64(len(p.Data))
+}
+
+// PCToIndex converts a text address to an instruction index.
+func (p *Program) PCToIndex(pc uint64) (int, error) {
+	if pc < TextBase || pc >= p.TextEnd() {
+		return 0, fmt.Errorf("prog: pc 0x%x outside text [0x%x, 0x%x)", pc, uint64(TextBase), p.TextEnd())
+	}
+	off := pc - TextBase
+	if off%isa.InstrBytes != 0 {
+		return 0, fmt.Errorf("prog: pc 0x%x not instruction-aligned", pc)
+	}
+	return int(off / isa.InstrBytes), nil
+}
+
+// IndexToPC converts an instruction index to a text address.
+func IndexToPC(i int) uint64 { return TextBase + uint64(i)*isa.InstrBytes }
+
+// Validate checks that the image is structurally sound: entry in text,
+// every instruction valid, every control-flow target inside text and
+// aligned, and footprint within layout bounds.
+func (p *Program) Validate() error {
+	if len(p.Text) == 0 {
+		return fmt.Errorf("prog %s: empty text", p.Name)
+	}
+	entry := p.Entry
+	if entry == 0 {
+		entry = TextBase
+	}
+	if _, err := p.PCToIndex(entry); err != nil {
+		return fmt.Errorf("prog %s: bad entry: %w", p.Name, err)
+	}
+	if p.TextEnd() > DataBase {
+		return fmt.Errorf("prog %s: text overflows into data segment", p.Name)
+	}
+	if p.DataEnd() > HeapBase {
+		return fmt.Errorf("prog %s: data overflows into heap segment", p.Name)
+	}
+	if p.HeapBytes > StackBase-HeapBase {
+		return fmt.Errorf("prog %s: heap reservation too large", p.Name)
+	}
+	if p.StackBytes > StackTop-StackBase {
+		return fmt.Errorf("prog %s: stack reservation too large", p.Name)
+	}
+	for i, in := range p.Text {
+		if err := in.Validate(); err != nil {
+			return fmt.Errorf("prog %s: instr %d: %w", p.Name, i, err)
+		}
+		if in.Op.IsControl() && in.Op.Format() != isa.FmtJReg {
+			if _, err := p.PCToIndex(in.Target); err != nil {
+				return fmt.Errorf("prog %s: instr %d (%s): bad target: %w", p.Name, i, in, err)
+			}
+		}
+	}
+	return nil
+}
+
+// EntryPC returns the starting PC, applying the TextBase default.
+func (p *Program) EntryPC() uint64 {
+	if p.Entry == 0 {
+		return TextBase
+	}
+	return p.Entry
+}
+
+// Pages returns the sorted list of all page numbers the program can touch:
+// text, initialized data, declared heap, and declared stack. This is the
+// footprint the memory system builds page tables for.
+func (p *Program) Pages() []uint64 {
+	set := make(map[uint64]struct{})
+	addRange := func(base, length uint64) {
+		if length == 0 {
+			return
+		}
+		for pg := PageOf(base); pg <= PageOf(base+length-1); pg++ {
+			set[pg] = struct{}{}
+		}
+	}
+	addRange(TextBase, uint64(len(p.Text))*isa.InstrBytes)
+	addRange(DataBase, uint64(len(p.Data)))
+	addRange(HeapBase, p.HeapBytes)
+	stack := p.StackBytes
+	if stack == 0 {
+		stack = 64 * 1024 // default working stack
+	}
+	addRange(StackTop-stack, stack)
+	out := make([]uint64, 0, len(set))
+	for pg := range set {
+		out = append(out, pg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SegmentPages returns the program's pages grouped by segment, each group
+// sorted ascending.
+func (p *Program) SegmentPages() map[Segment][]uint64 {
+	out := make(map[Segment][]uint64)
+	for _, pg := range p.Pages() {
+		seg := SegmentOf(pg * PageSize)
+		out[seg] = append(out[seg], pg)
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package prog
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/wisc-arch/datascalar/internal/isa"
+)
+
+func TestSegmentOf(t *testing.T) {
+	cases := []struct {
+		addr uint64
+		want Segment
+	}{
+		{TextBase, SegText},
+		{TextBase + 1234, SegText},
+		{DataBase, SegGlobal},
+		{HeapBase - 1, SegGlobal},
+		{HeapBase, SegHeap},
+		{StackBase - 1, SegHeap},
+		{StackBase, SegStack},
+		{StackTop - 8, SegStack},
+	}
+	for _, c := range cases {
+		if got := SegmentOf(c.addr); got != c.want {
+			t.Errorf("SegmentOf(0x%x) = %v, want %v", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestSegmentString(t *testing.T) {
+	names := map[Segment]string{SegText: "text", SegGlobal: "global", SegHeap: "heap", SegStack: "stack"}
+	for seg, want := range names {
+		if seg.String() != want {
+			t.Errorf("%d.String() = %q, want %q", seg, seg.String(), want)
+		}
+	}
+}
+
+func TestPageHelpers(t *testing.T) {
+	if PageOf(0) != 0 || PageOf(PageSize-1) != 0 || PageOf(PageSize) != 1 {
+		t.Error("PageOf wrong at boundaries")
+	}
+	if PageBase(PageSize+17) != PageSize {
+		t.Errorf("PageBase = 0x%x", PageBase(PageSize+17))
+	}
+}
+
+func validProgram() *Program {
+	return &Program{
+		Name: "test",
+		Text: []isa.Instr{
+			{Op: isa.OpLI, Rd: 1, Imm: 5},
+			{Op: isa.OpBEQ, Rs1: 1, Rs2: 0, Target: IndexToPC(2)},
+			{Op: isa.OpHALT},
+		},
+		Data:      make([]byte, 100),
+		HeapBytes: 4 * PageSize,
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := validProgram().Validate(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := map[string]func(*Program){
+		"empty text":    func(p *Program) { p.Text = nil },
+		"bad entry":     func(p *Program) { p.Entry = TextBase + 3 },
+		"entry outside": func(p *Program) { p.Entry = DataBase },
+		"bad instr":     func(p *Program) { p.Text[0] = isa.Instr{} },
+		"bad target":    func(p *Program) { p.Text[1].Target = 0 },
+		"huge heap":     func(p *Program) { p.HeapBytes = StackBase - HeapBase + 1 },
+		"huge stack":    func(p *Program) { p.StackBytes = StackTop - StackBase + 1 },
+	}
+	for name, mutate := range cases {
+		p := validProgram()
+		mutate(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestPCIndexRoundTrip(t *testing.T) {
+	p := validProgram()
+	for i := range p.Text {
+		pc := IndexToPC(i)
+		got, err := p.PCToIndex(pc)
+		if err != nil || got != i {
+			t.Errorf("round trip %d -> 0x%x -> %d (%v)", i, pc, got, err)
+		}
+	}
+	if _, err := p.PCToIndex(TextBase - isa.InstrBytes); err == nil {
+		t.Error("pc below text accepted")
+	}
+	if _, err := p.PCToIndex(p.TextEnd()); err == nil {
+		t.Error("pc past text accepted")
+	}
+}
+
+func TestEntryPCDefault(t *testing.T) {
+	p := validProgram()
+	if p.EntryPC() != TextBase {
+		t.Errorf("default entry = 0x%x", p.EntryPC())
+	}
+	p.Entry = IndexToPC(1)
+	if p.EntryPC() != IndexToPC(1) {
+		t.Errorf("explicit entry = 0x%x", p.EntryPC())
+	}
+}
+
+func TestPagesCoverFootprint(t *testing.T) {
+	p := validProgram()
+	p.Data = make([]byte, 3*PageSize+10)
+	p.HeapBytes = 2 * PageSize
+	p.StackBytes = PageSize
+	pages := p.Pages()
+
+	want := map[uint64]bool{}
+	for _, addr := range []uint64{
+		TextBase,
+		DataBase, DataBase + PageSize, DataBase + 2*PageSize, DataBase + 3*PageSize,
+		HeapBase, HeapBase + PageSize,
+		StackTop - PageSize,
+	} {
+		want[PageOf(addr)] = true
+	}
+	got := map[uint64]bool{}
+	for _, pg := range pages {
+		got[pg] = true
+	}
+	for pg := range want {
+		if !got[pg] {
+			t.Errorf("missing page %d (0x%x)", pg, pg*PageSize)
+		}
+	}
+	// Sorted and unique.
+	for i := 1; i < len(pages); i++ {
+		if pages[i] <= pages[i-1] {
+			t.Fatalf("pages not sorted/unique at %d: %v", i, pages)
+		}
+	}
+}
+
+func TestSegmentPages(t *testing.T) {
+	p := validProgram()
+	p.StackBytes = PageSize
+	groups := p.SegmentPages()
+	if len(groups[SegText]) == 0 || len(groups[SegGlobal]) == 0 ||
+		len(groups[SegHeap]) == 0 || len(groups[SegStack]) == 0 {
+		t.Fatalf("segment groups incomplete: %v", groups)
+	}
+	for seg, pgs := range groups {
+		for _, pg := range pgs {
+			if SegmentOf(pg*PageSize) != seg {
+				t.Errorf("page %d misclassified in %v", pg, seg)
+			}
+		}
+	}
+}
+
+// Property: every address maps to exactly one segment and PageBase is
+// idempotent and aligned.
+func TestAddressPropsQuick(t *testing.T) {
+	f := func(addr uint64) bool {
+		addr %= StackTop
+		seg := SegmentOf(addr)
+		if seg >= NumSegments {
+			return false
+		}
+		b := PageBase(addr)
+		return b%PageSize == 0 && PageBase(b) == b && PageOf(addr) == b/PageSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

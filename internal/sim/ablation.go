@@ -1,0 +1,692 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/wisc-arch/datascalar/internal/asm"
+	"github.com/wisc-arch/datascalar/internal/bus"
+	"github.com/wisc-arch/datascalar/internal/cache"
+	"github.com/wisc-arch/datascalar/internal/core"
+	"github.com/wisc-arch/datascalar/internal/mem"
+	"github.com/wisc-arch/datascalar/internal/mmm"
+	"github.com/wisc-arch/datascalar/internal/prog"
+	"github.com/wisc-arch/datascalar/internal/stats"
+	"github.com/wisc-arch/datascalar/internal/trace"
+	"github.com/wisc-arch/datascalar/internal/workload"
+)
+
+// This file holds the ablation studies DESIGN.md §6 calls out: design
+// choices the paper discusses but does not (or only partially)
+// evaluates. Each ablation isolates one mechanism of the DataScalar
+// design and measures its contribution.
+
+// ---------------------------------------------------------------------------
+// Ablation 1: bus versus ring interconnect (paper Section 4.4).
+
+// InterconnectRow compares one benchmark across interconnects at one node
+// count.
+type InterconnectRow struct {
+	Benchmark string
+	Nodes     int
+	BusIPC    float64
+	RingIPC   float64
+}
+
+// InterconnectResult holds the interconnect ablation.
+type InterconnectResult struct {
+	Rows []InterconnectRow
+}
+
+// Table renders the ablation.
+func (r InterconnectResult) Table() *stats.Table {
+	t := stats.NewTable(
+		"Ablation: DataScalar IPC on a global bus vs a unidirectional ring",
+		"benchmark", "nodes", "bus IPC", "ring IPC")
+	for _, row := range r.Rows {
+		t.AddRowf(row.Benchmark, row.Nodes, row.BusIPC, row.RingIPC)
+	}
+	return t
+}
+
+// AblationInterconnect compares the default global bus against a ring of
+// equal link width and clock. The paper argues buses make broadcast free
+// but do not scale, while rings scale aggregate bandwidth at the cost of
+// multi-hop broadcast latency; the crossover should appear as node count
+// grows.
+func AblationInterconnect(opts Options) (InterconnectResult, error) {
+	opts = opts.withDefaults()
+	var out InterconnectResult
+	ringCfg := bus.DefaultRingConfig()
+	for _, name := range []string{"compress", "mgrid"} {
+		w, ok := workload.ByName(name)
+		if !ok {
+			return out, fmt.Errorf("sim: missing workload %s", name)
+		}
+		pr, err := prepare(w, opts.Scale)
+		if err != nil {
+			return out, err
+		}
+		for _, nodes := range []int{2, 4} {
+			onBus, err := runDS(pr, nodes, opts.TimingInstr, nil)
+			if err != nil {
+				return out, err
+			}
+			onRing, err := runDS(pr, nodes, opts.TimingInstr, func(cfg *core.Config) {
+				cfg.Ring = &ringCfg
+			})
+			if err != nil {
+				return out, err
+			}
+			out.Rows = append(out.Rows, InterconnectRow{
+				Benchmark: name,
+				Nodes:     nodes,
+				BusIPC:    onBus.IPC,
+				RingIPC:   onRing.IPC,
+			})
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Ablation 2: write-allocate versus write-no-allocate under ESP
+// (paper Section 4.2 argues no-allocate is superior: "a write miss
+// requires sending an inter-processor message, only to overwrite the
+// received data").
+
+// WritePolicyRow compares the traffic both policies generate.
+type WritePolicyRow struct {
+	Benchmark string
+	// ESPBytes per policy: under write-allocate every store miss forces
+	// a broadcast of a line that is about to be overwritten.
+	AllocESPBytes   uint64
+	NoAllocESPBytes uint64
+	// Saved is the fraction of ESP bytes no-allocate avoids.
+	Saved float64
+}
+
+// WritePolicyResult holds the write-policy ablation.
+type WritePolicyResult struct {
+	Rows []WritePolicyRow
+}
+
+// Table renders the ablation.
+func (r WritePolicyResult) Table() *stats.Table {
+	t := stats.NewTable(
+		"Ablation: ESP broadcast bytes under write-allocate vs write-no-allocate",
+		"benchmark", "write-allocate", "write-no-allocate", "saved")
+	for _, row := range r.Rows {
+		t.AddRow(row.Benchmark,
+			fmt.Sprintf("%d", row.AllocESPBytes),
+			fmt.Sprintf("%d", row.NoAllocESPBytes),
+			stats.FormatPercent(row.Saved*100))
+	}
+	return t
+}
+
+// AblationWritePolicy measures, at the reference-trace level, the ESP
+// broadcast traffic generated under each store-miss policy for the
+// store-heavy benchmarks. Write-allocate turns every store miss into a
+// line broadcast whose payload is immediately overwritten — the waste
+// the paper's chosen write-no-allocate policy avoids.
+func AblationWritePolicy(opts Options) (WritePolicyResult, error) {
+	opts = opts.withDefaults()
+	var out WritePolicyResult
+	for _, name := range []string{"compress", "vortex", "swim", "wave5"} {
+		w, ok := workload.ByName(name)
+		if !ok {
+			return out, fmt.Errorf("sim: missing workload %s", name)
+		}
+		pr, err := prepare(w, opts.Scale)
+		if err != nil {
+			return out, err
+		}
+		measure := func(alloc cache.AllocPolicy) (uint64, error) {
+			cfg := trace.DefaultTrafficConfig()
+			cfg.L1.Alloc = alloc
+			a := trace.NewTrafficAnalyzer(cfg)
+			err := trace.ForEachRefFrom(pr.p, pr.ff, opts.RefInstr, false, func(ref trace.Ref) error {
+				return a.Observe(ref)
+			})
+			if err != nil {
+				return 0, err
+			}
+			return a.Finish().ESPBytes, nil
+		}
+		allocB, err := measure(cache.WriteAllocate)
+		if err != nil {
+			return out, err
+		}
+		noAllocB, err := measure(cache.WriteNoAllocate)
+		if err != nil {
+			return out, err
+		}
+		row := WritePolicyRow{Benchmark: name, AllocESPBytes: allocB, NoAllocESPBytes: noAllocB}
+		if allocB > 0 {
+			row.Saved = 1 - float64(noAllocB)/float64(allocB)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Ablation 3: synchronous versus asynchronous ESP (the MMM's single
+// datathread versus DataScalar's concurrent ones, paper Sections 2-3).
+
+// SyncESPRow compares one benchmark's miss stream under lock-step ESP
+// against the measured asynchronous machine.
+type SyncESPRow struct {
+	Benchmark string
+	// Misses in the analyzed stream.
+	Misses uint64
+	// SyncCycles is the synchronous-ESP (MMM) cost of the stream: one
+	// transfer per miss plus a full catch-up stall at every ownership
+	// change.
+	SyncCycles uint64
+	// IdealCycles is the zero-stall transfer-bound floor.
+	IdealCycles uint64
+	// Slowdown = SyncCycles / IdealCycles: what lock-step costs; the
+	// asynchronous machine's datathreading exists to reclaim this gap.
+	Slowdown float64
+	// LeadChanges along the stream.
+	LeadChanges int
+}
+
+// SyncESPResult holds the ablation.
+type SyncESPResult struct {
+	Rows []SyncESPRow
+}
+
+// Table renders the ablation.
+func (r SyncESPResult) Table() *stats.Table {
+	t := stats.NewTable(
+		"Ablation: synchronous (lock-step) ESP cost of each benchmark's miss stream",
+		"benchmark", "misses", "lead changes", "sync cycles", "ideal", "slowdown")
+	for _, row := range r.Rows {
+		t.AddRowf(row.Benchmark, row.Misses, row.LeadChanges,
+			row.SyncCycles, row.IdealCycles, stats.Round2(row.Slowdown))
+	}
+	return t
+}
+
+// AblationSyncESP replays each timing benchmark's cache-filtered miss
+// stream through the synchronous Massive Memory Machine model: every
+// ownership transition stalls all processors for the catch-up delay,
+// because lock-step ESP sustains exactly one datathread. The slowdown
+// column is the gap asynchronous ESP (the DataScalar machine) closes by
+// running datathreads concurrently.
+func AblationSyncESP(opts Options) (SyncESPResult, error) {
+	opts = opts.withDefaults()
+	var out SyncESPResult
+	for _, w := range workload.TimingSet() {
+		pr, err := prepare(w, opts.Scale)
+		if err != nil {
+			return out, err
+		}
+		pt, err := partitionFor(pr, 4)
+		if err != nil {
+			return out, err
+		}
+		filter := trace.DefaultMissFilter()
+		var refs []uint64
+		owner := make(map[uint64]int)
+		err = trace.ForEachRefFrom(pr.p, pr.ff, opts.RefInstr, false, func(ref trace.Ref) error {
+			if !filter.Observe(ref) {
+				return nil
+			}
+			line := ref.Addr &^ 31
+			refs = append(refs, line)
+			if o := pt.OwnerOf(line); o >= 0 {
+				owner[line] = o
+			}
+			return nil
+		})
+		if err != nil {
+			return out, err
+		}
+		res, err := mmm.Simulate(mmm.Config{Processors: 4, BroadcastDelay: 8}, refs, owner)
+		if err != nil {
+			return out, err
+		}
+		out.Rows = append(out.Rows, SyncESPRow{
+			Benchmark:   w.Name,
+			Misses:      uint64(len(refs)),
+			SyncCycles:  res.Cycles,
+			IdealCycles: res.IdealCycles,
+			Slowdown:    res.Slowdown(),
+			LeadChanges: res.LeadChanges,
+		})
+	}
+	return out, nil
+}
+
+func partitionFor(pr prepared, nodes int) (*mem.PageTable, error) {
+	return mem.Partition{NumNodes: nodes, BlockPages: 1, ReplicateText: true}.Build(pr.p)
+}
+
+// ---------------------------------------------------------------------------
+// Ablation 4: result communication (paper Section 5.1).
+
+// ResultCommRow compares a private-region workload with the optimization
+// on and off.
+type ResultCommRow struct {
+	Nodes          int
+	OffIPC         float64
+	OnIPC          float64
+	OffBroadcasts  uint64
+	OnBroadcasts   uint64
+	SkippedPerNode float64
+}
+
+// ResultCommResult holds the ablation.
+type ResultCommResult struct {
+	Rows []ResultCommRow
+}
+
+// Table renders the ablation.
+func (r ResultCommResult) Table() *stats.Table {
+	t := stats.NewTable(
+		"Ablation: result communication on a private block-reduction workload",
+		"nodes", "IPC off", "IPC on", "broadcasts off", "broadcasts on", "skipped instr/node")
+	for _, row := range r.Rows {
+		t.AddRowf(row.Nodes, row.OffIPC, row.OnIPC,
+			row.OffBroadcasts, row.OnBroadcasts, stats.Round1(row.SkippedPerNode))
+	}
+	return t
+}
+
+// resultCommKernel is a block-wise reduction with PRIVB/PRIVE regions:
+// the canonical private computation the paper describes — each block's
+// owner reduces it locally and only the per-block results are ever
+// communicated.
+func resultCommKernel() string {
+	return `
+        .data
+blocks: .space 131072            # 16 pages, round-robin distributed
+        .space 288
+sums:   .space 1024
+        .text
+        la   r1, blocks
+        li   r2, 16384
+        li   r3, 1
+init:   sd   r3, 0(r1)
+        addi r3, r3, 3
+        addi r1, r1, 8
+        addi r2, r2, -1
+        bne  r2, zero, init
+bench_main:
+        la   r10, blocks
+        la   r11, sums
+        li   r12, 16
+blk:    privb 0(r10)
+        li   r2, 1024
+        li   r3, 0
+        mov  r1, r10
+red:    ld   r4, 0(r1)
+        add  r3, r3, r4
+        addi r1, r1, 8
+        addi r2, r2, -1
+        bne  r2, zero, red
+        sd   r3, 0(r11)
+        prive
+        addi r10, r10, 8192
+        addi r11, r11, 8
+        addi r12, r12, -1
+        bne  r12, zero, blk
+        la   r11, sums
+        li   r12, 16
+        li   r20, 0
+tot:    ld   r4, 0(r11)
+        add  r20, r20, r4
+        addi r11, r11, 8
+        addi r12, r12, -1
+        bne  r12, zero, tot
+        halt
+`
+}
+
+// AblationResultComm measures the paper's Section 5.1 optimization on the
+// block-reduction workload at two and four nodes.
+func AblationResultComm(opts Options) (ResultCommResult, error) {
+	opts = opts.withDefaults()
+	var out ResultCommResult
+	p, err := asm.Assemble("resultcomm", resultCommKernel())
+	if err != nil {
+		return out, err
+	}
+	pr := prepared{w: workloadStub("resultcomm"), p: p, ff: p.Labels["bench_main"]}
+	for _, nodes := range []int{2, 4} {
+		off, err := runDS(pr, nodes, 0, nil)
+		if err != nil {
+			return out, err
+		}
+		on, err := runDS(pr, nodes, 0, func(cfg *core.Config) { cfg.ResultComm = true })
+		if err != nil {
+			return out, err
+		}
+		var skipped uint64
+		for _, ns := range on.Nodes {
+			skipped += ns.SkippedInstr.Value()
+		}
+		out.Rows = append(out.Rows, ResultCommRow{
+			Nodes:          nodes,
+			OffIPC:         off.IPC,
+			OnIPC:          on.IPC,
+			OffBroadcasts:  off.BusStats.ByKindMsgs[bus.Broadcast].Value(),
+			OnBroadcasts:   on.BusStats.ByKindMsgs[bus.Broadcast].Value(),
+			SkippedPerNode: float64(skipped) / float64(nodes),
+		})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Ablation 5: BSHR and broadcast-queue latencies.
+
+// LatencyRow is one (bshr, queue) latency point.
+type LatencyRow struct {
+	BSHRCycles       uint64
+	BcastQueueCycles uint64
+	IPC              float64
+}
+
+// LatencyResult holds the latency ablation.
+type LatencyResult struct {
+	Benchmark string
+	Rows      []LatencyRow
+}
+
+// Table renders the ablation.
+func (r LatencyResult) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Ablation: BSHR / broadcast-queue latencies (%s, 2 nodes)", r.Benchmark),
+		"BSHR cycles", "bcast-queue cycles", "IPC")
+	for _, row := range r.Rows {
+		t.AddRowf(row.BSHRCycles, row.BcastQueueCycles, row.IPC)
+	}
+	return t
+}
+
+// AblationLatencies sweeps the two DataScalar-specific structure
+// latencies the paper fixes by assumption (2-cycle broadcast queue,
+// BSHR access) to show how sensitive the design is to them.
+func AblationLatencies(opts Options) (LatencyResult, error) {
+	opts = opts.withDefaults()
+	out := LatencyResult{Benchmark: "compress"}
+	w, ok := workload.ByName("compress")
+	if !ok {
+		return out, fmt.Errorf("sim: missing compress")
+	}
+	pr, err := prepare(w, opts.Scale)
+	if err != nil {
+		return out, err
+	}
+	for _, point := range []struct{ bshr, q uint64 }{
+		{1, 1}, {2, 2}, {4, 4}, {8, 8}, {16, 16},
+	} {
+		r, err := runDS(pr, 2, opts.SweepInstr, func(cfg *core.Config) {
+			cfg.BSHRCycles = point.bshr
+			cfg.BcastQueueCycles = point.q
+		})
+		if err != nil {
+			return out, err
+		}
+		out.Rows = append(out.Rows, LatencyRow{
+			BSHRCycles:       point.bshr,
+			BcastQueueCycles: point.q,
+			IPC:              r.IPC,
+		})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Ablation 6: profile-guided page placement (the paper's "special support
+// to increase datathread length", Section 3.2).
+
+// PlacementRow compares round-robin distribution against profile-guided
+// placement on one benchmark.
+type PlacementRow struct {
+	Benchmark string
+	// Mean datathread length over the miss stream under each placement.
+	RRThreadMean, OptThreadMean float64
+	// DataScalar 4-node IPC under each placement, at the default bus.
+	RRIPC, OptIPC float64
+	// The same comparison under a 4x slower global bus, where broadcast
+	// latency is exposed and datathread length actually pays.
+	RRIPCSlow, OptIPCSlow float64
+}
+
+// PlacementResult holds the placement ablation.
+type PlacementResult struct {
+	Rows []PlacementRow
+}
+
+// Table renders the ablation.
+func (r PlacementResult) Table() *stats.Table {
+	t := stats.NewTable(
+		"Ablation: round-robin vs profile-guided page placement (4 nodes)",
+		"benchmark", "thread mean RR", "thread mean opt",
+		"IPC RR", "IPC opt", "IPC RR slow-bus", "IPC opt slow-bus")
+	for _, row := range r.Rows {
+		t.AddRowf(row.Benchmark,
+			stats.Round1(row.RRThreadMean), stats.Round1(row.OptThreadMean),
+			row.RRIPC, row.OptIPC, row.RRIPCSlow, row.OptIPCSlow)
+	}
+	return t
+}
+
+// AblationPlacement profiles each benchmark's miss-stream page
+// transitions, clusters pages that miss consecutively onto the same node
+// (capacity-balanced), and measures the effect on datathread length and
+// DataScalar IPC against the paper's round-robin distribution. This is
+// the software side of the paper's observation that "programs would
+// benefit from special support to increase datathread length".
+func AblationPlacement(opts Options) (PlacementResult, error) {
+	opts = opts.withDefaults()
+	const nodes = 4
+	var out PlacementResult
+	// swim/applu are streaming (their loads pipeline regardless of
+	// placement, so only thread length moves); gcc/li chase dependent
+	// pointers, where fewer ownership transitions shorten the serialized
+	// crossing chain and IPC can move too.
+	for _, name := range []string{"swim", "applu", "gcc", "li"} {
+		w, ok := workload.ByName(name)
+		if !ok {
+			return out, fmt.Errorf("sim: missing workload %s", name)
+		}
+		pr, err := prepare(w, opts.Scale)
+		if err != nil {
+			return out, err
+		}
+
+		// Profile page transitions over the cache-filtered miss stream.
+		tp := mem.NewTransitionProfile()
+		filter := trace.DefaultMissFilter()
+		err = trace.ForEachRefFrom(pr.p, pr.ff, opts.RefInstr, false, func(ref trace.Ref) error {
+			if filter.Observe(ref) {
+				tp.Observe(ref.Addr)
+			}
+			return nil
+		})
+		if err != nil {
+			return out, err
+		}
+
+		// Fixed set: text pages stay replicated, as in the timing runs.
+		fixed := map[uint64]bool{}
+		for _, pg := range pr.p.Pages() {
+			if prog.SegmentOf(pg*prog.PageSize) == prog.SegText {
+				fixed[pg] = true
+			}
+		}
+		placement := tp.OptimizePlacement(nodes, fixed)
+		optPT := mem.BuildOptimized(pr.p.Pages(), placement, fixed, nodes)
+		rrPT, err := partitionFor(pr, nodes)
+		if err != nil {
+			return out, err
+		}
+
+		threadMean := func(pt *mem.PageTable) (float64, error) {
+			f := trace.DefaultMissFilter()
+			an := trace.NewDatathreadAnalyzer(pt)
+			err := trace.ForEachRefFrom(pr.p, pr.ff, opts.RefInstr, false, func(ref trace.Ref) error {
+				if f.Observe(ref) {
+					an.Observe(ref.Addr, false)
+				}
+				return nil
+			})
+			if err != nil {
+				return 0, err
+			}
+			return an.Finish().AllMean, nil
+		}
+		rrMean, err := threadMean(rrPT)
+		if err != nil {
+			return out, err
+		}
+		optMean, err := threadMean(optPT)
+		if err != nil {
+			return out, err
+		}
+
+		rr, err := runDSWithPT(pr, rrPT, nodes, opts.TimingInstr, nil)
+		if err != nil {
+			return out, err
+		}
+		opt, err := runDSWithPT(pr, optPT, nodes, opts.TimingInstr, nil)
+		if err != nil {
+			return out, err
+		}
+		slowBus := func(cfg *core.Config) { cfg.Bus.ClockDivisor = 8 }
+		rrSlow, err := runDSWithPT(pr, rrPT, nodes, opts.TimingInstr, slowBus)
+		if err != nil {
+			return out, err
+		}
+		optSlow, err := runDSWithPT(pr, optPT, nodes, opts.TimingInstr, slowBus)
+		if err != nil {
+			return out, err
+		}
+
+		out.Rows = append(out.Rows, PlacementRow{
+			Benchmark:     name,
+			RRThreadMean:  rrMean,
+			OptThreadMean: optMean,
+			RRIPC:         rr.IPC,
+			OptIPC:        opt.IPC,
+			RRIPCSlow:     rrSlow.IPC,
+			OptIPCSlow:    optSlow.IPC,
+		})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Ablation 7: static replication fraction (paper Section 3). Replicated
+// pages complete every access locally at every node, trading capacity
+// (each node must hold a copy) for eliminated broadcasts.
+
+// ReplicationPoint measures one replication budget.
+type ReplicationPoint struct {
+	// Fraction of data pages replicated (hottest first).
+	Fraction float64
+	// ReplicatedPages actually chosen.
+	ReplicatedPages int
+	IPC             float64
+	Broadcasts      uint64
+	// NodeKB is the per-node memory footprint this replication level
+	// costs (replicated pages count at every node).
+	NodeKB uint64
+}
+
+// ReplicationRow is one benchmark's sweep.
+type ReplicationRow struct {
+	Benchmark string
+	Points    []ReplicationPoint
+}
+
+// ReplicationResult holds the sweep.
+type ReplicationResult struct {
+	Nodes int
+	Rows  []ReplicationRow
+}
+
+// Table renders the sweep.
+func (r ReplicationResult) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Ablation: static replication fraction (%d nodes, hottest pages first)", r.Nodes),
+		"benchmark", "replicated", "pages", "IPC", "broadcasts", "KB/node")
+	for _, row := range r.Rows {
+		for _, p := range row.Points {
+			t.AddRowf(row.Benchmark, stats.FormatPercent(p.Fraction*100),
+				p.ReplicatedPages, p.IPC, p.Broadcasts, p.NodeKB)
+		}
+	}
+	return t
+}
+
+// AblationReplication sweeps the fraction of (hottest-first) data pages
+// statically replicated at every node, measuring the broadcast traffic
+// eliminated and the capacity paid — the paper's Section 3 replication
+// trade-off quantified. The timing runs of Figure 7 replicate nothing
+// ("we did not statically replicate any data pages"), making this the
+// other end of the design space.
+func AblationReplication(opts Options) (ReplicationResult, error) {
+	opts = opts.withDefaults()
+	const nodes = 4
+	out := ReplicationResult{Nodes: nodes}
+	for _, name := range []string{"compress", "li"} {
+		w, ok := workload.ByName(name)
+		if !ok {
+			return out, fmt.Errorf("sim: missing workload %s", name)
+		}
+		pr, err := prepare(w, opts.Scale)
+		if err != nil {
+			return out, err
+		}
+
+		// Page heat over the steady-state reference stream.
+		profiler := mem.NewProfiler()
+		if err := trace.ProfilePagesFrom(pr.p, pr.ff, opts.RefInstr, profiler.Observe); err != nil {
+			return out, err
+		}
+		var dataPages []uint64
+		for _, pg := range profiler.PagesByHeat() {
+			if prog.SegmentOf(pg*prog.PageSize) != prog.SegText {
+				dataPages = append(dataPages, pg)
+			}
+		}
+
+		row := ReplicationRow{Benchmark: name}
+		for _, frac := range []float64{0, 0.125, 0.25, 0.5} {
+			n := int(frac * float64(len(dataPages)))
+			repl := make(map[uint64]bool, n)
+			for _, pg := range dataPages[:n] {
+				repl[pg] = true
+			}
+			pt, err := mem.Partition{
+				NumNodes:        nodes,
+				BlockPages:      1,
+				ReplicateText:   true,
+				ReplicatedPages: repl,
+			}.Build(pr.p)
+			if err != nil {
+				return out, err
+			}
+			r, err := runDSWithPT(pr, pt, nodes, opts.TimingInstr, nil)
+			if err != nil {
+				return out, err
+			}
+			row.Points = append(row.Points, ReplicationPoint{
+				Fraction:        frac,
+				ReplicatedPages: n,
+				IPC:             r.IPC,
+				Broadcasts:      r.BusStats.ByKindMsgs[bus.Broadcast].Value(),
+				NodeKB:          pt.NodeBytes(0) / 1024,
+			})
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}

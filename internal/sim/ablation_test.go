@@ -1,0 +1,245 @@
+package sim
+
+import "testing"
+
+func TestAblationInterconnect(t *testing.T) {
+	opts := testOpts()
+	res, err := AblationInterconnect(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.BusIPC <= 0 || row.RingIPC <= 0 {
+			t.Fatalf("non-positive IPC: %+v", row)
+		}
+	}
+	t.Logf("\n%s", res.Table().String())
+}
+
+func TestAblationWritePolicy(t *testing.T) {
+	res, err := AblationWritePolicy(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		// The paper's claim: no-allocate never broadcasts more than
+		// write-allocate under ESP, and saves substantially on the
+		// store-heavy codes.
+		if row.NoAllocESPBytes > row.AllocESPBytes {
+			t.Errorf("%s: no-allocate broadcast more bytes (%d > %d)",
+				row.Benchmark, row.NoAllocESPBytes, row.AllocESPBytes)
+		}
+	}
+	saved := map[string]float64{}
+	for _, row := range res.Rows {
+		saved[row.Benchmark] = row.Saved
+	}
+	if saved["compress"] <= 0 {
+		t.Errorf("compress saved nothing under no-allocate: %+v", saved)
+	}
+	t.Logf("\n%s", res.Table().String())
+}
+
+func TestAblationSyncESP(t *testing.T) {
+	res, err := AblationSyncESP(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Misses == 0 {
+			t.Errorf("%s: empty miss stream", row.Benchmark)
+			continue
+		}
+		if row.Slowdown < 1 {
+			t.Errorf("%s: sync slowdown %.2f < 1", row.Benchmark, row.Slowdown)
+		}
+	}
+	t.Logf("\n%s", res.Table().String())
+}
+
+func TestAblationResultComm(t *testing.T) {
+	res, err := AblationResultComm(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.OnBroadcasts >= row.OffBroadcasts {
+			t.Errorf("%d nodes: result comm did not reduce broadcasts (%d vs %d)",
+				row.Nodes, row.OnBroadcasts, row.OffBroadcasts)
+		}
+		if row.SkippedPerNode == 0 {
+			t.Errorf("%d nodes: nothing skipped", row.Nodes)
+		}
+	}
+	t.Logf("\n%s", res.Table().String())
+}
+
+func TestAblationLatencies(t *testing.T) {
+	res, err := AblationLatencies(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Higher structure latencies must not raise IPC.
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if last.IPC > first.IPC*1.05 {
+		t.Errorf("16-cycle structures faster than 1-cycle: %.2f vs %.2f", last.IPC, first.IPC)
+	}
+	t.Logf("\n%s", res.Table().String())
+}
+
+func TestAblationPlacement(t *testing.T) {
+	res, err := AblationPlacement(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	rows := map[string]PlacementRow{}
+	for _, row := range res.Rows {
+		rows[row.Benchmark] = row
+		if row.RRThreadMean <= 0 || row.OptThreadMean <= 0 {
+			t.Fatalf("%s: empty thread means: %+v", row.Benchmark, row)
+		}
+	}
+	// Structured interleaved streams must see large thread-length gains;
+	// uniformly random pointer graphs (gcc, li) have no clusterable
+	// structure, and the optimizer must at least not hurt them.
+	for _, name := range []string{"swim", "applu"} {
+		if r := rows[name]; r.OptThreadMean < r.RRThreadMean*2 {
+			t.Errorf("%s: thread mean %.1f -> %.1f, want >= 2x", name, r.RRThreadMean, r.OptThreadMean)
+		}
+	}
+	for _, row := range res.Rows {
+		if row.OptThreadMean < row.RRThreadMean*0.9 {
+			t.Errorf("%s: placement shortened threads (%.1f -> %.1f)",
+				row.Benchmark, row.RRThreadMean, row.OptThreadMean)
+		}
+		if row.OptIPC < row.RRIPC*0.95 || row.OptIPCSlow < row.RRIPCSlow*0.95 {
+			t.Errorf("%s: placement cost IPC: %+v", row.Benchmark, row)
+		}
+	}
+	t.Logf("\n%s", res.Table().String())
+}
+
+func TestCostEffectiveness(t *testing.T) {
+	if got := Costup(1, 0.3); got != 1 {
+		t.Fatalf("single-node costup = %v, want 1", got)
+	}
+	if got := Costup(4, 0.25); got != 1.75 {
+		t.Fatalf("costup(4, 0.25) = %v, want 1.75", got)
+	}
+	// Clamping.
+	if Costup(2, -1) != 1 || Costup(2, 2) != 2 {
+		t.Fatal("procFrac clamping broken")
+	}
+
+	opts := testOpts()
+	opts.TimingInstr = 200_000
+	f7, err := Figure7(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := CostEffectiveness(f7)
+	if len(res.Rows) != 12 {
+		t.Fatalf("rows = %d, want 12 (6 benchmarks x 2 node counts)", len(res.Rows))
+	}
+	// The paper's point: when memory dominates cost (small processor
+	// fraction), several benchmarks must be cost-effective despite
+	// sub-linear speedups; at 4 nodes compress (the big win) must
+	// qualify at the 10% share.
+	effective10 := 0
+	for _, row := range res.Rows {
+		if row.Effective10 {
+			effective10++
+		}
+		if row.Benchmark == "compress" && row.Nodes == 4 && !row.Effective10 {
+			t.Errorf("compress@4 not cost-effective at 10%% processor share: %+v", row)
+		}
+	}
+	if effective10 == 0 {
+		t.Error("nothing cost-effective even with memory-dominated cost")
+	}
+	t.Logf("\n%s", res.Table().String())
+}
+
+func TestScaling(t *testing.T) {
+	opts := testOpts()
+	res, err := Scaling(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if len(row.Points) != 3 {
+			t.Fatalf("%s: %d points", row.Benchmark, len(row.Points))
+		}
+		for _, p := range row.Points {
+			if p.DSBus <= 0 || p.DSRing <= 0 || p.Trad <= 0 {
+				t.Fatalf("%s@%d: non-positive IPC %+v", row.Benchmark, p.Nodes, p)
+			}
+			if p.BusUtil < 0 || p.BusUtil > 1 {
+				t.Fatalf("%s@%d: bus util %v", row.Benchmark, p.Nodes, p.BusUtil)
+			}
+		}
+		// DataScalar on the bus must degrade less from 2 to 8 nodes than
+		// the traditional machine (the paper's finer-grain claim,
+		// extended).
+		dsDrop := row.Points[0].DSBus - row.Points[2].DSBus
+		tradDrop := row.Points[0].Trad - row.Points[2].Trad
+		if dsDrop > tradDrop {
+			t.Errorf("%s: DS 2->8 drop %.2f exceeds traditional's %.2f",
+				row.Benchmark, dsDrop, tradDrop)
+		}
+	}
+	t.Logf("\n%s", res.Table().String())
+}
+
+func TestAblationReplication(t *testing.T) {
+	res, err := AblationReplication(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if len(row.Points) != 4 {
+			t.Fatalf("%s: %d points", row.Benchmark, len(row.Points))
+		}
+		base := row.Points[0]
+		last := row.Points[len(row.Points)-1]
+		// Replicating hot pages must strictly reduce broadcasts and
+		// cost capacity.
+		if last.Broadcasts >= base.Broadcasts {
+			t.Errorf("%s: 50%% replication did not cut broadcasts (%d -> %d)",
+				row.Benchmark, base.Broadcasts, last.Broadcasts)
+		}
+		if last.NodeKB <= base.NodeKB {
+			t.Errorf("%s: replication cost no capacity", row.Benchmark)
+		}
+		// And must not hurt IPC.
+		if last.IPC < base.IPC*0.97 {
+			t.Errorf("%s: replication hurt IPC (%.2f -> %.2f)",
+				row.Benchmark, base.IPC, last.IPC)
+		}
+	}
+	t.Logf("\n%s", res.Table().String())
+}

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"github.com/wisc-arch/datascalar/internal/stats"
+)
+
+// Cost-effectiveness analysis (paper Section 4.4). The paper invokes
+// Wood and Hill's criterion: a parallel system is cost-effective when
+// its *costup* — total system cost relative to the uniprocessor — is
+// smaller than its speedup. A DataScalar system replicates processing
+// logic but not memory capacity, so when memory dominates system cost
+// the costup stays near one and even modest speedups qualify ("DataScalar
+// architectures could thus be cost-effective, even though the speedups
+// they provide are much less than linear").
+
+// CostRow evaluates one benchmark at one node count.
+type CostRow struct {
+	Benchmark string
+	Nodes     int
+	// Speedup of the DataScalar system over the traditional system with
+	// the same memory split.
+	Speedup float64
+	// Costup per processor-to-total-cost fraction: the DataScalar system
+	// adds (Nodes-1) extra processors to a system whose base cost is one
+	// processor plus all memory.
+	CostupProc10, CostupProc30, CostupProc50 float64
+	// CostEffective reports speedup > costup at each processor-cost
+	// fraction.
+	Effective10, Effective30, Effective50 bool
+}
+
+// CostResult holds the analysis.
+type CostResult struct {
+	Rows []CostRow
+}
+
+// Table renders the analysis.
+func (r CostResult) Table() *stats.Table {
+	t := stats.NewTable(
+		"Cost-effectiveness (Wood-Hill): speedup vs costup as processor cost share varies",
+		"benchmark", "nodes", "speedup",
+		"costup p=10%", "ok", "costup p=30%", "ok", "costup p=50%", "ok")
+	mark := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "no"
+	}
+	for _, row := range r.Rows {
+		t.AddRowf(row.Benchmark, row.Nodes, stats.Round2(row.Speedup),
+			stats.Round2(row.CostupProc10), mark(row.Effective10),
+			stats.Round2(row.CostupProc30), mark(row.Effective30),
+			stats.Round2(row.CostupProc50), mark(row.Effective50))
+	}
+	return t
+}
+
+// Costup computes the Wood-Hill costup for an n-node DataScalar system
+// versus a uniprocessor with the same total memory: the base system
+// costs procFrac (one processor) + (1-procFrac) (all memory); DataScalar
+// adds n-1 more processors while the memory total is unchanged.
+func Costup(n int, procFrac float64) float64 {
+	if procFrac < 0 {
+		procFrac = 0
+	}
+	if procFrac > 1 {
+		procFrac = 1
+	}
+	return (float64(n)*procFrac + (1 - procFrac)) / 1.0
+}
+
+// CostEffectiveness derives the analysis from a Figure 7 result: the
+// DataScalar speedup at each node count is its IPC over the traditional
+// machine with the matching on-chip fraction, and the costup is computed
+// at processor cost shares of 10%, 30%, and 50% of the single-node
+// system.
+func CostEffectiveness(f7 Figure7Result) CostResult {
+	var out CostResult
+	add := func(bench string, nodes int, speedup float64) {
+		row := CostRow{
+			Benchmark:    bench,
+			Nodes:        nodes,
+			Speedup:      speedup,
+			CostupProc10: Costup(nodes, 0.10),
+			CostupProc30: Costup(nodes, 0.30),
+			CostupProc50: Costup(nodes, 0.50),
+		}
+		row.Effective10 = speedup > row.CostupProc10
+		row.Effective30 = speedup > row.CostupProc30
+		row.Effective50 = speedup > row.CostupProc50
+		out.Rows = append(out.Rows, row)
+	}
+	for _, r := range f7.Rows {
+		if r.Trad2IPC > 0 {
+			add(r.Benchmark, 2, r.DS2IPC/r.Trad2IPC)
+		}
+		if r.Trad4IPC > 0 {
+			add(r.Benchmark, 4, r.DS4IPC/r.Trad4IPC)
+		}
+	}
+	return out
+}

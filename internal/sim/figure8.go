@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/wisc-arch/datascalar/internal/core"
+	"github.com/wisc-arch/datascalar/internal/stats"
+	"github.com/wisc-arch/datascalar/internal/traditional"
+	"github.com/wisc-arch/datascalar/internal/workload"
+)
+
+// Figure8Param identifies one swept parameter of the sensitivity
+// analysis.
+type Figure8Param string
+
+// The five parameters the paper sweeps in Figure 8.
+const (
+	ParamCacheKB  Figure8Param = "cache size (KB)"
+	ParamMemNs    Figure8Param = "memory access time (cycles)"
+	ParamBusClock Figure8Param = "bus clock (proc. cycles)"
+	ParamBusWidth Figure8Param = "bus width (bytes)"
+	ParamRUU      Figure8Param = "RUU entries"
+)
+
+// Figure8Point is one (parameter value, five IPCs) sample.
+type Figure8Point struct {
+	Value   int
+	Perfect float64
+	DS2     float64
+	DS4     float64
+	Trad2   float64
+	Trad4   float64
+}
+
+// Figure8Series is one parameter's sweep for one benchmark.
+type Figure8Series struct {
+	Benchmark string
+	Param     Figure8Param
+	Points    []Figure8Point
+}
+
+// Figure8Result holds the whole sensitivity analysis.
+type Figure8Result struct {
+	Series []Figure8Series
+}
+
+// Tables renders one table per (benchmark, parameter) series.
+func (r Figure8Result) Tables() []*stats.Table {
+	var out []*stats.Table
+	for _, s := range r.Series {
+		t := stats.NewTable(
+			fmt.Sprintf("Figure 8: %s — IPC vs %s", s.Benchmark, s.Param),
+			string(s.Param), "perfect", "DS 2-node", "DS 4-node", "trad 1/2", "trad 1/4")
+		for _, p := range s.Points {
+			t.AddRowf(p.Value, p.Perfect, p.DS2, p.DS4, p.Trad2, p.Trad4)
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Figure8Sweeps returns the default parameter values, matching the axes
+// of the paper's plots.
+func Figure8Sweeps() map[Figure8Param][]int {
+	return map[Figure8Param][]int{
+		ParamCacheKB:  {4, 8, 16, 32, 64},
+		ParamMemNs:    {4, 8, 16, 32, 64},
+		ParamBusClock: {1, 2, 4, 8, 16},
+		ParamBusWidth: {2, 4, 8, 16, 32},
+		ParamRUU:      {32, 64, 128, 256, 512},
+	}
+}
+
+// Figure8Order fixes the rendering order of the sweeps.
+var Figure8Order = []Figure8Param{
+	ParamCacheKB, ParamMemNs, ParamBusClock, ParamBusWidth, ParamRUU,
+}
+
+// Figure8 reproduces the paper's sensitivity analysis on the go and
+// compress analogues: every parameter is swept one at a time around the
+// default configuration, measuring the same five systems as Figure 7.
+func Figure8(opts Options) (Figure8Result, error) {
+	opts = opts.withDefaults()
+	var out Figure8Result
+	sweeps := Figure8Sweeps()
+	for _, name := range []string{"go", "compress"} {
+		w, ok := workload.ByName(name)
+		if !ok {
+			return out, fmt.Errorf("sim: missing workload %s", name)
+		}
+		pr, err := prepare(w, opts.Scale)
+		if err != nil {
+			return out, err
+		}
+		for _, param := range Figure8Order {
+			series := Figure8Series{Benchmark: name, Param: param}
+			for _, v := range sweeps[param] {
+				pt, err := figure8Point(pr, param, v, opts.SweepInstr)
+				if err != nil {
+					return out, fmt.Errorf("sim: figure8 %s %s=%d: %w", name, param, v, err)
+				}
+				series.Points = append(series.Points, pt)
+			}
+			out.Series = append(out.Series, series)
+		}
+	}
+	return out, nil
+}
+
+func figure8Point(pr prepared, param Figure8Param, v int, maxInstr uint64) (Figure8Point, error) {
+	pt := Figure8Point{Value: v}
+
+	dsMut := func(cfg *core.Config) { applyDSParam(cfg, param, v) }
+	tradMut := func(cfg *traditional.Config) { applyTradParam(cfg, param, v) }
+
+	perfect, err := runPerfect(pr, maxInstr, tradMut)
+	if err != nil {
+		return pt, err
+	}
+	pt.Perfect = perfect.IPC
+
+	ds2, err := runDS(pr, 2, maxInstr, dsMut)
+	if err != nil {
+		return pt, err
+	}
+	pt.DS2 = ds2.IPC
+
+	ds4, err := runDS(pr, 4, maxInstr, dsMut)
+	if err != nil {
+		return pt, err
+	}
+	pt.DS4 = ds4.IPC
+
+	t2, err := runTrad(pr, 2, maxInstr, tradMut)
+	if err != nil {
+		return pt, err
+	}
+	pt.Trad2 = t2.IPC
+
+	t4, err := runTrad(pr, 4, maxInstr, tradMut)
+	if err != nil {
+		return pt, err
+	}
+	pt.Trad4 = t4.IPC
+
+	return pt, nil
+}
+
+func applyDSParam(cfg *core.Config, param Figure8Param, v int) {
+	switch param {
+	case ParamCacheKB:
+		cfg.L1.SizeBytes = v * 1024
+	case ParamMemNs:
+		cfg.DRAM.AccessCycles = uint64(v)
+	case ParamBusClock:
+		cfg.Bus.ClockDivisor = uint64(v)
+	case ParamBusWidth:
+		cfg.Bus.WidthBytes = v
+	case ParamRUU:
+		cfg.Core.RUUSize = v
+		cfg.Core.LSQSize = v / 2
+		if cfg.Core.LSQSize < 1 {
+			cfg.Core.LSQSize = 1
+		}
+		cfg.Core.FwdDist = uint64(cfg.Core.LSQSize)
+	}
+}
+
+func applyTradParam(cfg *traditional.Config, param Figure8Param, v int) {
+	switch param {
+	case ParamCacheKB:
+		cfg.L1.SizeBytes = v * 1024
+	case ParamMemNs:
+		cfg.DRAM.AccessCycles = uint64(v)
+	case ParamBusClock:
+		cfg.Bus.ClockDivisor = uint64(v)
+	case ParamBusWidth:
+		cfg.Bus.WidthBytes = v
+	case ParamRUU:
+		cfg.Core.RUUSize = v
+		cfg.Core.LSQSize = v / 2
+		if cfg.Core.LSQSize < 1 {
+			cfg.Core.LSQSize = 1
+		}
+		cfg.Core.FwdDist = uint64(cfg.Core.LSQSize)
+	}
+}

@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/wisc-arch/datascalar/internal/bus"
+	"github.com/wisc-arch/datascalar/internal/core"
+	"github.com/wisc-arch/datascalar/internal/stats"
+	"github.com/wisc-arch/datascalar/internal/workload"
+)
+
+// Node-count scaling beyond the paper's evaluation. The paper measures
+// two and four nodes and argues DataScalar "deals with a finer-grain
+// distribution of memory better" than request/response systems; this
+// experiment extends the sweep to eight nodes on both interconnects,
+// where the single shared bus begins to saturate under the broadcast
+// stream and the ring's per-link concurrency starts to matter — the
+// regime the paper's Section 4.4 interconnect discussion anticipates.
+
+// ScalingPoint is one (nodes, system) IPC sample.
+type ScalingPoint struct {
+	Nodes    int
+	DSBus    float64
+	DSRing   float64
+	Trad     float64
+	BusUtil  float64 // DS bus busy fraction
+	RingUtil float64 // DS ring aggregate link busy fraction
+}
+
+// ScalingRow is one benchmark's sweep.
+type ScalingRow struct {
+	Benchmark string
+	Points    []ScalingPoint
+}
+
+// ScalingResult holds the experiment.
+type ScalingResult struct {
+	Rows []ScalingRow
+}
+
+// Table renders the sweep.
+func (r ScalingResult) Table() *stats.Table {
+	t := stats.NewTable(
+		"Extension: node-count scaling (IPC; DS on bus and ring vs traditional)",
+		"benchmark", "nodes", "DS bus", "DS ring", "trad 1/n", "bus util")
+	for _, row := range r.Rows {
+		for _, p := range row.Points {
+			t.AddRowf(row.Benchmark, p.Nodes, p.DSBus, p.DSRing, p.Trad,
+				stats.FormatPercent(p.BusUtil*100))
+		}
+	}
+	return t
+}
+
+// Scaling sweeps node counts 2, 4, 8 over two contrasting benchmarks:
+// compress (write-heavy, DataScalar's best case) and mgrid (bandwidth-
+// hungry stencil).
+func Scaling(opts Options) (ScalingResult, error) {
+	opts = opts.withDefaults()
+	var out ScalingResult
+	ringCfg := bus.DefaultRingConfig()
+	for _, name := range []string{"compress", "mgrid"} {
+		w, ok := workload.ByName(name)
+		if !ok {
+			return out, fmt.Errorf("sim: missing workload %s", name)
+		}
+		pr, err := prepare(w, opts.Scale)
+		if err != nil {
+			return out, err
+		}
+		row := ScalingRow{Benchmark: name}
+		for _, nodes := range []int{2, 4, 8} {
+			onBus, err := runDS(pr, nodes, opts.TimingInstr, nil)
+			if err != nil {
+				return out, err
+			}
+			onRing, err := runDS(pr, nodes, opts.TimingInstr, func(cfg *core.Config) {
+				cfg.Ring = &ringCfg
+			})
+			if err != nil {
+				return out, err
+			}
+			trad, err := runTrad(pr, nodes, opts.TimingInstr, nil)
+			if err != nil {
+				return out, err
+			}
+			pt := ScalingPoint{
+				Nodes:  nodes,
+				DSBus:  onBus.IPC,
+				DSRing: onRing.IPC,
+				Trad:   trad.IPC,
+			}
+			if onBus.Cycles > 0 {
+				pt.BusUtil = float64(onBus.BusStats.BusyCycles.Value()) / float64(onBus.Cycles)
+			}
+			if onRing.Cycles > 0 {
+				// Aggregate link-busy over nodes links.
+				pt.RingUtil = float64(onRing.BusStats.BusyCycles.Value()) /
+					(float64(onRing.Cycles) * float64(nodes))
+			}
+			row.Points = append(row.Points, pt)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}

@@ -1,0 +1,149 @@
+// Package sim contains the experiment harnesses that regenerate every
+// table and figure in the paper's evaluation: Table 1 (ESP traffic
+// reduction), Table 2 (datathread lengths), Figure 7 (timing comparison),
+// Table 3 (broadcast statistics), Figure 8 (sensitivity analysis), and
+// the Figure 1 / Figure 3 illustrative experiments. Each harness returns
+// structured results plus a rendered text table, and cmd/ binaries and
+// the repository-level benchmarks are thin wrappers around them.
+package sim
+
+import (
+	"fmt"
+
+	"github.com/wisc-arch/datascalar/internal/core"
+	"github.com/wisc-arch/datascalar/internal/mem"
+	"github.com/wisc-arch/datascalar/internal/prog"
+	"github.com/wisc-arch/datascalar/internal/traditional"
+	"github.com/wisc-arch/datascalar/internal/workload"
+)
+
+// Options bound experiment cost. The defaults reproduce the shipped
+// EXPERIMENTS.md numbers in a few minutes on a laptop; the paper ran
+// 100 M instructions per benchmark on 1997 hardware, so absolute numbers
+// differ while shapes hold (see DESIGN.md §4).
+type Options struct {
+	// Scale multiplies each kernel's main-loop trip counts.
+	Scale int
+	// TimingInstr bounds the measured instructions of each timing run
+	// (Figures 7, Table 3), counted after fast-forwarding initialization.
+	TimingInstr uint64
+	// RefInstr bounds the reference-trace analyses (Tables 1 and 2).
+	RefInstr uint64
+	// SweepInstr bounds each point of the Figure 8 sensitivity sweeps.
+	SweepInstr uint64
+}
+
+// DefaultOptions returns the standard experiment sizes.
+func DefaultOptions() Options {
+	return Options{
+		Scale:       1,
+		TimingInstr: 300_000,
+		RefInstr:    2_000_000,
+		SweepInstr:  150_000,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.Scale <= 0 {
+		o.Scale = d.Scale
+	}
+	if o.TimingInstr == 0 {
+		o.TimingInstr = d.TimingInstr
+	}
+	if o.RefInstr == 0 {
+		o.RefInstr = d.RefInstr
+	}
+	if o.SweepInstr == 0 {
+		o.SweepInstr = d.SweepInstr
+	}
+	return o
+}
+
+// prepared bundles a workload's assembled program with its benchmark-main
+// fast-forward point.
+type prepared struct {
+	w  workload.Workload
+	p  *prog.Program
+	ff uint64
+}
+
+func prepare(w workload.Workload, scale int) (prepared, error) {
+	p, err := w.Program(scale)
+	if err != nil {
+		return prepared{}, err
+	}
+	ff, ok := p.Labels["bench_main"]
+	if !ok {
+		return prepared{}, fmt.Errorf("sim: workload %s lacks a bench_main label", w.Name)
+	}
+	return prepared{w: w, p: p, ff: ff}, nil
+}
+
+// runDS runs an n-node DataScalar machine with the paper's default
+// configuration (round-robin single-page distribution, replicated text).
+func runDS(pr prepared, nodes int, maxInstr uint64, mut func(*core.Config)) (core.Result, error) {
+	pt, err := mem.Partition{NumNodes: nodes, BlockPages: 1, ReplicateText: true}.Build(pr.p)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return runDSWithPT(pr, pt, nodes, maxInstr, mut)
+}
+
+// runDSWithPT runs a DataScalar machine under an explicit page table.
+func runDSWithPT(pr prepared, pt *mem.PageTable, nodes int, maxInstr uint64, mut func(*core.Config)) (core.Result, error) {
+	cfg := core.DefaultConfig(nodes)
+	cfg.MaxInstr = maxInstr
+	cfg.FastForwardPC = pr.ff
+	if mut != nil {
+		mut(&cfg)
+	}
+	m, err := core.NewMachine(cfg, pr.p, pt)
+	if err != nil {
+		return core.Result{}, err
+	}
+	r, err := m.Run()
+	if err != nil {
+		return core.Result{}, fmt.Errorf("sim: %s DS%d: %w", pr.w.Name, nodes, err)
+	}
+	if !r.CorrespondenceOK {
+		return core.Result{}, fmt.Errorf("sim: %s DS%d: cache correspondence violated", pr.w.Name, nodes)
+	}
+	return r, nil
+}
+
+// runTrad runs the traditional baseline with 1/chips of memory on-chip.
+func runTrad(pr prepared, chips int, maxInstr uint64, mut func(*traditional.Config)) (traditional.Result, error) {
+	pt, err := mem.Partition{NumNodes: chips, BlockPages: 1, ReplicateText: true}.Build(pr.p)
+	if err != nil {
+		return traditional.Result{}, err
+	}
+	cfg := traditional.DefaultConfig(chips)
+	cfg.MaxInstr = maxInstr
+	cfg.FastForwardPC = pr.ff
+	if mut != nil {
+		mut(&cfg)
+	}
+	m, err := traditional.NewMachine(cfg, pr.p, pt)
+	if err != nil {
+		return traditional.Result{}, err
+	}
+	r, err := m.Run()
+	if err != nil {
+		return traditional.Result{}, fmt.Errorf("sim: %s trad/%d: %w", pr.w.Name, chips, err)
+	}
+	return r, nil
+}
+
+// runPerfect runs the perfect-data-cache baseline.
+func runPerfect(pr prepared, maxInstr uint64, mut func(*traditional.Config)) (traditional.Result, error) {
+	cfg := traditional.DefaultConfig(2)
+	if mut != nil {
+		mut(&cfg)
+	}
+	r, err := traditional.RunPerfect(cfg.Core, pr.p, maxInstr, pr.ff)
+	if err != nil {
+		return traditional.Result{}, fmt.Errorf("sim: %s perfect: %w", pr.w.Name, err)
+	}
+	return r, nil
+}

@@ -1,0 +1,196 @@
+// Package stats provides the statistics primitives shared by every
+// simulator component: named counters, scalar accumulators, histograms,
+// and deterministic pseudo-random number generation for workload inputs.
+//
+// All simulated state in this repository is deterministic; stats exists so
+// that experiment harnesses can collect and render results without each
+// model reinventing bookkeeping.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	n uint64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta uint64) { c.n += delta }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Mean is an online arithmetic mean over observed samples.
+type Mean struct {
+	sum   float64
+	count uint64
+}
+
+// Observe adds one sample.
+func (m *Mean) Observe(v float64) {
+	m.sum += v
+	m.count++
+}
+
+// ObserveN adds a sample with weight n (equivalent to n samples of value v).
+func (m *Mean) ObserveN(v float64, n uint64) {
+	m.sum += v * float64(n)
+	m.count += n
+}
+
+// Count returns the number of samples observed.
+func (m *Mean) Count() uint64 { return m.count }
+
+// Sum returns the running sum of samples.
+func (m *Mean) Sum() float64 { return m.sum }
+
+// Value returns the arithmetic mean, or 0 if no samples were observed.
+func (m *Mean) Value() float64 {
+	if m.count == 0 {
+		return 0
+	}
+	return m.sum / float64(m.count)
+}
+
+// Ratio expresses a part/whole relationship between two counts.
+type Ratio struct {
+	Part  uint64
+	Whole uint64
+}
+
+// Value returns Part/Whole, or 0 when Whole is zero.
+func (r Ratio) Value() float64 {
+	if r.Whole == 0 {
+		return 0
+	}
+	return float64(r.Part) / float64(r.Whole)
+}
+
+// Percent returns the ratio scaled to 0-100.
+func (r Ratio) Percent() float64 { return r.Value() * 100 }
+
+// Histogram is a fixed-bucket histogram over non-negative integer samples.
+// Samples beyond the last bucket boundary accumulate in an overflow bucket.
+type Histogram struct {
+	bounds []uint64 // ascending upper bounds (inclusive) per bucket
+	counts []uint64 // len(bounds)+1; final entry is overflow
+	total  uint64
+	sum    uint64
+	max    uint64
+}
+
+// NewHistogram creates a histogram with the given ascending inclusive upper
+// bounds. It panics if bounds is empty or not strictly ascending, since
+// histogram shape is always a programming decision, not runtime input.
+func NewHistogram(bounds ...uint64) *Histogram {
+	if len(bounds) == 0 {
+		panic("stats: histogram needs at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("stats: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		bounds: append([]uint64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	idx := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v })
+	h.counts[idx]++
+	h.total++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Total returns the number of samples observed.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Max returns the largest sample observed.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Mean returns the arithmetic mean of all samples.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Bucket returns the count in bucket i (the last index is overflow).
+func (h *Histogram) Bucket(i int) uint64 { return h.counts[i] }
+
+// NumBuckets returns the number of buckets including the overflow bucket.
+func (h *Histogram) NumBuckets() int { return len(h.counts) }
+
+// String renders the histogram compactly for logs.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	lo := uint64(0)
+	for i, bound := range h.bounds {
+		fmt.Fprintf(&b, "[%d..%d]=%d ", lo, bound, h.counts[i])
+		lo = bound + 1
+	}
+	fmt.Fprintf(&b, "[%d..]=%d", lo, h.counts[len(h.bounds)])
+	return b.String()
+}
+
+// RunLength accumulates the arithmetic mean length of runs of consecutive
+// equal keys in a stream, the statistic behind the paper's datathread-length
+// approximation (Table 2): a run ends when the key changes.
+type RunLength struct {
+	cur     uint64 // current run key
+	len     uint64 // current run length
+	started bool
+	runs    Mean
+}
+
+// Observe feeds the next element's key into the run tracker.
+func (r *RunLength) Observe(key uint64) {
+	if r.started && key == r.cur {
+		r.len++
+		return
+	}
+	if r.started {
+		r.runs.Observe(float64(r.len))
+	}
+	r.cur, r.len, r.started = key, 1, true
+}
+
+// Flush terminates the in-progress run, if any. Call once at end of stream.
+func (r *RunLength) Flush() {
+	if r.started && r.len > 0 {
+		r.runs.Observe(float64(r.len))
+		r.len = 0
+		r.started = false
+	}
+}
+
+// Mean returns the arithmetic mean run length over completed runs.
+func (r *RunLength) Mean() float64 { return r.runs.Value() }
+
+// Runs returns the number of completed runs.
+func (r *RunLength) Runs() uint64 { return r.runs.Count() }
+
+// Round1 rounds to one decimal place; table renderers use it so that output
+// is stable across platforms.
+func Round1(v float64) float64 { return math.Round(v*10) / 10 }
+
+// Round2 rounds to two decimal places.
+func Round2(v float64) float64 { return math.Round(v*100) / 100 }

@@ -1,0 +1,255 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatalf("zero counter = %d, want 0", c.Value())
+	}
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("reset counter = %d, want 0", c.Value())
+	}
+}
+
+func TestMean(t *testing.T) {
+	var m Mean
+	if m.Value() != 0 {
+		t.Fatalf("empty mean = %v, want 0", m.Value())
+	}
+	m.Observe(2)
+	m.Observe(4)
+	if got := m.Value(); got != 3 {
+		t.Fatalf("mean = %v, want 3", got)
+	}
+	m.ObserveN(10, 2)
+	// samples: 2, 4, 10, 10 -> mean 6.5
+	if got := m.Value(); got != 6.5 {
+		t.Fatalf("mean = %v, want 6.5", got)
+	}
+	if m.Count() != 4 {
+		t.Fatalf("count = %d, want 4", m.Count())
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := (Ratio{}).Value(); got != 0 {
+		t.Fatalf("empty ratio = %v, want 0", got)
+	}
+	r := Ratio{Part: 1, Whole: 4}
+	if r.Value() != 0.25 {
+		t.Fatalf("ratio = %v, want 0.25", r.Value())
+	}
+	if r.Percent() != 25 {
+		t.Fatalf("percent = %v, want 25", r.Percent())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(1, 4, 16)
+	for _, v := range []uint64{0, 1, 2, 4, 5, 16, 17, 1000} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 2, 2, 2} // [0..1]={0,1} [2..4]={2,4} [5..16]={5,16} overflow={17,1000}
+	if h.NumBuckets() != len(want) {
+		t.Fatalf("buckets = %d, want %d", h.NumBuckets(), len(want))
+	}
+	for i, w := range want {
+		if got := h.Bucket(i); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Total() != 8 {
+		t.Fatalf("total = %d, want 8", h.Total())
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("max = %d, want 1000", h.Max())
+	}
+	if got := h.Mean(); got != (0+1+2+4+5+16+17+1000)/8.0 {
+		t.Fatalf("mean = %v", got)
+	}
+	if !strings.Contains(h.String(), "[2..4]=2") {
+		t.Fatalf("String() = %q, missing bucket", h.String())
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty", func() { NewHistogram() })
+	mustPanic("descending", func() { NewHistogram(4, 2) })
+}
+
+func TestRunLength(t *testing.T) {
+	var r RunLength
+	for _, k := range []uint64{1, 1, 1, 2, 2, 3, 1, 1} {
+		r.Observe(k)
+	}
+	r.Flush()
+	// runs: 3, 2, 1, 2 -> mean 2.0
+	if got := r.Mean(); got != 2 {
+		t.Fatalf("mean run = %v, want 2", got)
+	}
+	if r.Runs() != 4 {
+		t.Fatalf("runs = %d, want 4", r.Runs())
+	}
+}
+
+func TestRunLengthEmptyAndDoubleFlush(t *testing.T) {
+	var r RunLength
+	r.Flush()
+	if r.Runs() != 0 || r.Mean() != 0 {
+		t.Fatalf("empty run tracker: runs=%d mean=%v", r.Runs(), r.Mean())
+	}
+	r.Observe(7)
+	r.Flush()
+	r.Flush() // second flush must not add a run
+	if r.Runs() != 1 {
+		t.Fatalf("runs = %d, want 1", r.Runs())
+	}
+}
+
+// Property: total run length equals number of observations.
+func TestRunLengthConservation(t *testing.T) {
+	f := func(keys []uint8) bool {
+		var r RunLength
+		for _, k := range keys {
+			r.Observe(uint64(k % 4))
+		}
+		r.Flush()
+		return uint64(len(keys)) == uint64(r.Mean()*float64(r.Runs())+0.5)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: histogram conserves samples across buckets.
+func TestHistogramConservation(t *testing.T) {
+	f := func(samples []uint16) bool {
+		h := NewHistogram(1, 2, 4, 8, 16, 32, 64)
+		var n uint64
+		for _, s := range samples {
+			h.Observe(uint64(s))
+			n++
+		}
+		var sum uint64
+		for i := 0; i < h.NumBuckets(); i++ {
+			sum += h.Bucket(i)
+		}
+		return sum == n && h.Total() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(12345), NewRNG(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed RNGs diverged at step %d", i)
+		}
+	}
+	c := NewRNG(54321)
+	same := 0
+	a = NewRNG(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different-seed RNGs matched %d/1000 draws", same)
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(17); v < 0 || v >= 17 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if v := r.Uint64n(3); v >= 3 {
+			t.Fatalf("Uint64n out of range: %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(9)
+	p := r.Perm(64)
+	seen := make([]bool, 64)
+	for _, v := range p {
+		if v < 0 || v >= 64 || seen[v] {
+			t.Fatalf("Perm not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGBytes(t *testing.T) {
+	r := NewRNG(11)
+	b := make([]byte, 37)
+	r.Bytes(b)
+	zero := 0
+	for _, x := range b {
+		if x == 0 {
+			zero++
+		}
+	}
+	if zero == len(b) {
+		t.Fatal("Bytes produced all zeros")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Table X: demo", "bench", "ipc", "pct")
+	tb.AddRowf("compress", 1.25, FormatPercent(33.4))
+	tb.AddRow("go", "0.90")
+	out := tb.String()
+	for _, want := range []string{"Table X: demo", "bench", "compress", "1.25", "33%", "go", "0.90"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows = %d, want 2", tb.NumRows())
+	}
+}
+
+func TestRounding(t *testing.T) {
+	if Round1(1.25) != 1.3 && Round1(1.25) != 1.2 {
+		// math.Round ties away from zero: 1.25*10=12.5 -> 13 -> 1.3
+		t.Fatalf("Round1(1.25) = %v", Round1(1.25))
+	}
+	if Round1(3.14159) != 3.1 {
+		t.Fatalf("Round1 = %v, want 3.1", Round1(3.14159))
+	}
+	if Round2(3.14159) != 3.14 {
+		t.Fatalf("Round2 = %v, want 3.14", Round2(3.14159))
+	}
+	if FormatFloat(2.5) != "2.50" {
+		t.Fatalf("FormatFloat = %q", FormatFloat(2.5))
+	}
+}

@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table renders aligned fixed-width text tables in the style of the paper's
+// result tables. Experiment harnesses and cmd/ binaries use it so all
+// reproduced tables share one look.
+type Table struct {
+	header []string
+	rows   [][]string
+	title  string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{title: title, header: header}
+}
+
+// AddRow appends a row. Cells beyond the header width are dropped; missing
+// cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row built from formatted values; each value is rendered
+// with %v except floats, which use a compact fixed-point form.
+func (t *Table) AddRowf(cells ...any) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row = append(row, FormatFloat(v))
+		case float32:
+			row = append(row, FormatFloat(float64(v)))
+		default:
+			row = append(row, fmt.Sprintf("%v", c))
+		}
+	}
+	t.AddRow(row...)
+}
+
+// FormatFloat renders a float with two decimals, trimming to a compact form
+// for whole numbers (e.g. 3 -> "3.00", 0.5 -> "0.50").
+func FormatFloat(v float64) string {
+	return fmt.Sprintf("%.2f", v)
+}
+
+// FormatPercent renders a 0-100 percentage with no decimals, like the
+// paper's tables ("27%").
+func FormatPercent(v float64) string {
+	return fmt.Sprintf("%.0f%%", v)
+}
+
+// FormatPercent1 renders a 0-100 percentage with one decimal, for
+// statistics that are often well under one percent.
+func FormatPercent1(v float64) string {
+	return fmt.Sprintf("%.1f%%", v)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(widths))
+		for i := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if t.title != "" {
+		fmt.Fprintln(w, t.title)
+	}
+	fmt.Fprintln(w, line(t.header))
+	total := len(widths) - 1
+	for _, wd := range widths {
+		total += wd + 1
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, row := range t.rows {
+		fmt.Fprintln(w, line(row))
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}

@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/wisc-arch/datascalar/internal/prog"
+)
+
+// Binary trace files let reference streams be recorded once and replayed
+// through the analyses (Tables 1 and 2, or custom studies) without
+// re-running the emulator — the workflow trace-driven simulators of the
+// paper's era used.
+//
+// Format:
+//
+//	magic   [4]byte "DSTR"
+//	version uint8   (1)
+//	records: for each reference,
+//	    flags   uint8: bit0 store, bit1 instr, bits 2-3 size code
+//	            (0 -> 1 byte, 1 -> 4, 2 -> 8)
+//	    delta   zig-zag varint of (addr - prevAddr)
+//
+// Delta encoding keeps sequential streams near one byte per reference.
+
+var traceMagic = [4]byte{'D', 'S', 'T', 'R'}
+
+// traceVersion is the current file version.
+const traceVersion = 1
+
+func sizeCode(size int) (byte, error) {
+	switch size {
+	case 1:
+		return 0, nil
+	case 4:
+		return 1, nil
+	case 8:
+		return 2, nil
+	}
+	return 0, fmt.Errorf("trace: unsupported access size %d", size)
+}
+
+func sizeFromCode(code byte) (int, error) {
+	switch code {
+	case 0:
+		return 1, nil
+	case 1:
+		return 4, nil
+	case 2:
+		return 8, nil
+	}
+	return 0, fmt.Errorf("trace: bad size code %d", code)
+}
+
+// Writer streams references into a trace file.
+type Writer struct {
+	w        *bufio.Writer
+	prevAddr uint64
+	count    uint64
+}
+
+// NewWriter writes a trace header to w and returns the record writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(traceVersion); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one reference.
+func (t *Writer) Write(r Ref) error {
+	code, err := sizeCode(r.Size)
+	if err != nil {
+		return err
+	}
+	flags := code << 2
+	if r.Store {
+		flags |= 1
+	}
+	if r.Instr {
+		flags |= 2
+	}
+	if err := t.w.WriteByte(flags); err != nil {
+		return err
+	}
+	delta := int64(r.Addr - t.prevAddr)
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], delta)
+	if _, err := t.w.Write(buf[:n]); err != nil {
+		return err
+	}
+	t.prevAddr = r.Addr
+	t.count++
+	return nil
+}
+
+// Count returns the number of references written.
+func (t *Writer) Count() uint64 { return t.count }
+
+// Flush drains buffered records to the underlying writer.
+func (t *Writer) Flush() error { return t.w.Flush() }
+
+// Reader streams references out of a trace file.
+type Reader struct {
+	r        *bufio.Reader
+	prevAddr uint64
+}
+
+// NewReader validates the header of r and returns the record reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading version: %w", err)
+	}
+	if ver != traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	return &Reader{r: br}, nil
+}
+
+// Read returns the next reference; io.EOF signals a clean end of trace.
+func (t *Reader) Read() (Ref, error) {
+	flags, err := t.r.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			return Ref{}, io.EOF
+		}
+		return Ref{}, fmt.Errorf("trace: reading flags: %w", err)
+	}
+	size, err := sizeFromCode(flags >> 2)
+	if err != nil {
+		return Ref{}, err
+	}
+	delta, err := binary.ReadVarint(t.r)
+	if err != nil {
+		return Ref{}, fmt.Errorf("trace: reading delta: %w", err)
+	}
+	t.prevAddr += uint64(delta)
+	return Ref{
+		Addr:  t.prevAddr,
+		Size:  size,
+		Store: flags&1 != 0,
+		Instr: flags&2 != 0,
+	}, nil
+}
+
+// ForEach streams every remaining reference to fn.
+func (t *Reader) ForEach(fn func(Ref) error) error {
+	for {
+		r, err := t.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+}
+
+// Record executes program p (from startPC, bounded by maxInstr) and
+// writes its reference stream to w, returning the reference count.
+func Record(w io.Writer, p *prog.Program, startPC, maxInstr uint64, includeInstr bool) (uint64, error) {
+	tw, err := NewWriter(w)
+	if err != nil {
+		return 0, err
+	}
+	err = ForEachRefFrom(p, startPC, maxInstr, includeInstr, tw.Write)
+	if err != nil {
+		return tw.Count(), err
+	}
+	return tw.Count(), tw.Flush()
+}

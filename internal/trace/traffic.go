@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"github.com/wisc-arch/datascalar/internal/cache"
+)
+
+// AddrBytes is the address/tag overhead assumed per off-chip message in
+// the traffic accounting (asynchronous ESP broadcasts carry tags too).
+const AddrBytes = 8
+
+// TrafficConfig parameterizes the Table 1 analysis. The paper used a
+// 16 KB two-way set-associative write-allocate write-back L1 data cache.
+type TrafficConfig struct {
+	L1 cache.Config
+}
+
+// DefaultTrafficConfig returns the paper's Table 1 cache.
+func DefaultTrafficConfig() TrafficConfig {
+	return TrafficConfig{L1: cache.Config{
+		Name:      "dl1",
+		SizeBytes: 16 * 1024,
+		LineBytes: 32,
+		Assoc:     2,
+		Write:     cache.WriteBack,
+		Alloc:     cache.WriteAllocate,
+	}}
+}
+
+// TrafficResult aggregates the off-chip traffic a miss stream generates
+// under a conventional request/response memory system versus ESP.
+//
+// Conventional accounting, per the paper: every cache miss sends a
+// request (address only) and receives a response (address + line); every
+// writeback sends address + line. ESP accounting: every miss is served by
+// exactly one broadcast (address + line); requests never leave the chip
+// and writebacks complete at the owning node, so neither appears.
+type TrafficResult struct {
+	Accesses   uint64
+	Misses     uint64
+	Writebacks uint64
+
+	ConventionalBytes        uint64
+	ConventionalTransactions uint64
+	ESPBytes                 uint64
+	ESPTransactions          uint64
+}
+
+// TrafficEliminated returns the fraction of conventional off-chip bytes
+// that ESP eliminates (Table 1, top row).
+func (t TrafficResult) TrafficEliminated() float64 {
+	if t.ConventionalBytes == 0 {
+		return 0
+	}
+	return 1 - float64(t.ESPBytes)/float64(t.ConventionalBytes)
+}
+
+// TransactionsEliminated returns the fraction of individual off-chip
+// transactions eliminated (Table 1, second row). Because every
+// request disappears, this is at least 50% whenever writebacks are rare,
+// and more when they are not.
+func (t TrafficResult) TransactionsEliminated() float64 {
+	if t.ConventionalTransactions == 0 {
+		return 0
+	}
+	return 1 - float64(t.ESPTransactions)/float64(t.ConventionalTransactions)
+}
+
+// TrafficAnalyzer filters a reference stream through the configured cache
+// and accumulates both traffic accountings.
+type TrafficAnalyzer struct {
+	cfg TrafficConfig
+	l1  *cache.Cache
+	res TrafficResult
+}
+
+// NewTrafficAnalyzer builds an analyzer.
+func NewTrafficAnalyzer(cfg TrafficConfig) *TrafficAnalyzer {
+	return &TrafficAnalyzer{cfg: cfg, l1: cache.New(cfg.L1)}
+}
+
+// Observe feeds one data reference.
+func (a *TrafficAnalyzer) Observe(r Ref) error {
+	if err := validateRef(r); err != nil {
+		return err
+	}
+	a.res.Accesses++
+	res := a.l1.Access(r.Addr, r.Store)
+	if res.Hit {
+		return nil
+	}
+	line := a.cfg.L1.LineBytes
+	if r.Store && a.cfg.L1.Alloc == cache.WriteNoAllocate {
+		// Store miss without allocation: the word itself goes off-chip
+		// conventionally; under ESP it completes at the owner.
+		a.res.ConventionalBytes += uint64(AddrBytes + r.Size)
+		a.res.ConventionalTransactions++
+		return nil
+	}
+	a.res.Misses++
+	// Conventional: request + response.
+	a.res.ConventionalBytes += uint64(AddrBytes) + uint64(AddrBytes+line)
+	a.res.ConventionalTransactions += 2
+	// ESP: one tagged broadcast.
+	a.res.ESPBytes += uint64(AddrBytes + line)
+	a.res.ESPTransactions++
+	if res.Writeback {
+		a.res.Writebacks++
+		a.res.ConventionalBytes += uint64(AddrBytes + line)
+		a.res.ConventionalTransactions++
+		// ESP: the writeback completes at the owning node; no traffic.
+	}
+	return nil
+}
+
+// Finish flushes remaining dirty lines (end-of-run writebacks) and
+// returns the result.
+func (a *TrafficAnalyzer) Finish() TrafficResult {
+	for range a.l1.FlushDirty() {
+		a.res.Writebacks++
+		a.res.ConventionalBytes += uint64(AddrBytes + a.cfg.L1.LineBytes)
+		a.res.ConventionalTransactions++
+	}
+	return a.res
+}

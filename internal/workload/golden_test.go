@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/wisc-arch/datascalar/internal/emu"
+	"github.com/wisc-arch/datascalar/internal/trace"
+)
+
+// golden pins each kernel's dynamic behaviour at scale 1: total
+// instruction count, steady-state load/store counts over the first 400 k
+// measured instructions, and L1 misses under the Table 1 cache. The
+// kernels are deterministic, so these are exact; a mismatch means a
+// kernel was edited, which invalidates EXPERIMENTS.md and requires
+// regenerating its numbers (see that file) as well as this table.
+type goldenRow struct {
+	Instr, Loads, Stores, Misses uint64
+}
+
+var golden = map[string]goldenRow{
+	"applu":    {Instr: 614362, Loads: 84210, Stores: 21051, Misses: 26320},
+	"compress": {Instr: 2200687, Loads: 44447, Stores: 44422, Misses: 22335},
+	"fpppp":    {Instr: 267509, Loads: 61440, Stores: 15360, Misses: 256},
+	"gcc":      {Instr: 1880359, Loads: 79454, Stores: 2837, Misses: 12700},
+	"go":       {Instr: 1165622, Loads: 63173, Stores: 10583, Misses: 1439},
+	"hydro2d":  {Instr: 622081, Loads: 103219, Stores: 51609, Misses: 27184},
+	"li":       {Instr: 1782517, Loads: 114124, Stores: 512, Misses: 49960},
+	"m88ksim":  {Instr: 1434454, Loads: 34000, Stores: 15088, Misses: 10287},
+	"mgrid":    {Instr: 563762, Loads: 113909, Stores: 16272, Misses: 16586},
+	"perl":     {Instr: 3354712, Loads: 49197, Stores: 2893, Misses: 6030},
+	"swim":     {Instr: 1007640, Loads: 72726, Stores: 72726, Misses: 27273},
+	"tomcatv":  {Instr: 354650, Loads: 85576, Stores: 31760, Misses: 16256},
+	"turb3d":   {Instr: 548897, Loads: 72724, Stores: 72722, Misses: 9339},
+	"vortex":   {Instr: 661870, Loads: 48000, Stores: 48000, Misses: 19084},
+	"wave5":    {Instr: 442390, Loads: 73728, Stores: 49152, Misses: 35985},
+}
+
+func TestWorkloadGoldens(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			want, ok := golden[w.Name]
+			if !ok {
+				t.Fatalf("no golden row; add one")
+			}
+			p, err := w.Program(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := emu.New(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n, err := m.Run(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != want.Instr {
+				t.Errorf("instructions = %d, want %d", n, want.Instr)
+			}
+			var loads, stores uint64
+			a := trace.NewTrafficAnalyzer(trace.DefaultTrafficConfig())
+			err = trace.ForEachRefFrom(p, p.Labels["bench_main"], 400_000, false, func(r trace.Ref) error {
+				if r.Store {
+					stores++
+				} else {
+					loads++
+				}
+				return a.Observe(r)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if loads != want.Loads || stores != want.Stores {
+				t.Errorf("loads/stores = %d/%d, want %d/%d", loads, stores, want.Loads, want.Stores)
+			}
+			if got := a.Finish().Misses; got != want.Misses {
+				t.Errorf("misses = %d, want %d", got, want.Misses)
+			}
+		})
+	}
+}

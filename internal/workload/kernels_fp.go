@@ -1,0 +1,595 @@
+package workload
+
+import "fmt"
+
+// The floating-point suite. Sizes are chosen so data sets exceed the
+// 16 KB L1 by an order of magnitude (as SPEC95's did in 1995-era caches)
+// while dynamic instruction counts stay in the hundreds of thousands at
+// scale 1.
+
+func init() {
+	register(Workload{
+		Name:  "tomcatv",
+		Class: FP,
+		Regime: "2-D vectorized mesh generation: five-point stencils over " +
+			"two 64x64 grids with a result pass. High spatial locality, " +
+			"read-mostly, long sequential runs per grid row.",
+		source: tomcatvSource,
+	})
+	register(Workload{
+		Name:  "swim",
+		Class: FP,
+		Regime: "shallow-water model: c[i] = a[i] op b[i] sweeps over three " +
+			"interleaved grids. The interleaving cuts datathreads short " +
+			"(Table 2 shows swim's data threads near the minimum).",
+		source: swimSource,
+	})
+	register(Workload{
+		Name:  "hydro2d",
+		Class: FP,
+		Regime: "Navier-Stokes hydrodynamics: alternating row-order and " +
+			"column-order sweeps over a 2-D grid; the column pass strides " +
+			"a full row per access, defeating line reuse.",
+		source: hydro2dSource,
+	})
+	register(Workload{
+		Name:   "mgrid",
+		Class:  FP,
+		Timing: true,
+		Regime: "3-D multigrid relaxation: seven-point stencil over a " +
+			"28^3 grid; plane-sized strides give poor locality and short " +
+			"data threads, the regime where the paper's mgrid loses at " +
+			"2 nodes.",
+		source: mgridSource,
+	})
+	register(Workload{
+		Name:   "applu",
+		Class:  FP,
+		Timing: true,
+		Regime: "LU solver: first-order recurrences (x[i] depends on " +
+			"x[i-1], x[i-2]) over five banded-system arrays — serial " +
+			"dependence chains sweeping sequentially through memory.",
+		source: appluSource,
+	})
+	register(Workload{
+		Name:   "turb3d",
+		Class:  FP,
+		Timing: true,
+		Regime: "turbulence FFT: butterfly passes with large power-of-two " +
+			"strides over a 64 K-word line; each pass touches two lines " +
+			"far apart, alternating node ownership (short data threads).",
+		source: turb3dSource,
+	})
+	register(Workload{
+		Name:  "fpppp",
+		Class: FP,
+		Regime: "quantum chemistry: enormous basic blocks of dense FP on a " +
+			"small working set — low miss rate, compute-bound, so memory " +
+			"system choice matters least.",
+		source: fppppSource,
+	})
+	register(Workload{
+		Name:   "wave5",
+		Class:  FP,
+		Timing: true,
+		Regime: "particle-in-cell plasma: sequential particle array with " +
+			"gather/scatter into a large grid at pseudo-random indices — " +
+			"mixed streaming and irregular access, store-rich.",
+		source: wave5Source,
+	})
+}
+
+// tomcatv: two N x N grids, stencil into result grids, then copy back.
+func tomcatvSource(scale int) string {
+	n := 64
+	iters := 2 * scale
+	bytes := n * n * 8
+	return fmt.Sprintf(`
+# tomcatv analogue: five-point stencils over two grids.
+        .data
+ax:     .space %[1]d
+        .space 288               # pad: avoid same-set aliasing across arrays
+ay:     .space %[1]d
+        .space 544
+rx:     .space %[1]d
+        .space 800
+ry:     .space %[1]d
+        .text
+        # ---- init: ax[i] = i, ay[i] = 2i (linear fill) ----
+        la   r1, ax
+        la   r2, ay
+        li   r3, %[2]d           # total words
+        li   r4, 0
+init:   fcvtdw f1, r4
+        fsd  f1, 0(r1)
+        fadd f2, f1, f1
+        fsd  f2, 0(r2)
+        addi r1, r1, 8
+        addi r2, r2, 8
+        addi r4, r4, 1
+        bne  r4, r3, init
+
+bench_main:
+        li   r20, %[3]d          # outer iterations
+outer:
+        # ---- stencil pass: interior rows 1..N-2 ----
+        li   r5, 1               # i
+rowlp:  # row base offsets: cur = i*N*8
+        li   r6, %[4]d           # N*8 row stride
+        mul  r7, r5, r6          # cur row byte offset
+        la   r8, ax
+        add  r8, r8, r7          # &ax[i][0]
+        la   r9, rx
+        add  r9, r9, r7          # &rx[i][0]
+        la   r10, ay
+        add  r10, r10, r7
+        la   r11, ry
+        add  r11, r11, r7
+        li   r12, 1              # j
+collp:  slli r13, r12, 3
+        add  r14, r8, r13        # &ax[i][j]
+        fld  f1, -8(r14)         # west
+        fld  f2, 8(r14)          # east
+        li   r15, %[4]d
+        sub  r16, r14, r15
+        fld  f3, 0(r16)          # north
+        add  r16, r14, r15
+        fld  f4, 0(r16)          # south
+        fadd f5, f1, f2
+        fadd f6, f3, f4
+        fadd f5, f5, f6
+        fld  f7, 0(r14)          # centre
+        fsub f5, f5, f7
+        add  r16, r9, r13
+        fsd  f5, 0(r16)          # rx[i][j]
+        # same stencil on ay -> ry
+        add  r14, r10, r13
+        fld  f1, -8(r14)
+        fld  f2, 8(r14)
+        sub  r16, r14, r15
+        fld  f3, 0(r16)
+        add  r16, r14, r15
+        fld  f4, 0(r16)
+        fadd f5, f1, f2
+        fadd f6, f3, f4
+        fadd f5, f5, f6
+        add  r16, r11, r13
+        fsd  f5, 0(r16)
+        addi r12, r12, 1
+        li   r16, %[5]d          # N-1
+        bne  r12, r16, collp
+        addi r5, r5, 1
+        bne  r5, r16, rowlp
+
+        # ---- copy results back (second sequential pass) ----
+        la   r1, rx
+        la   r2, ax
+        la   r3, ry
+        la   r4, ay
+        li   r5, %[2]d
+copy:   fld  f1, 0(r1)
+        fsd  f1, 0(r2)
+        fld  f2, 0(r3)
+        fsd  f2, 0(r4)
+        addi r1, r1, 8
+        addi r2, r2, 8
+        addi r3, r3, 8
+        addi r4, r4, 8
+        addi r5, r5, -1
+        bne  r5, zero, copy
+
+        addi r20, r20, -1
+        bne  r20, zero, outer
+        halt
+`, bytes, n*n, iters, n*8, n-1)
+}
+
+// swim: u[i] = v[i] + w[i]; v[i] = u[i] * w[i] over three big arrays.
+func swimSource(scale int) string {
+	words := 24 * 1024 // 192 KB per array triple
+	iters := 3 * scale
+	return fmt.Sprintf(`
+# swim analogue: interleaved three-array sweeps.
+        .data
+u:      .space %[1]d
+        .space 288               # pad: avoid same-set aliasing across arrays
+v:      .space %[1]d
+        .space 544
+w:      .space %[1]d
+        .text
+        # init v and w linearly
+        la   r1, v
+        la   r2, w
+        li   r3, %[2]d
+        li   r4, 1
+init:   fcvtdw f1, r4
+        fsd  f1, 0(r1)
+        fsd  f1, 0(r2)
+        addi r1, r1, 8
+        addi r2, r2, 8
+        addi r4, r4, 1
+        addi r3, r3, -1
+        bne  r3, zero, init
+
+bench_main:
+        li   r20, %[3]d
+outer:  la   r1, u
+        la   r2, v
+        la   r3, w
+        li   r4, %[2]d
+sweep:  fld  f1, 0(r2)
+        fld  f2, 0(r3)
+        fadd f3, f1, f2
+        fsd  f3, 0(r1)
+        fmul f4, f3, f2
+        fsd  f4, 0(r2)
+        addi r1, r1, 8
+        addi r2, r2, 8
+        addi r3, r3, 8
+        addi r4, r4, -1
+        bne  r4, zero, sweep
+        addi r20, r20, -1
+        bne  r20, zero, outer
+        halt
+`, words*8, words, iters)
+}
+
+// hydro2d: row sweep then column sweep over one grid.
+func hydro2dSource(scale int) string {
+	n := 128 // 128x128 doubles = 128 KB
+	iters := 2 * scale
+	return fmt.Sprintf(`
+# hydro2d analogue: row-order then column-order passes.
+        .data
+g:      .space %[1]d
+        .text
+        la   r1, g
+        li   r2, %[2]d
+        li   r3, 3
+init:   fcvtdw f1, r3
+        fsd  f1, 0(r1)
+        addi r1, r1, 8
+        addi r3, r3, 7
+        addi r2, r2, -1
+        bne  r2, zero, init
+
+bench_main:
+        li   r20, %[3]d
+outer:
+        # row-order: g[i] = g[i] * 0.5 + g[i+1]
+        la   r1, g
+        li   r2, %[4]d           # N*N - 1
+rows:   fld  f1, 0(r1)
+        fld  f2, 8(r1)
+        fadd f3, f1, f2
+        fsd  f3, 0(r1)
+        addi r1, r1, 8
+        addi r2, r2, -1
+        bne  r2, zero, rows
+        # column-order: stride N*8 through each column
+        li   r5, 0               # column
+cols:   la   r1, g
+        slli r6, r5, 3
+        add  r1, r1, r6          # &g[0][col]
+        li   r2, %[5]d           # N-1 steps down the column
+coldn:  fld  f1, 0(r1)
+        li   r7, %[6]d
+        add  r8, r1, r7
+        fld  f2, 0(r8)
+        fadd f3, f1, f2
+        fsd  f3, 0(r1)
+        mov  r1, r8
+        addi r2, r2, -1
+        bne  r2, zero, coldn
+        addi r5, r5, 1
+        li   r7, %[7]d
+        bne  r5, r7, cols
+        addi r20, r20, -1
+        bne  r20, zero, outer
+        halt
+`, n*n*8, n*n, iters, n*n-1, n-1, n*8, n)
+}
+
+// mgrid: seven-point stencil over a 3-D grid.
+func mgridSource(scale int) string {
+	n := 28 // 28^3 * 8 = ~172 KB
+	iters := 1 * scale
+	plane := n * n * 8
+	row := n * 8
+	inner := n - 2
+	return fmt.Sprintf(`
+# mgrid analogue: 3-D seven-point stencil.
+        .data
+v3:     .space %[1]d
+        .space 288               # pad: avoid same-set aliasing across arrays
+r3:     .space %[1]d
+        .text
+        la   r1, v3
+        li   r2, %[2]d
+        li   r3, 1
+init:   fcvtdw f1, r3
+        fsd  f1, 0(r1)
+        addi r1, r1, 8
+        addi r3, r3, 3
+        addi r2, r2, -1
+        bne  r2, zero, init
+
+bench_main:
+        li   r20, %[3]d
+outer:  li   r4, 1               # k plane
+plk:    li   r5, 1               # i row
+pli:    # base = ((k*N + i)*N + 1)*8
+        li   r6, %[4]d
+        mul  r7, r4, r6          # k*plane
+        li   r8, %[5]d
+        mul  r9, r5, r8          # i*row
+        add  r7, r7, r9
+        la   r10, v3
+        add  r10, r10, r7
+        addi r10, r10, 8         # j=1
+        la   r11, r3
+        add  r11, r11, r7
+        addi r11, r11, 8
+        li   r12, %[6]d          # inner count
+plj:    fld  f1, -8(r10)
+        fld  f2, 8(r10)
+        li   r13, %[5]d
+        sub  r14, r10, r13
+        fld  f3, 0(r14)
+        add  r14, r10, r13
+        fld  f4, 0(r14)
+        li   r13, %[4]d
+        sub  r14, r10, r13
+        fld  f5, 0(r14)
+        add  r14, r10, r13
+        fld  f6, 0(r14)
+        fadd f7, f1, f2
+        fadd f8, f3, f4
+        fadd f9, f5, f6
+        fadd f7, f7, f8
+        fadd f7, f7, f9
+        fld  f8, 0(r10)
+        fsub f7, f7, f8
+        fsd  f7, 0(r11)
+        addi r10, r10, 8
+        addi r11, r11, 8
+        addi r12, r12, -1
+        bne  r12, zero, plj
+        addi r5, r5, 1
+        li   r13, %[7]d
+        bne  r5, r13, pli
+        addi r4, r4, 1
+        bne  r4, r13, plk
+        addi r20, r20, -1
+        bne  r20, zero, outer
+        halt
+`, n*n*n*8, n*n*n, iters, plane, row, inner, n-1)
+}
+
+// applu: forward/backward first-order recurrences over banded arrays.
+func appluSource(scale int) string {
+	m := 12 * 1024 // 12 K doubles per array, 5 arrays = 480 KB
+	iters := 2 * scale
+	return fmt.Sprintf(`
+# applu analogue: banded-solver recurrences.
+        .data
+bl0:    .space %[1]d
+        .space 288               # pad: avoid same-set aliasing across arrays
+bl1:    .space %[1]d
+        .space 544
+bd:     .space %[1]d
+        .space 800
+bb:     .space %[1]d
+        .space 1056
+bx:     .space %[1]d
+        .text
+        la   r1, bl0
+        la   r2, bl1
+        la   r3, bd
+        la   r4, bb
+        li   r5, %[2]d
+        li   r6, 2
+init:   fcvtdw f1, r6
+        fsd  f1, 0(r1)
+        fsd  f1, 0(r2)
+        fsd  f1, 0(r3)
+        fsd  f1, 0(r4)
+        addi r1, r1, 8
+        addi r2, r2, 8
+        addi r3, r3, 8
+        addi r4, r4, 8
+        addi r6, r6, 5
+        addi r5, r5, -1
+        bne  r5, zero, init
+
+bench_main:
+        li   r20, %[3]d
+outer:
+        # forward: x[i] = (b[i] - l0[i]*x[i-1] - l1[i]*x[i-2]) / d[i]
+        la   r1, bl0
+        addi r1, r1, 16
+        la   r2, bl1
+        addi r2, r2, 16
+        la   r3, bd
+        addi r3, r3, 16
+        la   r4, bb
+        addi r4, r4, 16
+        la   r5, bx
+        addi r5, r5, 16
+        fld  f10, -8(r5)         # x[i-1]
+        fld  f11, -16(r5)        # x[i-2]
+        li   r6, %[4]d           # M-2 steps
+fwd:    fld  f1, 0(r1)
+        fld  f2, 0(r2)
+        fld  f3, 0(r3)
+        fld  f4, 0(r4)
+        fmul f5, f1, f10
+        fmul f6, f2, f11
+        fsub f7, f4, f5
+        fsub f7, f7, f6
+        fmul f8, f7, f3          # multiply by precomputed reciprocal pivot
+        fsd  f8, 0(r5)
+        fmov f11, f10
+        fmov f10, f8
+        addi r1, r1, 8
+        addi r2, r2, 8
+        addi r3, r3, 8
+        addi r4, r4, 8
+        addi r5, r5, 8
+        addi r6, r6, -1
+        bne  r6, zero, fwd
+        addi r20, r20, -1
+        bne  r20, zero, outer
+        halt
+`, m*8, m, iters, m-2)
+}
+
+// turb3d: butterfly passes with large power-of-two strides.
+func turb3dSource(scale int) string {
+	words := 16 * 1024 // 128 KB
+	passes := 1 * scale
+	return fmt.Sprintf(`
+# turb3d analogue: FFT-style butterflies at large strides.
+        .data
+sig:    .space %[1]d
+        .text
+        la   r1, sig
+        li   r2, %[2]d
+        li   r3, 9
+init:   fcvtdw f1, r3
+        fsd  f1, 0(r1)
+        addi r1, r1, 8
+        addi r3, r3, 11
+        addi r2, r2, -1
+        bne  r2, zero, init
+
+bench_main:
+        li   r20, %[3]d
+pass:   li   r10, 4096           # stride bytes, halves each stage
+stage:  la   r1, sig
+        li   r2, 0               # pair index
+bfly:   add  r3, r1, r10
+        fld  f1, 0(r1)
+        fld  f2, 0(r3)
+        fadd f3, f1, f2
+        fsub f4, f1, f2
+        fsd  f3, 0(r1)
+        fsd  f4, 0(r3)
+        addi r1, r1, 8
+        addi r2, r2, 1
+        li   r4, 8192            # pairs per stage: cover half the array
+        bne  r2, r4, bfly
+        srli r10, r10, 1
+        li   r4, 256
+        bge  r10, r4, stage
+        addi r20, r20, -1
+        bne  r20, zero, pass
+        halt
+`, words*8, words, passes)
+}
+
+// fpppp: dense unrolled FP over a cache-resident working set.
+func fppppSource(scale int) string {
+	words := 1024 // 8 KB: mostly fits in L1
+	iters := 60 * scale
+	return fmt.Sprintf(`
+# fpppp analogue: huge basic blocks of dense FP, small working set.
+        .data
+wk:     .space %[1]d
+        .text
+        la   r1, wk
+        li   r2, %[2]d
+        li   r3, 1
+init:   fcvtdw f1, r3
+        fsd  f1, 0(r1)
+        addi r1, r1, 8
+        addi r3, r3, 1
+        addi r2, r2, -1
+        bne  r2, zero, init
+
+bench_main:
+        li   r20, %[3]d
+outer:  la   r1, wk
+        li   r2, %[4]d           # words/4 per block pass
+blk:    fld  f1, 0(r1)
+        fld  f2, 8(r1)
+        fld  f3, 16(r1)
+        fld  f4, 24(r1)
+        fmul f5, f1, f2
+        fadd f6, f3, f4
+        fmul f7, f5, f6
+        fadd f8, f7, f1
+        fmul f9, f8, f2
+        fadd f10, f9, f3
+        fmul f11, f10, f4
+        fadd f12, f11, f5
+        fdiv f13, f12, f6
+        fsd  f13, 0(r1)
+        addi r1, r1, 32
+        addi r2, r2, -1
+        bne  r2, zero, blk
+        addi r20, r20, -1
+        bne  r20, zero, outer
+        halt
+`, words*8, words, iters, words/4)
+}
+
+// wave5: particle gather/scatter into a large grid.
+func wave5Source(scale int) string {
+	gridWords := 32 * 1024 // 256 KB grid
+	particles := 8 * 1024  // 64 KB particle array
+	iters := 3 * scale
+	return fmt.Sprintf(`
+# wave5 analogue: particle-in-cell gather/scatter.
+        .data
+grid:   .space %[1]d
+        .space 288               # pad: avoid same-set aliasing across arrays
+pidx:   .space %[2]d             # particle cell indices (words)
+        .space 544
+pval:   .space %[2]d             # particle charge (doubles)
+        .text
+        # init particle indices with an LCG, values linearly
+        la   r1, pidx
+        la   r2, pval
+        li   r3, %[3]d
+        li   r4, 88172645463325252   # LCG state
+        li   r9, 1
+init:   li   r5, 6364136223846793005
+        mul  r4, r4, r5
+        li   r5, 1442695040888963407
+        add  r4, r4, r5
+        srli r6, r4, 17
+        li   r7, %[4]d           # grid word mask (power of two - 1)
+        and  r6, r6, r7
+        sd   r6, 0(r1)
+        fcvtdw f1, r9
+        fsd  f1, 0(r2)
+        addi r1, r1, 8
+        addi r2, r2, 8
+        addi r9, r9, 1
+        addi r3, r3, -1
+        bne  r3, zero, init
+
+bench_main:
+        li   r20, %[5]d
+step:   la   r1, pidx
+        la   r2, pval
+        li   r3, %[3]d
+part:   ld   r4, 0(r1)           # cell index
+        slli r4, r4, 3
+        la   r5, grid
+        add  r5, r5, r4
+        fld  f1, 0(r5)           # gather
+        fld  f2, 0(r2)
+        fadd f3, f1, f2
+        fsd  f3, 0(r5)           # scatter
+        fsd  f1, 0(r2)           # particle remembers field
+        addi r1, r1, 8
+        addi r2, r2, 8
+        addi r3, r3, -1
+        bne  r3, zero, part
+        addi r20, r20, -1
+        bne  r20, zero, step
+        halt
+`, gridWords*8, particles*8, particles, gridWords-1, iters)
+}

@@ -1,0 +1,553 @@
+package workload
+
+import "fmt"
+
+// The integer suite. Pseudo-random inputs come from in-kernel LCGs so
+// every run is deterministic and self-contained.
+
+func init() {
+	register(Workload{
+		Name:   "go",
+		Class:  Int,
+		Timing: true,
+		Regime: "game-tree evaluation: branchy neighbor inspections over a " +
+			"board and history array — small-ish working set, irregular " +
+			"short-distance accesses, very low store fraction.",
+		source: goSource,
+	})
+	register(Workload{
+		Name:   "compress",
+		Class:  Int,
+		Timing: true,
+		Regime: "LZW dictionary compression: hash-probe loads into a 256 KB " +
+			"table plus an output store per input byte — stores nearly " +
+			"match loads, the regime where ESP's write elimination wins " +
+			"biggest (Figure 7).",
+		source: compressSource,
+	})
+	register(Workload{
+		Name:  "li",
+		Class: Int,
+		Regime: "lisp interpreter: cons-cell pointer chasing over a small, " +
+			"heavily re-referenced heap — the data set that profits most " +
+			"from replication (Table 2 shows li's threads among the " +
+			"longest).",
+		source: liSource,
+	})
+	register(Workload{
+		Name:  "perl",
+		Class: Int,
+		Regime: "script interpreter: byte-string hashing with bucket-table " +
+			"updates and data-dependent dispatch — irregular loads over a " +
+			"medium table, moderate stores.",
+		source: perlSource,
+	})
+	register(Workload{
+		Name:  "gcc",
+		Class: Int,
+		Regime: "compiler: root-to-leaf walks over pointer-linked tree " +
+			"nodes in a 256 KB arena — read-mostly, dependence-chained, " +
+			"low spatial locality.",
+		source: gccSource,
+	})
+	register(Workload{
+		Name:  "m88ksim",
+		Class: Int,
+		Regime: "CPU simulator: fetch-decode-execute interpreter over a " +
+			"synthetic guest program — sequential guest text, random " +
+			"guest data, table-driven control.",
+		source: m88ksimSource,
+	})
+	register(Workload{
+		Name:  "vortex",
+		Class: Int,
+		Regime: "object database: record lookups by index with multi-field " +
+			"reads and in-place updates plus sequential journal appends — " +
+			"store-rich with mixed regular/irregular access.",
+		source: vortexSource,
+	})
+}
+
+// go: board neighbor evaluation with branchy control.
+func goSource(scale int) string {
+	side := 64 // 64x64 words = 32 KB board
+	moves := 30000 * scale
+	return fmt.Sprintf(`
+# go analogue: board evaluation with neighbor counting.
+        .data
+board:  .space %[1]d
+        .space 288               # pad: avoid same-set aliasing across arrays
+hist:   .space %[1]d
+        .text
+        # sparse init: every 7th point gets a stone of alternating color
+        la   r1, board
+        li   r2, %[2]d
+        li   r3, 0
+binit:  li   r4, 7
+        rem  r5, r3, r4
+        bne  r5, zero, bskip
+        andi r6, r3, 1
+        addi r6, r6, 1           # stone color 1 or 2
+        sd   r6, 0(r1)
+bskip:  addi r1, r1, 8
+        addi r3, r3, 1
+        bne  r3, r2, binit
+
+bench_main:
+        li   r20, %[3]d          # moves
+        li   r10, 123456789      # LCG state
+        li   r21, 0              # moves left in current region
+        li   r22, 0              # region base point
+move:   li   r11, 1103515245
+        mul  r10, r10, r11
+        addi r10, r10, 12345
+        bne  r21, zero, inregion
+        # Pick a new region every 32 moves: real game evaluation works a
+        # local fight, giving the spatial locality uniform random points
+        # lack.
+        srli r22, r10, 16
+        li   r13, %[4]d          # interior mask
+        and  r22, r22, r13
+        li   r21, 32
+inregion:
+        addi r21, r21, -1
+        srli r12, r10, 24
+        andi r12, r12, 255       # point within the region's 256-point span
+        add  r12, r12, r22
+        li   r13, %[4]d
+        and  r12, r12, r13
+        addi r12, r12, %[5]d     # keep off the rim
+        slli r14, r12, 3
+        la   r15, board
+        add  r15, r15, r14       # &board[p]
+        # count occupied neighbors (n,s,e,w)
+        li   r16, 0
+        ld   r17, -8(r15)
+        beq  r17, zero, gow
+        addi r16, r16, 1
+gow:    ld   r17, 8(r15)
+        beq  r17, zero, goe
+        addi r16, r16, 1
+goe:    li   r18, %[6]d
+        sub  r19, r15, r18
+        ld   r17, 0(r19)
+        beq  r17, zero, gon
+        addi r16, r16, 1
+gon:    add  r19, r15, r18
+        ld   r17, 0(r19)
+        beq  r17, zero, gos
+        addi r16, r16, 1
+gos:    # play on empty points with < 4 neighbors; else record ko
+        ld   r17, 0(r15)
+        bne  r17, zero, occupied
+        li   r18, 4
+        beq  r16, r18, occupied
+        andi r17, r10, 1
+        addi r17, r17, 1
+        sd   r17, 0(r15)         # place stone
+        b    hrec
+occupied:
+        li   r17, 0
+hrec:   la   r18, hist
+        add  r18, r18, r14
+        ld   r19, 0(r18)
+        add  r19, r19, r16
+        sd   r19, 0(r18)         # history update
+        addi r20, r20, -1
+        bne  r20, zero, move
+        halt
+`, side*side*8, side*side, moves,
+		(side-2)*(side-2)-1, side+1, side*8)
+}
+
+// compress: hash-probe dictionary with per-byte output stores.
+func compressSource(scale int) string {
+	inputBytes := 48 * 1024
+	tabWords := 32 * 1024 // 256 KB table
+	passes := 2 * scale
+	return fmt.Sprintf(`
+# compress analogue: LZW-style hashing, store-rich.
+        .data
+input:  .space %[1]d
+        .space 288               # pad: avoid same-set aliasing across arrays
+        .align 8
+htab:   .space %[2]d
+        .space 544
+outb:   .space %[1]d
+        .text
+        # generate input bytes with an LCG
+        la   r1, input
+        li   r2, %[3]d
+        li   r3, 77777
+ginit:  li   r4, 1103515245
+        mul  r3, r3, r4
+        addi r3, r3, 12345
+        srli r5, r3, 16
+        andi r5, r5, 255
+        sb   r5, 0(r1)
+        addi r1, r1, 1
+        addi r2, r2, -1
+        bne  r2, zero, ginit
+
+bench_main:
+        li   r20, %[4]d
+pass:   la   r1, input
+        la   r11, outb
+        li   r2, %[3]d
+        li   r10, 0              # rolling hash
+byte:   lbu  r3, 0(r1)
+        # h = (h*33 + c) & (tabWords-1)
+        slli r4, r10, 5
+        add  r4, r4, r10
+        add  r4, r4, r3
+        li   r5, %[5]d
+        and  r10, r4, r5
+        # probe dictionary
+        slli r6, r10, 3
+        la   r7, htab
+        add  r7, r7, r6
+        ld   r8, 0(r7)
+        addi r9, r3, 1           # encoded symbol
+        beq  r8, r9, hit
+        sd   r9, 0(r7)           # install new entry (store)
+hit:    sb   r3, 0(r11)          # emit output byte (store)
+        addi r11, r11, 1
+        addi r1, r1, 1
+        addi r2, r2, -1
+        bne  r2, zero, byte
+        addi r20, r20, -1
+        bne  r20, zero, pass
+        halt
+`, inputBytes, tabWords*8, inputBytes, passes, tabWords-1)
+}
+
+// li: cons-cell chains over a small hot heap.
+func liSource(scale int) string {
+	cells := 4096 // 64 KB of 16-byte cells
+	walks := 60 * scale
+	return fmt.Sprintf(`
+# li analogue: cons-cell pointer chasing, hot small heap.
+        .data
+heap:   .space %[1]d
+        .text
+        # link cell i -> (i*17+7) mod N (a permutation when N is a power
+        # of two and the multiplier is odd), car = i
+        la   r1, heap
+        li   r2, 0
+cinit:  fcvtdw f1, r2            # keep FP unit honest in an int code
+        sd   r2, 0(r1)           # car
+        li   r3, 17
+        mul  r4, r2, r3
+        addi r4, r4, 7
+        li   r5, %[2]d
+        and  r4, r4, r5
+        slli r4, r4, 4
+        la   r6, heap
+        add  r6, r6, r4
+        sd   r6, 8(r1)           # cdr
+        addi r1, r1, 16
+        addi r2, r2, 1
+        li   r3, %[3]d
+        bne  r2, r3, cinit
+
+bench_main:
+        li   r20, %[4]d          # walks
+        li   r12, 0              # accumulated sum
+walk:   la   r1, heap
+        li   r2, %[3]d           # steps per walk
+chase:  ld   r3, 0(r1)           # car
+        add  r12, r12, r3
+        andi r4, r3, 15
+        bne  r4, zero, nocons
+        sd   r12, 0(r1)          # occasional rplaca (store)
+nocons: ld   r1, 8(r1)           # cdr chase
+        addi r2, r2, -1
+        bne  r2, zero, chase
+        addi r20, r20, -1
+        bne  r20, zero, walk
+        halt
+`, cells*16, cells-1, cells, walks)
+}
+
+// perl: byte-string hashing with bucket updates and dispatch.
+func perlSource(scale int) string {
+	strBytes := 64 * 1024
+	buckets := 8 * 1024 // 64 KB bucket table
+	ops := 20000 * scale
+	return fmt.Sprintf(`
+# perl analogue: string hashing + bucket-table updates + dispatch.
+        .data
+strs:   .space %[1]d
+        .align 8
+bukt:   .space %[2]d
+        .text
+        la   r1, strs
+        li   r2, %[3]d
+        li   r3, 31337
+sinit:  li   r4, 1103515245
+        mul  r3, r3, r4
+        addi r3, r3, 12345
+        srli r5, r3, 16
+        andi r5, r5, 255
+        sb   r5, 0(r1)
+        addi r1, r1, 1
+        addi r2, r2, -1
+        bne  r2, zero, sinit
+
+bench_main:
+        li   r20, %[4]d
+        li   r10, 424242         # LCG state
+op:     li   r11, 1103515245
+        mul  r10, r10, r11
+        addi r10, r10, 12345
+        srli r12, r10, 16
+        li   r13, %[5]d          # string start mask
+        and  r12, r12, r13
+        la   r14, strs
+        add  r14, r14, r12       # string pointer
+        # hash 16 bytes
+        li   r15, 16
+        li   r16, 5381
+hash:   lbu  r17, 0(r14)
+        slli r18, r16, 5
+        add  r16, r18, r16
+        add  r16, r16, r17
+        addi r14, r14, 1
+        addi r15, r15, -1
+        bne  r15, zero, hash
+        li   r18, %[6]d
+        and  r16, r16, r18       # bucket index
+        slli r17, r16, 3
+        la   r18, bukt
+        add  r18, r18, r17
+        # dispatch on hash low bits
+        andi r19, r16, 3
+        li   r15, 1
+        beq  r19, r15, dinc2
+        li   r15, 2
+        beq  r19, r15, dxor
+        li   r15, 3
+        beq  r19, r15, dneg
+        ld   r15, 0(r18)         # default: increment
+        addi r15, r15, 1
+        sd   r15, 0(r18)
+        b    next
+dinc2:  ld   r15, 0(r18)
+        addi r15, r15, 2
+        sd   r15, 0(r18)
+        b    next
+dxor:   ld   r15, 0(r18)
+        xor  r15, r15, r16
+        sd   r15, 0(r18)
+        b    next
+dneg:   ld   r15, 0(r18)
+        sub  r15, zero, r15
+        sd   r15, 0(r18)
+next:   addi r20, r20, -1
+        bne  r20, zero, op
+        halt
+`, strBytes, buckets*8, strBytes, ops, strBytes-64-1, buckets-1)
+}
+
+// gcc: root-to-leaf walks over linked tree nodes.
+func gccSource(scale int) string {
+	nodes := 8 * 1024 // 256 KB of 32-byte nodes
+	walks := 12000 * scale
+	return fmt.Sprintf(`
+# gcc analogue: pointer-linked tree walks over a large arena.
+        .data
+arena:  .space %[1]d
+        .text
+        # node i: left -> LCG(i) scaled, right -> LCG'(i), val = i
+        la   r1, arena
+        li   r2, 0
+ninit:  li   r3, 2654435761
+        mul  r4, r2, r3
+        srli r4, r4, 13
+        li   r5, %[2]d
+        and  r4, r4, r5
+        slli r4, r4, 5
+        la   r6, arena
+        add  r6, r6, r4
+        sd   r6, 0(r1)           # left
+        li   r3, 40503
+        mul  r4, r2, r3
+        addi r4, r4, 9176
+        srli r4, r4, 7
+        and  r4, r4, r5
+        slli r4, r4, 5
+        la   r6, arena
+        add  r6, r6, r4
+        sd   r6, 8(r1)           # right
+        sd   r2, 16(r1)          # val
+        addi r1, r1, 32
+        addi r2, r2, 1
+        li   r3, %[3]d
+        bne  r2, r3, ninit
+
+bench_main:
+        li   r20, %[4]d          # walks
+        li   r10, 98765          # LCG
+        li   r12, 0              # checksum
+walkg:  li   r11, 1103515245
+        mul  r10, r10, r11
+        addi r10, r10, 12345
+        la   r1, arena
+        li   r2, 14              # depth
+desc:   ld   r3, 16(r1)          # val
+        add  r12, r12, r3
+        srli r4, r10, 3
+        srl  r4, r4, r2
+        andi r4, r4, 1
+        beq  r4, zero, goleft
+        ld   r1, 8(r1)
+        b    stepd
+goleft: ld   r1, 0(r1)
+stepd:  addi r2, r2, -1
+        bne  r2, zero, desc
+        sd   r12, 24(r1)         # leaf annotation (store)
+        addi r20, r20, -1
+        bne  r20, zero, walkg
+        halt
+`, nodes*32, nodes-1, nodes, walks)
+}
+
+// m88ksim: fetch-decode-execute interpreter over a synthetic guest.
+func m88ksimSource(scale int) string {
+	guestInstrs := 16 * 1024 // 128 KB guest text
+	guestData := 8 * 1024    // 64 KB guest memory (words)
+	passes := 3 * scale
+	return fmt.Sprintf(`
+# m88ksim analogue: interpreter fetch-decode-execute loop.
+        .data
+gtext:  .space %[1]d
+gdata:  .space %[2]d
+gregs:  .space 256               # 32 guest registers
+        .text
+        # synthesize guest program: packed word = op(2b) | rd(5b) |
+        # rs(5b) | imm(16b)
+        la   r1, gtext
+        li   r2, %[3]d
+        li   r3, 5555
+tinit:  li   r4, 1103515245
+        mul  r3, r3, r4
+        addi r3, r3, 12345
+        srli r5, r3, 12
+        sd   r5, 0(r1)
+        addi r1, r1, 8
+        addi r2, r2, -1
+        bne  r2, zero, tinit
+
+bench_main:
+        li   r20, %[4]d
+run:    la   r1, gtext           # guest pc
+        li   r2, %[3]d
+fetch:  ld   r3, 0(r1)           # guest instruction
+        # decode
+        srli r4, r3, 26
+        andi r4, r4, 3           # op
+        srli r5, r3, 21
+        andi r5, r5, 31          # rd
+        srli r6, r3, 16
+        andi r6, r6, 31          # rs
+        andi r7, r3, 65535       # imm
+        # guest register file access
+        slli r8, r5, 3
+        la   r9, gregs
+        add  r8, r8, r9          # &gregs[rd]
+        slli r10, r6, 3
+        add  r10, r10, r9        # &gregs[rs]
+        ld   r11, 0(r10)
+        # execute
+        li   r12, 1
+        beq  r4, r12, gsub
+        li   r12, 2
+        beq  r4, r12, gload
+        li   r12, 3
+        beq  r4, r12, gstore
+        add  r13, r11, r7        # op 0: addi
+        sd   r13, 0(r8)
+        b    gnext
+gsub:   sub  r13, r11, r7
+        sd   r13, 0(r8)
+        b    gnext
+gload:  li   r14, %[5]d
+        and  r15, r7, r14
+        slli r15, r15, 3
+        la   r16, gdata
+        add  r15, r15, r16
+        ld   r13, 0(r15)
+        sd   r13, 0(r8)
+        b    gnext
+gstore: li   r14, %[5]d
+        and  r15, r7, r14
+        slli r15, r15, 3
+        la   r16, gdata
+        add  r15, r15, r16
+        sd   r11, 0(r15)
+gnext:  addi r1, r1, 8
+        addi r2, r2, -1
+        bne  r2, zero, fetch
+        addi r20, r20, -1
+        bne  r20, zero, run
+        halt
+`, guestInstrs*8, guestData*8, guestInstrs, passes, guestData-1)
+}
+
+// vortex: record lookups with field updates and journal appends.
+func vortexSource(scale int) string {
+	records := 4096 // 256 KB of 64-byte records
+	journal := 8192 // words
+	txns := 25000 * scale
+	return fmt.Sprintf(`
+# vortex analogue: database transactions over fixed-size records.
+        .data
+recs:   .space %[1]d
+jrnl:   .space %[2]d
+        .text
+        # init records: rec[i].key = i, .a = 2i, .b = 3i
+        la   r1, recs
+        li   r2, 0
+rinit:  sd   r2, 0(r1)
+        slli r3, r2, 1
+        sd   r3, 8(r1)
+        add  r3, r3, r2
+        sd   r3, 16(r1)
+        addi r1, r1, 64
+        addi r2, r2, 1
+        li   r3, %[3]d
+        bne  r2, r3, rinit
+
+bench_main:
+        li   r20, %[4]d          # transactions
+        li   r10, 24680          # LCG
+        li   r12, 0              # journal cursor (words)
+txn:    li   r11, 1103515245
+        mul  r10, r10, r11
+        addi r10, r10, 12345
+        srli r13, r10, 16
+        li   r14, %[5]d
+        and  r13, r13, r14       # record id
+        slli r15, r13, 6
+        la   r16, recs
+        add  r16, r16, r15       # &rec
+        ld   r17, 0(r16)         # key
+        ld   r18, 8(r16)         # a
+        ld   r19, 16(r16)        # b
+        add  r18, r18, r19
+        sd   r18, 8(r16)         # update a
+        addi r19, r19, 1
+        sd   r19, 16(r16)        # update b
+        # journal append (sequential store)
+        slli r15, r12, 3
+        la   r16, jrnl
+        add  r16, r16, r15
+        sd   r17, 0(r16)
+        addi r12, r12, 1
+        li   r15, %[6]d
+        and  r12, r12, r15       # wrap
+        addi r20, r20, -1
+        bne  r20, zero, txn
+        halt
+`, records*64, journal*8, records, txns, records-1, journal-1)
+}

@@ -1,0 +1,128 @@
+// Package workload provides the SPEC95-analogue benchmark suite. The
+// paper ran unmodified SPEC95 binaries under SimpleScalar; we cannot ship
+// SPEC95, so each benchmark is replaced by an assembly kernel built to
+// land in the same *memory-behaviour regime* as its original along the
+// four axes that drive every result in the paper:
+//
+//   - miss rate (data-set size and reuse distance vs. the 16 KB L1),
+//   - store fraction (ESP eliminates write traffic; compress's near-1:1
+//     store:load ratio is why it wins biggest in Figure 7),
+//   - spatial locality (line-granularity runs: stencils vs. hashing),
+//   - address-dependence chains (pointer chasing creates the datathreads
+//     of Table 2; interleaved array sweeps cut them).
+//
+// Each kernel documents which regime it reproduces. Absolute instruction
+// mixes differ from SPEC95; orderings and crossovers are what transfer
+// (see DESIGN.md §4).
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/wisc-arch/datascalar/internal/asm"
+	"github.com/wisc-arch/datascalar/internal/prog"
+)
+
+// Class tags a workload as integer or floating point, as SPEC95 does.
+type Class string
+
+// Workload classes.
+const (
+	Int Class = "int"
+	FP  Class = "fp"
+)
+
+// Workload is one benchmark analogue.
+type Workload struct {
+	// Name is the SPEC95 benchmark this kernel stands in for.
+	Name string
+	// Class is the SPEC class of the original.
+	Class Class
+	// Regime describes the memory behaviour the kernel reproduces and
+	// why it is faithful to the original for the paper's purposes.
+	Regime string
+	// Timing marks the six benchmarks used in the paper's timing
+	// experiments (Figures 7-8, Table 3): go, mgrid, applu, compress,
+	// turb3d, wave5.
+	Timing bool
+	// source generates the assembly for a scale factor (1 = the default
+	// used by the experiment harnesses).
+	source func(scale int) string
+}
+
+// Source returns the kernel's assembly at the given scale (values < 1 are
+// treated as 1).
+func (w Workload) Source(scale int) string {
+	if scale < 1 {
+		scale = 1
+	}
+	return w.source(scale)
+}
+
+// Program assembles the kernel at the given scale.
+func (w Workload) Program(scale int) (*prog.Program, error) {
+	p, err := asm.Assemble(w.Name, w.Source(scale))
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", w.Name, err)
+	}
+	return p, nil
+}
+
+var registry = map[string]Workload{}
+
+func register(w Workload) {
+	if _, dup := registry[w.Name]; dup {
+		panic("workload: duplicate " + w.Name)
+	}
+	registry[w.Name] = w
+}
+
+// All returns every workload sorted by name.
+func All() []Workload {
+	out := make([]Workload, 0, len(registry))
+	for _, w := range registry {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Table1Order returns the fourteen benchmarks in the paper's Table 1
+// column order.
+func Table1Order() []Workload {
+	names := []string{
+		"tomcatv", "swim", "hydro2d", "mgrid", "applu", "m88ksim", "turb3d",
+		"gcc", "compress", "li", "perl", "fpppp", "wave5", "vortex",
+	}
+	out := make([]Workload, 0, len(names))
+	for _, n := range names {
+		w, ok := registry[n]
+		if !ok {
+			panic("workload: missing table-1 benchmark " + n)
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// TimingSet returns the paper's six timing benchmarks in Figure 7 order:
+// applu, compress, go, mgrid, turb3d, wave5.
+func TimingSet() []Workload {
+	names := []string{"applu", "compress", "go", "mgrid", "turb3d", "wave5"}
+	out := make([]Workload, 0, len(names))
+	for _, n := range names {
+		w, ok := registry[n]
+		if !ok || !w.Timing {
+			panic("workload: missing timing benchmark " + n)
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// ByName looks a workload up.
+func ByName(name string) (Workload, bool) {
+	w, ok := registry[name]
+	return w, ok
+}

@@ -9,6 +9,18 @@
 //	dsrun -workload li -system emu            # functional run only
 //
 // Systems: ds (DataScalar), traditional, perfect, emu.
+//
+// Observability (see docs/OBSERVABILITY.md):
+//
+//	dsrun -workload compress -system ds -nodes 2 \
+//	      -trace-out trace.json -metrics-out metrics.json -interval 10000
+//	dsrun -workload compress -system ds -nodes 2 -json -      # result to stdout
+//
+// -trace-out writes a Chrome trace-event file (load it at
+// ui.perfetto.dev), -metrics-out a JSON interval time series plus the
+// final counters, and -json the full Result as JSON ("-" = stdout,
+// anything else = file path). Observation never changes the simulation:
+// cycle counts and counters are identical with or without these flags.
 package main
 
 import (
@@ -19,6 +31,78 @@ import (
 
 	datascalar "github.com/wisc-arch/datascalar"
 )
+
+// runArtifact is the -json envelope: enough run identity to tell
+// artifacts apart, plus the model's full result.
+type runArtifact struct {
+	System   string `json:"system"`
+	Workload string `json:"workload,omitempty"`
+	AsmFile  string `json:"asm_file,omitempty"`
+	Nodes    int    `json:"nodes"`
+	Scale    int    `json:"scale"`
+	Result   any    `json:"result"`
+}
+
+// observability bundles the sink flags and the observers built from
+// them.
+type observability struct {
+	traceOut   string
+	metricsOut string
+	interval   uint64
+	trace      *datascalar.Trace
+	metrics    *datascalar.Metrics
+}
+
+// observer returns the combined observer (nil when no sink was
+// requested, which disables observation entirely).
+func (o *observability) observer() datascalar.Observer {
+	var obs []datascalar.Observer
+	if o.traceOut != "" {
+		o.trace = datascalar.NewTrace()
+		obs = append(obs, o.trace)
+	}
+	if o.metricsOut != "" {
+		o.metrics = datascalar.NewMetrics(o.interval)
+		obs = append(obs, o.metrics)
+	}
+	return datascalar.MultiObserver(obs...)
+}
+
+// write flushes the requested sink files; final is embedded in the
+// metrics file as the end-of-run counter snapshot.
+func (o *observability) write(final any) error {
+	if o.trace != nil {
+		if err := o.trace.WriteChromeTraceFile(o.traceOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "dsrun: wrote %d trace events, %d samples to %s\n",
+			o.trace.NumEvents(), o.trace.NumSamples(), o.traceOut)
+	}
+	if o.metrics != nil {
+		if err := o.metrics.WriteFile(o.metricsOut, final); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "dsrun: wrote %d sampled intervals to %s\n",
+			o.metrics.NumIntervals(), o.metricsOut)
+	}
+	return nil
+}
+
+// writeArtifact emits the -json envelope to stdout ("-") or a file.
+func writeArtifact(path string, a runArtifact) error {
+	if path == "-" {
+		return datascalar.WriteResultJSON(os.Stdout, a)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := datascalar.WriteResultJSON(f, a); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 func main() {
 	log.SetFlags(0)
@@ -31,6 +115,11 @@ func main() {
 	instr := flag.Uint64("instr", 0, "max measured instructions (0 = run to completion)")
 	list := flag.Bool("list", false, "list bundled workloads and exit")
 	report := flag.Bool("report", false, "print full statistics tables after DataScalar runs")
+	jsonOut := flag.String("json", "", "write the full result as JSON to this file (\"-\" = stdout)")
+	var ob observability
+	flag.StringVar(&ob.traceOut, "trace-out", "", "write a Chrome trace-event file (Perfetto-loadable) to this path")
+	flag.StringVar(&ob.metricsOut, "metrics-out", "", "write an interval metrics JSON time series to this path")
+	flag.Uint64Var(&ob.interval, "interval", 10000, "metrics sampling interval in cycles (ds only)")
 	flag.Parse()
 
 	if *list {
@@ -48,6 +137,26 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if (ob.traceOut != "" || ob.metricsOut != "") && *system != "ds" && *system != "traditional" {
+		log.Fatalf("-trace-out/-metrics-out require -system ds or traditional (got %q)", *system)
+	}
+	if ob.metricsOut != "" && ob.interval == 0 {
+		log.Fatal("-metrics-out needs a sampling interval; pass -interval > 0")
+	}
+
+	artifact := runArtifact{
+		System: *system, Workload: *workloadName, AsmFile: *asmFile,
+		Nodes: *nodes, Scale: *scale,
+	}
+	emitJSON := func(result any) {
+		if *jsonOut == "" {
+			return
+		}
+		artifact.Result = result
+		if err := writeArtifact(*jsonOut, artifact); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	switch *system {
 	case "emu":
@@ -61,6 +170,9 @@ func main() {
 		}
 		fmt.Printf("executed %d instructions, halted=%v, pages touched=%d\n",
 			n, m.Halted(), m.Mem().PageCount())
+		emitJSON(map[string]any{
+			"instructions": n, "halted": m.Halted(), "pages_touched": m.Mem().PageCount(),
+		})
 
 	case "perfect":
 		r, err := datascalar.RunPerfectCache(datascalar.DefaultCoreConfig(), p, *instr, ff)
@@ -69,6 +181,7 @@ func main() {
 		}
 		fmt.Printf("perfect cache: %d instructions in %d cycles, IPC %.2f\n",
 			r.Instructions, r.Cycles, r.IPC)
+		emitJSON(r)
 
 	case "ds":
 		pt, err := datascalar.Partition{NumNodes: *nodes, BlockPages: 1, ReplicateText: true}.Build(p)
@@ -78,6 +191,10 @@ func main() {
 		cfg := datascalar.DefaultConfig(*nodes)
 		cfg.MaxInstr = *instr
 		cfg.FastForwardPC = ff
+		cfg.Observer = ob.observer()
+		if cfg.Observer != nil {
+			cfg.SampleInterval = ob.interval
+		}
 		m, err := datascalar.NewMachine(cfg, p, pt)
 		if err != nil {
 			log.Fatal(err)
@@ -86,6 +203,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		if err := ob.write(r); err != nil {
+			log.Fatal(err)
+		}
+		emitJSON(r)
 		fmt.Printf("DataScalar %d nodes: %d instructions in %d cycles, IPC %.2f, correspondence=%v\n",
 			*nodes, r.Instructions, r.Cycles, r.IPC, r.CorrespondenceOK)
 		var bcast, late uint64
@@ -111,6 +232,7 @@ func main() {
 		cfg := datascalar.DefaultTraditionalConfig(*nodes)
 		cfg.MaxInstr = *instr
 		cfg.FastForwardPC = ff
+		cfg.Observer = ob.observer()
 		m, err := datascalar.NewTraditional(cfg, p, pt)
 		if err != nil {
 			log.Fatal(err)
@@ -119,6 +241,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		if err := ob.write(r); err != nil {
+			log.Fatal(err)
+		}
+		emitJSON(r)
 		fmt.Printf("traditional 1/%d on-chip: %d instructions in %d cycles, IPC %.2f\n",
 			*nodes, r.Instructions, r.Cycles, r.IPC)
 		fmt.Printf("off-chip loads=%d, off-chip stores=%d, writebacks off-chip=%d, bus bytes=%d\n",

@@ -24,6 +24,7 @@ func main() {
 	instr := flag.Uint64("instr", 0, "measured instructions per run (0 = default)")
 	bshr := flag.Bool("bshr", true, "also print Table 3 (broadcast statistics)")
 	cost := flag.Bool("cost", false, "also print the Wood-Hill cost-effectiveness analysis (paper §4.4)")
+	jsonOut := flag.String("json", "", "also write results as JSON to this file (\"-\" = stdout)")
 	flag.Parse()
 
 	opts := datascalar.DefaultExperimentOptions()
@@ -45,4 +46,25 @@ func main() {
 		fmt.Println()
 		datascalar.CostEffectiveness(f7).Table().Render(os.Stdout)
 	}
+	if *jsonOut != "" {
+		artifact := map[string]any{"figure7": f7, "table3": datascalar.Table3(f7)}
+		if err := writeJSON(*jsonOut, artifact); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func writeJSON(path string, v any) error {
+	if path == "-" {
+		return datascalar.WriteResultJSON(os.Stdout, v)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := datascalar.WriteResultJSON(f, v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

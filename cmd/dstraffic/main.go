@@ -22,6 +22,7 @@ func main() {
 	scale := flag.Int("scale", 1, "workload scale factor")
 	instr := flag.Uint64("instr", 0, "max instructions per benchmark (0 = default)")
 	detail := flag.Bool("detail", false, "print per-benchmark miss and writeback counts")
+	jsonOut := flag.String("json", "", "also write the Table 1 result as JSON to this file (\"-\" = stdout)")
 	flag.Parse()
 
 	opts := datascalar.DefaultExperimentOptions()
@@ -44,4 +45,24 @@ func main() {
 				d.ConventionalBytes, d.ConventionalTransactions, d.ESPBytes, d.ESPTransactions)
 		}
 	}
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, res); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func writeJSON(path string, v any) error {
+	if path == "-" {
+		return datascalar.WriteResultJSON(os.Stdout, v)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := datascalar.WriteResultJSON(f, v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

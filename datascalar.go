@@ -28,12 +28,15 @@
 package datascalar
 
 import (
+	"io"
+
 	"github.com/wisc-arch/datascalar/internal/asm"
 	"github.com/wisc-arch/datascalar/internal/bus"
 	"github.com/wisc-arch/datascalar/internal/core"
 	"github.com/wisc-arch/datascalar/internal/emu"
 	"github.com/wisc-arch/datascalar/internal/mem"
 	"github.com/wisc-arch/datascalar/internal/mmm"
+	"github.com/wisc-arch/datascalar/internal/obs"
 	"github.com/wisc-arch/datascalar/internal/ooo"
 	"github.com/wisc-arch/datascalar/internal/prog"
 	"github.com/wisc-arch/datascalar/internal/sim"
@@ -150,6 +153,52 @@ func DefaultCoreConfig() CoreConfig { return ooo.DefaultConfig() }
 func RunPerfectCache(cfg CoreConfig, p *Program, maxInstr, ffPC uint64) (TraditionalResult, error) {
 	return traditional.RunPerfect(cfg, p, maxInstr, ffPC)
 }
+
+// ---------------------------------------------------------------------------
+// Observability (docs/OBSERVABILITY.md).
+
+// Observer receives protocol events and interval samples from a running
+// machine; set it on Config.Observer (DataScalar) or
+// TraditionalConfig.Observer. A nil Observer disables observation at
+// zero cost, and an attached one never perturbs timing: cycle counts and
+// every statistics counter are bit-identical with observation on or off.
+type Observer = obs.Observer
+
+// ObsEvent is one timestamped protocol event (broadcast, BSHR, cache,
+// correspondence, or interconnect activity).
+type ObsEvent = obs.Event
+
+// ObsEventKind identifies an event's place in the taxonomy (see
+// docs/OBSERVABILITY.md).
+type ObsEventKind = obs.EventKind
+
+// ObsSample is one interval metrics snapshot (IPC, bus utilization,
+// broadcast rate, BSHR occupancy, L1 miss rate) for one node; enable
+// sampling with Config.SampleInterval.
+type ObsSample = obs.Sample
+
+// Trace collects events and samples and writes them as a Chrome
+// trace-event file loadable in Perfetto (ui.perfetto.dev).
+type Trace = obs.Trace
+
+// NewTrace returns an empty trace sink.
+func NewTrace() *Trace { return obs.NewTrace() }
+
+// Metrics collects interval samples and writes them as a JSON time
+// series alongside a final counter snapshot.
+type Metrics = obs.Metrics
+
+// NewMetrics returns a metrics sink expecting samples every
+// intervalCycles cycles.
+func NewMetrics(intervalCycles uint64) *Metrics { return obs.NewMetrics(intervalCycles) }
+
+// MultiObserver fans events and samples out to several observers (nils
+// are dropped; the result is nil when none remain).
+func MultiObserver(observers ...Observer) Observer { return obs.Multi(observers...) }
+
+// WriteResultJSON serializes any machine or experiment result as
+// indented JSON — the machine-readable counterpart of Result.Report().
+func WriteResultJSON(w io.Writer, v any) error { return sim.WriteJSON(w, v) }
 
 // ---------------------------------------------------------------------------
 // The synchronous ancestor (Massive Memory Machine).

@@ -19,6 +19,7 @@ package bus
 import (
 	"fmt"
 
+	"github.com/wisc-arch/datascalar/internal/obs"
 	"github.com/wisc-arch/datascalar/internal/stats"
 )
 
@@ -136,7 +137,12 @@ type Bus struct {
 	doneAt  uint64
 	current Message
 	stats   Stats
+	obs     obs.Observer
 }
+
+// SetObserver attaches an observer emitting a bus.grant event each time
+// arbitration starts a transfer (nil detaches).
+func (b *Bus) SetObserver(o obs.Observer) { b.obs = o }
 
 // New builds a bus connecting numNodes chips. It panics on invalid
 // configuration (experiment-setup error).
@@ -221,6 +227,12 @@ func (b *Bus) arbitrate(now uint64) {
 		b.stats.ByKindBytes[m.Kind].Add(uint64(m.WireBytes()))
 		if m.ReadyAt < now {
 			b.stats.ArbWaits.Inc()
+		}
+		if b.obs != nil {
+			b.obs.Event(obs.Event{
+				Cycle: now, Node: m.Src, Kind: obs.EvBusGrant,
+				Addr: m.Addr, Arg: uint64(m.WireBytes()),
+			})
 		}
 		return
 	}

@@ -1,5 +1,7 @@
 package bus
 
+import "github.com/wisc-arch/datascalar/internal/obs"
+
 // Arrival is one message landing at one node. Broadcast messages produce
 // one arrival per receiving node; on a bus they all land in the same
 // cycle, on a ring they land hop by hop.
@@ -22,6 +24,9 @@ type Network interface {
 	Pending() int
 	// NetStats returns the shared traffic counters.
 	NetStats() *Stats
+	// SetObserver attaches an observability sink for transfer-grant
+	// events (nil detaches; observation never affects timing).
+	SetObserver(o obs.Observer)
 }
 
 // numNodes returns the node count the bus was built for.

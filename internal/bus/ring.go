@@ -1,6 +1,10 @@
 package bus
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/wisc-arch/datascalar/internal/obs"
+)
 
 // RingConfig describes a unidirectional point-to-point ring, the
 // interconnect the paper envisions for high-performance DataScalar
@@ -54,6 +58,9 @@ type ringMsg struct {
 	// inFlight marks a hop in progress whose arrival at `at` has not yet
 	// been processed.
 	inFlight bool
+	// injected marks that the message has started its first hop (for the
+	// one-shot bus.grant observation; never read by the timing model).
+	injected bool
 	// remaining counts hops left before removal: a broadcast circles
 	// back to its sender; a point-to-point message stops at its
 	// destination.
@@ -74,7 +81,12 @@ type Ring struct {
 	linkFree []uint64
 	flight   []*ringMsg
 	stats    Stats
+	obs      obs.Observer
 }
+
+// SetObserver attaches an observer emitting a bus.grant event when a
+// message starts its first hop (nil detaches).
+func (r *Ring) SetObserver(o obs.Observer) { r.obs = o }
 
 // NewRing builds a ring of numNodes nodes. It panics on invalid
 // configuration (experiment-setup error).
@@ -147,6 +159,15 @@ func (r *Ring) Tick(now uint64) []Arrival {
 			occ := r.cfg.transferCycles(f.msg.WireBytes())
 			r.linkFree[f.at] = now + occ
 			r.stats.BusyCycles.Add(occ)
+			if !f.injected {
+				f.injected = true
+				if r.obs != nil {
+					r.obs.Event(obs.Event{
+						Cycle: now, Node: f.msg.Src, Kind: obs.EvBusGrant,
+						Addr: f.msg.Addr, Arg: uint64(f.msg.WireBytes()),
+					})
+				}
+			}
 			f.at = (f.at + 1) % r.n
 			f.readyAt = now + occ
 			f.inFlight = true

@@ -17,6 +17,7 @@ import (
 	"hash/fnv"
 	"math/bits"
 
+	"github.com/wisc-arch/datascalar/internal/obs"
 	"github.com/wisc-arch/datascalar/internal/stats"
 )
 
@@ -131,6 +132,32 @@ type Cache struct {
 	lineLg2 uint
 	setMask uint64
 	stats   Stats
+
+	// Observability (nil obs = disabled, zero cost): the owning machine
+	// attributes events to a node and supplies its cycle clock.
+	obs      obs.Observer
+	obsNode  int
+	obsClock *uint64
+}
+
+// SetObserver attaches an observer emitting fill/writeback/invalidate
+// events attributed to node, timestamped through clock (a pointer to the
+// owning machine's cycle counter; the cache itself has no notion of
+// time). A nil observer detaches.
+func (c *Cache) SetObserver(o obs.Observer, node int, clock *uint64) {
+	c.obs, c.obsNode, c.obsClock = o, node, clock
+}
+
+// obsEvent emits one event when an observer is attached.
+func (c *Cache) obsEvent(kind obs.EventKind, addr, arg uint64) {
+	if c.obs == nil {
+		return
+	}
+	var cycle uint64
+	if c.obsClock != nil {
+		cycle = *c.obsClock
+	}
+	c.obs.Event(obs.Event{Cycle: cycle, Node: c.obsNode, Kind: kind, Addr: addr, Arg: arg})
 }
 
 // New builds a cache. It panics on invalid geometry, since geometry is
@@ -285,11 +312,13 @@ func (c *Cache) fillLocked(addr uint64, dirty bool) Result {
 			res.Writeback = true
 			res.WritebackAddr = res.EvictedAddr
 			c.stats.Writebacks.Inc()
+			c.obsEvent(obs.EvCacheWriteback, res.WritebackAddr, 0)
 		}
 	}
 	set[victim] = way{valid: true, dirty: dirty, tag: tag, lru: c.tick}
 	res.Allocated = true
 	c.stats.Fills.Inc()
+	c.obsEvent(obs.EvCacheFill, c.LineAddr(addr), 0)
 	return res
 }
 
@@ -303,6 +332,7 @@ func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 			present, dirty = true, set[i].dirty
 			set[i] = way{}
 			c.stats.Invalidates.Inc()
+			c.obsEvent(obs.EvCacheInvalidate, c.LineAddr(addr), 0)
 			return present, dirty
 		}
 	}

@@ -10,6 +10,7 @@
 package core
 
 import (
+	"github.com/wisc-arch/datascalar/internal/obs"
 	"github.com/wisc-arch/datascalar/internal/ooo"
 	"github.com/wisc-arch/datascalar/internal/stats"
 )
@@ -82,6 +83,31 @@ type BSHR struct {
 	// never starve.
 	owed  map[uint64]int
 	stats BSHRStats
+
+	// Observability (nil obs = disabled, zero cost); the owning machine
+	// attributes events to a node and supplies its cycle clock.
+	obs      obs.Observer
+	obsNode  int
+	obsClock *uint64
+}
+
+// SetObserver attaches an observer emitting BSHR protocol events
+// attributed to node, timestamped through clock (a pointer to the owning
+// machine's cycle counter). A nil observer detaches.
+func (b *BSHR) SetObserver(o obs.Observer, node int, clock *uint64) {
+	b.obs, b.obsNode, b.obsClock = o, node, clock
+}
+
+// obsEvent emits one event when an observer is attached.
+func (b *BSHR) obsEvent(kind obs.EventKind, addr, arg uint64) {
+	if b.obs == nil {
+		return
+	}
+	var cycle uint64
+	if b.obsClock != nil {
+		cycle = *b.obsClock
+	}
+	b.obs.Event(obs.Event{Cycle: cycle, Node: b.obsNode, Kind: kind, Addr: addr, Arg: arg})
 }
 
 // NewBSHR builds a BSHR whose buffered-data capacity is bufferCap
@@ -106,12 +132,14 @@ func (b *BSHR) Request(line uint64, tok ooo.LoadToken) (dataReady bool, arrivedA
 		at := b.entries[i].arrivedAt
 		b.remove(i)
 		b.stats.BufferedHits.Inc()
+		b.obsEvent(obs.EvBSHRFoundBuffered, line, at)
 		return true, at
 	}
 	// Join an existing waiting entry for the line.
 	if i := b.find(line, false); i >= 0 {
 		b.entries[i].waiting = append(b.entries[i].waiting, tok)
 		b.stats.Joins.Inc()
+		b.obsEvent(obs.EvBSHRJoin, line, uint64(len(b.entries[i].waiting)))
 		return false, 0
 	}
 	b.entries = append(b.entries, bshrEntry{line: line, waiting: []ooo.LoadToken{tok}, seq: b.nextSeq})
@@ -120,6 +148,7 @@ func (b *BSHR) Request(line uint64, tok ooo.LoadToken) (dataReady bool, arrivedA
 	if n := b.numWaiting(); n > b.stats.MaxWaiting {
 		b.stats.MaxWaiting = n
 	}
+	b.obsEvent(obs.EvBSHRAlloc, line, uint64(b.numWaiting()))
 	return false, 0
 }
 
@@ -133,6 +162,7 @@ func (b *BSHR) Arrive(line uint64, now uint64) []ooo.LoadToken {
 		toks := b.entries[i].waiting
 		b.remove(i)
 		b.stats.Matched.Inc()
+		b.obsEvent(obs.EvBSHRMatch, line, uint64(len(toks)))
 		return toks
 	}
 	// Absorb arrivals owed from fills that had no local consumer.
@@ -142,6 +172,7 @@ func (b *BSHR) Arrive(line uint64, now uint64) []ooo.LoadToken {
 			delete(b.owed, line)
 		}
 		b.stats.Squashes.Inc()
+		b.obsEvent(obs.EvBSHRSquash, line, 0)
 		return nil
 	}
 	// Buffer for a future request. Capacity is a soft bound: see the
@@ -155,6 +186,7 @@ func (b *BSHR) Arrive(line uint64, now uint64) []ooo.LoadToken {
 	if n := b.numBuffered(); n > b.stats.MaxBuffered {
 		b.stats.MaxBuffered = n
 	}
+	b.obsEvent(obs.EvBSHRBuffer, line, uint64(b.numBuffered()))
 	return nil
 }
 
@@ -169,6 +201,7 @@ func (b *BSHR) Absorb(line uint64) {
 	if i := b.find(line, true); i >= 0 {
 		b.remove(i)
 		b.stats.Squashes.Inc()
+		b.obsEvent(obs.EvBSHRSquash, line, 0)
 		return
 	}
 	b.owed[line]++
@@ -202,6 +235,10 @@ func (b *BSHR) BufferedLines() []uint64 {
 // Waiting returns the number of waiting entries (for watchdog
 // diagnostics).
 func (b *BSHR) Waiting() int { return b.numWaiting() }
+
+// Buffered returns the number of buffered (early-data) entries (for
+// occupancy sampling).
+func (b *BSHR) Buffered() int { return b.numBuffered() }
 
 func (b *BSHR) find(line uint64, buffered bool) int {
 	best := -1

@@ -7,6 +7,7 @@ import (
 	"github.com/wisc-arch/datascalar/internal/cache"
 	"github.com/wisc-arch/datascalar/internal/emu"
 	"github.com/wisc-arch/datascalar/internal/mem"
+	"github.com/wisc-arch/datascalar/internal/obs"
 	"github.com/wisc-arch/datascalar/internal/ooo"
 	"github.com/wisc-arch/datascalar/internal/prog"
 )
@@ -60,6 +61,17 @@ type Config struct {
 	// that line address for post-mortem debugging; the trace is appended
 	// to deadlock errors.
 	TraceLine uint64
+	// Observer receives typed protocol events (broadcasts, BSHR
+	// activity, false hits/misses, commit fills, bus grants) and — when
+	// SampleInterval is set — interval metric samples. nil disables all
+	// observation; every hook guards on nil, so the disabled path does no
+	// work and allocates nothing. Observation is read-only: enabling it
+	// never changes a cycle count or counter (enforced by test).
+	Observer obs.Observer
+	// SampleInterval emits one obs.Sample per node to Observer every
+	// that many cycles, plus one final partial interval at end of run
+	// (0 disables sampling; ignored without an Observer).
+	SampleInterval uint64
 	// ResultComm enables result communication (paper Section 5.1):
 	// PRIVB/PRIVE regions execute only at the node owning their data,
 	// with uncached local accesses and no operand broadcasts; other
@@ -144,6 +156,27 @@ type Machine struct {
 	nodes  []*node
 	now    uint64
 	events []string // TraceLine event log
+
+	// obs mirrors cfg.Observer for nil-guarded hot-path checks; sampler
+	// holds the interval-delta state when sampling is enabled.
+	obs     obs.Observer
+	sampler *samplerState
+}
+
+// samplerState tracks previous-interval counter values so samples report
+// interval rates rather than cumulative totals. It is observation-only
+// state: the timing model never reads it.
+type samplerState struct {
+	lastCycle uint64
+	busBusy   uint64
+	nodes     []nodeSampleState
+}
+
+type nodeSampleState struct {
+	committed   uint64
+	broadcasts  uint64
+	issueHits   uint64
+	issueMisses uint64
 }
 
 // Events returns the TraceLine event log (debugging).
@@ -173,6 +206,13 @@ func NewMachine(cfg Config, p *prog.Program, pt *mem.PageTable) (*Machine, error
 		cfg: cfg,
 		pt:  pt,
 		net: net,
+		obs: cfg.Observer,
+	}
+	if m.obs != nil {
+		net.SetObserver(m.obs)
+		if cfg.SampleInterval != 0 {
+			m.sampler = &samplerState{nodes: make([]nodeSampleState, cfg.Nodes)}
+		}
 	}
 	for id := 0; id < cfg.Nodes; id++ {
 		em, err := emu.New(p)
@@ -200,6 +240,11 @@ func NewMachine(cfg Config, p *prog.Program, pt *mem.PageTable) (*Machine, error
 			digests:     make(map[uint64]uint64),
 		}
 		nd.m = m
+		if m.obs != nil {
+			nd.obs = m.obs
+			nd.bshr.SetObserver(m.obs, id, &m.now)
+			nd.l1.SetObserver(m.obs, id, &m.now)
+		}
 		var source ooo.Source = ooo.NewEmuSource(em, cfg.MaxInstr)
 		if cfg.ResultComm {
 			source = &regionSource{
@@ -245,6 +290,12 @@ func (m *Machine) Run() (Result, error) {
 		// cores at t.
 		for _, arr := range m.net.Tick(m.now) {
 			if arr.Msg.Kind == bus.Broadcast {
+				if m.obs != nil {
+					m.obs.Event(obs.Event{
+						Cycle: m.now, Node: arr.Node, Kind: obs.EvBroadcastArrived,
+						Addr: arr.Msg.Addr, Arg: boolArg(arr.Msg.Reparative),
+					})
+				}
 				m.nodes[arr.Node].onBroadcast(arr.Msg.Addr, m.now)
 			}
 		}
@@ -265,9 +316,61 @@ func (m *Machine) Run() (Result, error) {
 			return Result{}, m.deadlockError()
 		}
 		m.now++
+		if m.sampler != nil && m.now%m.cfg.SampleInterval == 0 {
+			m.emitSamples()
+		}
+	}
+	if m.sampler != nil && m.now > m.sampler.lastCycle {
+		m.emitSamples() // final partial interval
 	}
 
 	return m.collect(), nil
+}
+
+// emitSamples snapshots every node's interval rates and occupancies at
+// the current cycle and delivers them to the observer. It reads counters
+// only; the timing model is untouched.
+func (m *Machine) emitSamples() {
+	s := m.sampler
+	interval := m.now - s.lastCycle
+	if interval == 0 {
+		return
+	}
+	busBusy := m.net.NetStats().BusyCycles.Value()
+	busPct := 100 * float64(busBusy-s.busBusy) / float64(interval)
+	for i, nd := range m.nodes {
+		prev := &s.nodes[i]
+		committed := nd.core.Committed()
+		bcast := nd.stats.Broadcasts.Value()
+		hits := nd.stats.IssueHits.Value()
+		misses := nd.stats.IssueMisses.Value()
+		sample := obs.Sample{
+			Cycle:          m.now,
+			IntervalCycles: interval,
+			Node:           nd.id,
+			Committed:      committed,
+			IPC:            float64(committed-prev.committed) / float64(interval),
+			BusBusyPct:     busPct,
+			Broadcasts:     bcast - prev.broadcasts,
+			BroadcastRate:  1000 * float64(bcast-prev.broadcasts) / float64(interval),
+			BSHRWaiting:    nd.bshr.Waiting(),
+			BSHRBuffered:   nd.bshr.Buffered(),
+		}
+		if da, dm := hits-prev.issueHits, misses-prev.issueMisses; da+dm > 0 {
+			sample.L1MissRate = float64(dm) / float64(da+dm)
+		}
+		*prev = nodeSampleState{committed: committed, broadcasts: bcast, issueHits: hits, issueMisses: misses}
+		m.obs.Sample(sample)
+	}
+	s.lastCycle = m.now
+	s.busBusy = busBusy
+}
+
+func boolArg(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func (m *Machine) deadlockError() error {

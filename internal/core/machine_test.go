@@ -77,7 +77,7 @@ st:     sd   r2, 0(r1)
         halt
 `
 
-func buildMachine(t *testing.T, src string, nodes int, mut func(*Config)) *Machine {
+func buildMachine(t testing.TB, src string, nodes int, mut func(*Config)) *Machine {
 	t.Helper()
 	p, err := asm.Assemble("t", src)
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"github.com/wisc-arch/datascalar/internal/cache"
 	"github.com/wisc-arch/datascalar/internal/emu"
 	"github.com/wisc-arch/datascalar/internal/mem"
+	"github.com/wisc-arch/datascalar/internal/obs"
 	"github.com/wisc-arch/datascalar/internal/ooo"
 	"github.com/wisc-arch/datascalar/internal/stats"
 )
@@ -87,6 +88,11 @@ type node struct {
 	id  int
 	cfg *Config
 	m   *Machine // for event tracing
+	// obs mirrors cfg.Observer (nil = observation disabled). Event
+	// emission sits on the issue/commit hot path, so the nil check must
+	// be one load — and with a nil observer obsEvent does no work and
+	// allocates nothing (verified by benchmark).
+	obs obs.Observer
 
 	emu  *emu.Machine
 	core *ooo.Core
@@ -110,6 +116,14 @@ type node struct {
 
 var _ ooo.MemPort = (*node)(nil)
 
+// obsEvent emits one typed protocol event when an observer is attached.
+func (n *node) obsEvent(kind obs.EventKind, addr, arg uint64) {
+	if n.obs == nil {
+		return
+	}
+	n.obs.Event(obs.Event{Cycle: n.m.now, Node: n.id, Kind: kind, Addr: addr, Arg: arg})
+}
+
 // IssueLoad implements ooo.MemPort: the issue-time load path of Figure 5.
 func (n *node) IssueLoad(now uint64, tok ooo.LoadToken, addr uint64, size int) (uint64, bool) {
 	line := n.l1.LineAddr(addr)
@@ -122,6 +136,7 @@ func (n *node) IssueLoad(now uint64, tok ooo.LoadToken, addr uint64, size int) (
 	if e, ok := n.outstanding[line]; ok {
 		n.stats.IssueMisses.Inc()
 		n.stats.MergedMisses.Inc()
+		n.obsEvent(obs.EvMissFold, line, uint64(e.refs))
 		n.inflight[tok] = issueInfo{hit: false, attached: true}
 		e.refs++
 		if e.pending {
@@ -201,6 +216,7 @@ func (n *node) CommitLoad(now uint64, tok ooo.LoadToken, addr uint64, size int) 
 			// False miss: the issue-time miss was folded into (or
 			// created) an episode whose fill already committed.
 			n.stats.FalseMisses.Inc()
+			n.obsEvent(obs.EvFalseMiss, line, 0)
 		}
 		n.release(e, line, info)
 		n.afterMemCommit()
@@ -213,6 +229,7 @@ func (n *node) CommitLoad(now uint64, tok ooo.LoadToken, addr uint64, size int) 
 	// in flight for this fill, and non-owners must consume one.
 	if info.hit {
 		n.stats.FalseHits.Inc()
+		n.obsEvent(obs.EvFalseHit, line, 0)
 	}
 	if n.pt.MustLookup(addr).Kind == mem.Communicated && n.cfg.Nodes > 1 {
 		if n.pt.Owns(addr, n.id) {
@@ -243,6 +260,7 @@ func (n *node) CommitLoad(now uint64, tok ooo.LoadToken, addr uint64, size int) 
 	// Install the line (the DCUB-to-cache move). Dirty-victim handling
 	// follows ESP: writebacks complete locally at the owner and are
 	// dropped elsewhere; nothing crosses the chip boundary.
+	n.obsEvent(obs.EvCommitFill, line, 0)
 	res := n.l1.Fill(addr, false)
 	n.stats.Fills.Inc()
 	if res.Writeback {
@@ -332,6 +350,7 @@ func (n *node) broadcast(line uint64, readyAt uint64, reparative bool) {
 	if reparative {
 		n.stats.LateBroadcasts.Inc()
 	}
+	n.obsEvent(obs.EvBroadcastSent, line, boolArg(reparative))
 	n.net.Enqueue(bus.Message{
 		Kind:         bus.Broadcast,
 		Src:          n.id,

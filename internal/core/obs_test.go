@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/wisc-arch/datascalar/internal/bus"
+	"github.com/wisc-arch/datascalar/internal/obs"
+)
+
+// TestObservationDoesNotPerturb is the hard requirement of the
+// observability layer: attaching a tracer and a sampler must leave the
+// simulation bit-identical — same cycle count, same IPC, same value in
+// every protocol counter — across kernels, node counts, and both
+// interconnects. reflect.DeepEqual over the full Result covers all of
+// it, including the MaxWaiting/MaxBuffered high-water marks.
+func TestObservationDoesNotPerturb(t *testing.T) {
+	kernels := []struct {
+		name, src string
+		// expectEvents: storeHeavy is all stores, and ESP sends no write
+		// traffic off-chip (write-no-allocate L1, stores complete at
+		// owners), so a silent event stream is the correct observation
+		// there.
+		expectEvents bool
+	}{
+		{"streamSum", streamSum, true},
+		{"pointerChase", pointerChase, true},
+		{"storeHeavy", storeHeavy, false},
+	}
+	for _, k := range kernels {
+		for _, nodes := range []int{1, 2, 4} {
+			for _, ring := range []bool{false, true} {
+				net := "bus"
+				if ring {
+					net = "ring"
+				}
+				t.Run(fmt.Sprintf("%s/%dnodes/%s", k.name, nodes, net), func(t *testing.T) {
+					base := func(c *Config) {
+						if ring {
+							rc := bus.DefaultRingConfig()
+							c.Ring = &rc
+						}
+					}
+					plain := mustRunMachine(t, buildMachine(t, k.src, nodes, base))
+
+					counts := &obs.Counts{}
+					trace := obs.NewTrace()
+					metrics := obs.NewMetrics(500)
+					observed := mustRunMachine(t, buildMachine(t, k.src, nodes, func(c *Config) {
+						base(c)
+						c.Observer = obs.Multi(counts, trace, metrics)
+						c.SampleInterval = 500
+					}))
+
+					if !reflect.DeepEqual(plain, observed) {
+						t.Fatalf("observation perturbed the run:\nplain:    %+v\nobserved: %+v", plain, observed)
+					}
+					if k.expectEvents && counts.Total() == 0 {
+						t.Fatal("observer attached but no events emitted")
+					}
+					if counts.Samples < nodes {
+						t.Fatalf("expected at least %d samples (one per node), got %d", nodes, counts.Samples)
+					}
+					if trace.NumSamples() == 0 {
+						t.Fatal("trace sink recorded no samples")
+					}
+					if k.expectEvents {
+						if trace.NumEvents() == 0 {
+							t.Fatal("trace sink recorded no events")
+						}
+						if nodes >= 2 && counts.ByKind[obs.EvBroadcastSent] == 0 {
+							t.Fatal("multi-node run emitted no broadcast.sent events")
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestObservedEventsMatchCounters cross-checks the event stream against
+// the independently maintained statistics counters: the observer is a
+// second witness of the same protocol activity, so the tallies must
+// agree exactly.
+func TestObservedEventsMatchCounters(t *testing.T) {
+	counts := &obs.Counts{}
+	r := mustRunMachine(t, buildMachine(t, pointerChase, 2, func(c *Config) {
+		c.Observer = counts
+	}))
+
+	var allocs, joins, bufHits, matched, buffered, squashes uint64
+	var bcasts, falseHits, falseMisses, folds uint64
+	for i := range r.BSHR {
+		allocs += r.BSHR[i].Allocs.Value()
+		joins += r.BSHR[i].Joins.Value()
+		bufHits += r.BSHR[i].BufferedHits.Value()
+		matched += r.BSHR[i].Matched.Value()
+		buffered += r.BSHR[i].Buffered.Value()
+		squashes += r.BSHR[i].Squashes.Value()
+	}
+	for i := range r.Nodes {
+		bcasts += r.Nodes[i].Broadcasts.Value()
+		falseHits += r.Nodes[i].FalseHits.Value()
+		falseMisses += r.Nodes[i].FalseMisses.Value()
+		folds += r.Nodes[i].MergedMisses.Value()
+	}
+
+	checks := []struct {
+		name string
+		kind obs.EventKind
+		want uint64
+	}{
+		{"bshr.alloc", obs.EvBSHRAlloc, allocs},
+		{"bshr.join", obs.EvBSHRJoin, joins},
+		{"bshr.found-buffered", obs.EvBSHRFoundBuffered, bufHits},
+		{"bshr.match", obs.EvBSHRMatch, matched},
+		{"bshr.buffer", obs.EvBSHRBuffer, buffered},
+		{"bshr.squash", obs.EvBSHRSquash, squashes},
+		{"broadcast.sent", obs.EvBroadcastSent, bcasts},
+		{"correspondence.false-hit", obs.EvFalseHit, falseHits},
+		{"correspondence.false-miss", obs.EvFalseMiss, falseMisses},
+		{"correspondence.miss-fold", obs.EvMissFold, folds},
+	}
+	for _, c := range checks {
+		if got := counts.ByKind[c.kind]; got != c.want {
+			t.Errorf("%s events = %d, counter says %d", c.name, got, c.want)
+		}
+	}
+}
+
+// TestNilObserverEmitNoAlloc proves the nil fast path: with no observer
+// attached, the hot-path emission helpers must not allocate at all.
+func TestNilObserverEmitNoAlloc(t *testing.T) {
+	m := buildMachine(t, streamSum, 2, nil)
+	nd := m.nodes[0]
+	if nd.obs != nil {
+		t.Fatal("machine built without observer has one attached")
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		nd.obsEvent(obs.EvCacheFill, 0x2000, 1)
+		nd.bshr.obsEvent(obs.EvBSHRAlloc, 0x2000, 1)
+	}); allocs != 0 {
+		t.Fatalf("nil-observer emission allocated %.1f times per call", allocs)
+	}
+}
+
+// BenchmarkNilObserverEmit measures the disabled-observation overhead on
+// the node's event helper (a nil check and an early return). Run with
+// -benchmem: the expected report is 0 B/op, 0 allocs/op.
+func BenchmarkNilObserverEmit(b *testing.B) {
+	m := buildMachine(b, streamSum, 2, nil)
+	nd := m.nodes[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nd.obsEvent(obs.EvCacheFill, uint64(i), 1)
+	}
+}

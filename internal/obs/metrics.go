@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+)
+
+// Metrics is an Observer that collects the interval sample time series
+// (ignoring individual protocol events) and serializes it, together with
+// a final counter snapshot, as a JSON run artifact — the machine-readable
+// companion to core.Result.Report()'s text tables.
+type Metrics struct {
+	interval uint64
+	samples  []Sample
+}
+
+// NewMetrics returns a metrics collector; interval is recorded in the
+// output for self-description (the machine's SampleInterval).
+func NewMetrics(interval uint64) *Metrics { return &Metrics{interval: interval} }
+
+// Event implements Observer (metrics ignore individual events).
+func (m *Metrics) Event(Event) {}
+
+// Sample implements Observer.
+func (m *Metrics) Sample(s Sample) { m.samples = append(m.samples, s) }
+
+// Samples returns the collected time series.
+func (m *Metrics) Samples() []Sample { return m.samples }
+
+// NumIntervals returns the number of distinct sampled intervals (sample
+// count divided across nodes).
+func (m *Metrics) NumIntervals() int {
+	seen := make(map[uint64]bool)
+	for _, s := range m.samples {
+		seen[s.Cycle] = true
+	}
+	return len(seen)
+}
+
+// MetricsFile is the serialized metrics artifact: the sampling interval,
+// the per-node interval time series, and a final snapshot of every stats
+// counter (callers pass the run's Result, whose counters — including the
+// MaxBuffered/MaxWaiting high-water marks absent from the text report —
+// all marshal to JSON).
+type MetricsFile struct {
+	IntervalCycles uint64   `json:"intervalCycles"`
+	Samples        []Sample `json:"samples"`
+	Final          any      `json:"final"`
+}
+
+// WriteTo serializes the collected series plus the final counter
+// snapshot as indented JSON.
+func (m *Metrics) WriteTo(w io.Writer, final any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(MetricsFile{
+		IntervalCycles: m.interval,
+		Samples:        m.samples,
+		Final:          final,
+	})
+}
+
+// WriteFile writes the metrics artifact to path.
+func (m *Metrics) WriteFile(path string, final any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteTo(f, final); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestEventKindNames(t *testing.T) {
+	seen := make(map[string]bool)
+	for k := EventKind(0); k < numEventKinds; k++ {
+		name := k.String()
+		if name == "" || strings.HasPrefix(name, "event(") {
+			t.Errorf("kind %d has no taxonomy name", k)
+		}
+		if seen[name] {
+			t.Errorf("duplicate taxonomy name %q", name)
+		}
+		seen[name] = true
+		b, err := json.Marshal(k)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", k, err)
+		}
+		if string(b) != `"`+name+`"` {
+			t.Errorf("kind %d marshals as %s, want %q", k, b, name)
+		}
+	}
+	if got := EventKind(200).String(); got != "event(200)" {
+		t.Errorf("out-of-range kind = %q", got)
+	}
+}
+
+func TestMulti(t *testing.T) {
+	if Multi() != nil {
+		t.Error("Multi() should be nil")
+	}
+	if Multi(nil, nil) != nil {
+		t.Error("Multi(nil, nil) should be nil")
+	}
+	c := &Counts{}
+	if got := Multi(nil, c); got != Observer(c) {
+		t.Error("Multi with one non-nil should return it directly")
+	}
+	c2 := &Counts{}
+	m := Multi(c, c2)
+	m.Event(Event{Kind: EvCacheFill})
+	m.Sample(Sample{})
+	for i, obs := range []*Counts{c, c2} {
+		if obs.ByKind[EvCacheFill] != 1 || obs.Samples != 1 {
+			t.Errorf("observer %d: events=%d samples=%d, want 1/1",
+				i, obs.ByKind[EvCacheFill], obs.Samples)
+		}
+	}
+	if c.Total() != 1 {
+		t.Errorf("Total() = %d, want 1", c.Total())
+	}
+}
+
+// TestTraceChromeFormat checks the trace file is structurally what
+// Perfetto expects: a traceEvents array with process/thread metadata,
+// thread-scoped instants for protocol events, and counter entries for
+// samples.
+func TestTraceChromeFormat(t *testing.T) {
+	tr := NewTrace()
+	tr.Event(Event{Cycle: 10, Node: 0, Kind: EvBroadcastSent, Addr: 0x2000, Arg: 0})
+	tr.Event(Event{Cycle: 14, Node: 1, Kind: EvBSHRAlloc, Addr: 0x2000, Arg: 1})
+	tr.Sample(Sample{Cycle: 500, IntervalCycles: 500, Node: 0, IPC: 1.5, BusBusyPct: 12})
+	tr.Sample(Sample{Cycle: 500, IntervalCycles: 500, Node: 1, IPC: 1.4})
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+
+	byPh := make(map[string]int)
+	names := make(map[string]bool)
+	for _, e := range file.TraceEvents {
+		ph, _ := e["ph"].(string)
+		byPh[ph]++
+		if name, ok := e["name"].(string); ok {
+			names[name] = true
+		}
+		if ph == "i" {
+			if s, _ := e["s"].(string); s != "t" {
+				t.Errorf("instant event %v not thread-scoped", e["name"])
+			}
+		}
+	}
+	if byPh["M"] < 3 { // process_name + 2 thread_names
+		t.Errorf("want >=3 metadata events, got %d", byPh["M"])
+	}
+	if byPh["i"] != 2 {
+		t.Errorf("want 2 instant events, got %d", byPh["i"])
+	}
+	if byPh["C"] == 0 {
+		t.Error("no counter events emitted for samples")
+	}
+	for _, want := range []string{
+		"process_name", "thread_name", "broadcast.sent", "bshr.alloc",
+		"bus busy %", "IPC node0", "IPC node1", "BSHR occupancy node1",
+	} {
+		if !names[want] {
+			t.Errorf("trace is missing %q entries", want)
+		}
+	}
+}
+
+func TestMetricsFile(t *testing.T) {
+	m := NewMetrics(1000)
+	m.Sample(Sample{Cycle: 1000, IntervalCycles: 1000, Node: 0, IPC: 2})
+	m.Sample(Sample{Cycle: 1000, IntervalCycles: 1000, Node: 1, IPC: 1.8})
+	m.Sample(Sample{Cycle: 2000, IntervalCycles: 1000, Node: 0, IPC: 2.1})
+	m.Sample(Sample{Cycle: 2000, IntervalCycles: 1000, Node: 1, IPC: 1.9})
+	m.Event(Event{Kind: EvCacheFill}) // ignored
+	if got := m.NumIntervals(); got != 2 {
+		t.Fatalf("NumIntervals = %d, want 2", got)
+	}
+
+	var buf bytes.Buffer
+	final := map[string]any{"cycles": 2048}
+	if err := m.WriteTo(&buf, final); err != nil {
+		t.Fatal(err)
+	}
+	var file MetricsFile
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("metrics output is not valid JSON: %v", err)
+	}
+	if file.IntervalCycles != 1000 || len(file.Samples) != 4 {
+		t.Fatalf("round trip: interval=%d samples=%d", file.IntervalCycles, len(file.Samples))
+	}
+	if file.Samples[0].IPC != 2 {
+		t.Errorf("sample IPC round trip = %v", file.Samples[0].IPC)
+	}
+	if file.Final == nil {
+		t.Error("final snapshot missing")
+	}
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Trace is an Observer that records every event and sample and renders
+// them in the Chrome trace-event JSON format, loadable in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing. Each node gets its own
+// event track (a "thread"); interval samples become counter tracks for
+// bus busy %, per-node IPC, broadcast rate, and BSHR occupancy.
+//
+// One simulated cycle maps to one microsecond of trace time (the trace
+// format's native unit), so the Perfetto timeline reads directly in
+// cycles.
+type Trace struct {
+	events  []Event
+	samples []Sample
+	maxNode int
+}
+
+// NewTrace returns an empty trace collector.
+func NewTrace() *Trace { return &Trace{} }
+
+// Event implements Observer.
+func (t *Trace) Event(e Event) {
+	t.events = append(t.events, e)
+	if e.Node > t.maxNode {
+		t.maxNode = e.Node
+	}
+}
+
+// Sample implements Observer.
+func (t *Trace) Sample(s Sample) {
+	t.samples = append(t.samples, s)
+	if s.Node > t.maxNode {
+		t.maxNode = s.Node
+	}
+}
+
+// NumEvents returns the number of recorded events.
+func (t *Trace) NumEvents() int { return len(t.events) }
+
+// NumSamples returns the number of recorded samples.
+func (t *Trace) NumSamples() int { return len(t.samples) }
+
+// chromeEvent is one entry of the trace-event JSON format.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the top-level object Perfetto expects.
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+const tracePid = 0
+
+// WriteChromeTrace renders the recorded events and samples as
+// trace-event JSON.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	out := chromeFile{TraceEvents: make([]chromeEvent, 0, len(t.events)+4*len(t.samples)+t.maxNode+2)}
+
+	// Metadata: name the process and one thread per node.
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: tracePid,
+		Args: map[string]any{"name": "datascalar"},
+	})
+	for n := 0; n <= t.maxNode; n++ {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: tracePid, Tid: n,
+			Args: map[string]any{"name": fmt.Sprintf("node%d", n)},
+		})
+	}
+
+	// Protocol events: thread-scoped instants on the emitting node's
+	// track.
+	for _, e := range t.events {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: e.Kind.String(),
+			Ph:   "i",
+			Ts:   e.Cycle,
+			Pid:  tracePid,
+			Tid:  e.Node,
+			S:    "t",
+			Args: map[string]any{
+				"addr": fmt.Sprintf("0x%x", e.Addr),
+				"arg":  e.Arg,
+			},
+		})
+	}
+
+	// Counter tracks from the interval samples. Bus busy is global, so
+	// emit it once per interval (on the node-0 sample); the rest are
+	// per-node.
+	for _, s := range t.samples {
+		if s.Node == 0 {
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "bus busy %", Ph: "C", Ts: s.Cycle, Pid: tracePid,
+				Args: map[string]any{"busy": s.BusBusyPct},
+			})
+		}
+		out.TraceEvents = append(out.TraceEvents,
+			chromeEvent{
+				Name: fmt.Sprintf("IPC node%d", s.Node), Ph: "C", Ts: s.Cycle, Pid: tracePid,
+				Args: map[string]any{"ipc": s.IPC},
+			},
+			chromeEvent{
+				Name: fmt.Sprintf("BSHR occupancy node%d", s.Node), Ph: "C", Ts: s.Cycle, Pid: tracePid,
+				Args: map[string]any{"waiting": s.BSHRWaiting, "buffered": s.BSHRBuffered},
+			},
+			chromeEvent{
+				Name: fmt.Sprintf("broadcasts/kcycle node%d", s.Node), Ph: "C", Ts: s.Cycle, Pid: tracePid,
+				Args: map[string]any{"rate": s.BroadcastRate},
+			})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteChromeTraceFile writes the trace to path.
+func (t *Trace) WriteChromeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,33 @@
+package sim
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+)
+
+// WriteJSON serializes v as indented JSON to w. Every experiment result
+// in this package (Table1Result, Figure7Result, ...) and every machine
+// Result serializes cleanly — stats.Counter marshals as its bare count —
+// so harness outputs can feed plotting or regression tooling directly.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// WriteJSONFile writes v as indented JSON to path ("-" means stdout).
+func WriteJSONFile(path string, v any) error {
+	if path == "-" {
+		return WriteJSON(os.Stdout, v)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteJSON(f, v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

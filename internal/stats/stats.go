@@ -11,12 +11,30 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 )
 
 // Counter is a monotonically increasing event count.
 type Counter struct {
 	n uint64
+}
+
+// MarshalJSON renders the counter as its bare count, so stats structs
+// (NodeStats, BSHRStats, bus.Stats, ...) serialize to plain numeric JSON
+// in run artifacts.
+func (c Counter) MarshalJSON() ([]byte, error) {
+	return strconv.AppendUint(nil, c.n, 10), nil
+}
+
+// UnmarshalJSON parses a bare count.
+func (c *Counter) UnmarshalJSON(b []byte) error {
+	n, err := strconv.ParseUint(string(b), 10, 64)
+	if err != nil {
+		return fmt.Errorf("stats: counter: %w", err)
+	}
+	c.n = n
+	return nil
 }
 
 // Add increments the counter by delta.

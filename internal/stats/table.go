@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/csv"
 	"fmt"
 	"io"
 	"strings"
@@ -13,6 +14,8 @@ type Table struct {
 	header []string
 	rows   [][]string
 	title  string
+	// err records the first row/header width mismatch (see AddRow).
+	err error
 }
 
 // NewTable creates a table with the given column headers.
@@ -20,17 +23,32 @@ func NewTable(title string, header ...string) *Table {
 	return &Table{title: title, header: header}
 }
 
-// AddRow appends a row. Cells beyond the header width are dropped; missing
-// cells render empty.
-func (t *Table) AddRow(cells ...string) {
+// AddRow appends a row. Missing cells render empty. Passing more cells
+// than the table has headers is a caller bug: the extras used to vanish
+// silently, so the mismatch is now returned AND recorded (see Err) —
+// harnesses that ignore the return value still fail loudly when they
+// serialize the table. The row is stored truncated to the header width
+// either way, keeping text rendering stable.
+func (t *Table) AddRow(cells ...string) error {
+	var err error
+	if len(cells) > len(t.header) {
+		err = fmt.Errorf("stats: table %q: row has %d cells for %d header columns",
+			t.title, len(cells), len(t.header))
+		if t.err == nil {
+			t.err = err
+		}
+	}
 	row := make([]string, len(t.header))
 	copy(row, cells)
 	t.rows = append(t.rows, row)
+	return err
 }
 
 // AddRowf appends a row built from formatted values; each value is rendered
-// with %v except floats, which use a compact fixed-point form.
-func (t *Table) AddRowf(cells ...any) {
+// with %v except floats, which use a compact fixed-point form. Like
+// AddRow, it returns (and records) a mismatch error when given more
+// cells than the table has headers.
+func (t *Table) AddRowf(cells ...any) error {
 	row := make([]string, 0, len(cells))
 	for _, c := range cells {
 		switch v := c.(type) {
@@ -42,8 +60,12 @@ func (t *Table) AddRowf(cells ...any) {
 			row = append(row, fmt.Sprintf("%v", c))
 		}
 	}
-	t.AddRow(row...)
+	return t.AddRow(row...)
 }
+
+// Err returns the first row/header width mismatch recorded by AddRow, or
+// nil when every row fit.
+func (t *Table) Err() error { return t.err }
 
 // FormatFloat renders a float with two decimals, trimming to a compact form
 // for whole numbers (e.g. 3 -> "3.00", 0.5 -> "0.50").
@@ -109,4 +131,25 @@ func (t *Table) String() string {
 	var b strings.Builder
 	t.Render(&b)
 	return b.String()
+}
+
+// WriteCSV writes the table as RFC-4180 CSV (header row first, no title
+// line), for scripted consumption of reproduced results. It fails if any
+// AddRow call overflowed the header width (see Err): silently shipping a
+// truncated dataset is worse than no dataset.
+func (t *Table) WriteCSV(w io.Writer) error {
+	if t.err != nil {
+		return t.err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.header); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestTableWriteCSV(t *testing.T) {
+	tb := NewTable("Table 1: traffic", "bench", "bytes", "pct")
+	if err := tb.AddRow("compress", "1024", "27%"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddRowf("go", 2048, 31.5); err != nil {
+		t.Fatal(err)
+	}
+	// A short row is fine: missing cells render empty.
+	if err := tb.AddRow("li"); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	want := [][]string{
+		{"bench", "bytes", "pct"},
+		{"compress", "1024", "27%"},
+		{"go", "2048", "31.50"},
+		{"li", "", ""},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("CSV round trip:\ngot  %v\nwant %v", got, want)
+	}
+	if strings.Contains(buf.String(), "Table 1") {
+		t.Error("CSV output must not contain the title line")
+	}
+}
+
+func TestTableAddRowOverflow(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	if err := tb.AddRow("1", "2"); err != nil {
+		t.Fatalf("exact-width row: %v", err)
+	}
+	err := tb.AddRow("1", "2", "3")
+	if err == nil {
+		t.Fatal("overflowing row returned nil error")
+	}
+	if tb.Err() == nil {
+		t.Fatal("overflow not recorded on the table")
+	}
+	// The stored row is truncated so text rendering stays aligned.
+	if !strings.Contains(tb.String(), "1  2") {
+		t.Errorf("render broke after overflow:\n%s", tb.String())
+	}
+	// CSV refuses to serialize a silently truncated dataset.
+	if err := tb.WriteCSV(&bytes.Buffer{}); err == nil {
+		t.Fatal("WriteCSV succeeded despite recorded overflow")
+	}
+	// The first error sticks even after further bad rows.
+	first := tb.Err()
+	tb.AddRow("1", "2", "3", "4")
+	if tb.Err() != first {
+		t.Error("Err() should keep the first mismatch")
+	}
+}
+
+func TestCounterJSON(t *testing.T) {
+	var c Counter
+	c.Add(42)
+	b, err := json.Marshal(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "42" {
+		t.Fatalf("Counter marshals as %s, want 42", b)
+	}
+	var back Counter
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Value() != 42 {
+		t.Fatalf("round trip = %d, want 42", back.Value())
+	}
+	// Counters embedded in structs (the Result types) serialize as bare
+	// numbers too.
+	s := struct {
+		Hits Counter `json:"hits"`
+	}{}
+	s.Hits.Inc()
+	b, err = json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `{"hits":1}` {
+		t.Fatalf("embedded counter marshals as %s", b)
+	}
+}

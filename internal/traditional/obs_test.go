@@ -1,0 +1,34 @@
+package traditional
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/wisc-arch/datascalar/internal/obs"
+)
+
+// TestObservationDoesNotPerturb mirrors the core-machine guarantee for
+// the baseline: cache and interconnect observation must leave the
+// request/response simulation bit-identical.
+func TestObservationDoesNotPerturb(t *testing.T) {
+	for _, chips := range []int{1, 2, 4} {
+		plain := mustRun(t, build(t, streamSum, chips, nil))
+
+		counts := &obs.Counts{}
+		trace := obs.NewTrace()
+		observed := mustRun(t, build(t, streamSum, chips, func(c *Config) {
+			c.Observer = obs.Multi(counts, trace)
+		}))
+
+		if !reflect.DeepEqual(plain, observed) {
+			t.Fatalf("chips=%d: observation perturbed the run:\nplain:    %+v\nobserved: %+v",
+				chips, plain, observed)
+		}
+		if counts.Total() == 0 {
+			t.Fatalf("chips=%d: observer attached but no events emitted", chips)
+		}
+		if chips >= 2 && counts.ByKind[obs.EvBusDeliver] == 0 {
+			t.Fatalf("chips=%d: off-chip traffic emitted no bus.deliver events", chips)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"github.com/wisc-arch/datascalar/internal/cache"
 	"github.com/wisc-arch/datascalar/internal/emu"
 	"github.com/wisc-arch/datascalar/internal/mem"
+	"github.com/wisc-arch/datascalar/internal/obs"
 	"github.com/wisc-arch/datascalar/internal/ooo"
 	"github.com/wisc-arch/datascalar/internal/prog"
 	"github.com/wisc-arch/datascalar/internal/stats"
@@ -53,6 +54,13 @@ type Config struct {
 	// FastForwardPC functionally executes the emulator up to this PC
 	// before timing begins (0 = none); see core.Config.FastForwardPC.
 	FastForwardPC uint64
+
+	// Observer receives cache and interconnect events (fills,
+	// writebacks, bus grants/deliveries); nil disables observation at
+	// zero cost, and enabling it never perturbs timing. The baseline has
+	// no ESP protocol, so it emits no broadcast/BSHR events and no
+	// interval samples.
+	Observer obs.Observer
 }
 
 // DefaultConfig returns the baseline matching core.DefaultConfig(n): same
@@ -188,6 +196,10 @@ func NewMachine(cfg Config, p *prog.Program, pt *mem.PageTable) (*Machine, error
 		l1:          cache.New(cfg.L1),
 		outstanding: make(map[uint64]*missEntry),
 		attached:    make(map[ooo.LoadToken]bool),
+	}
+	if cfg.Observer != nil {
+		m.l1.SetObserver(cfg.Observer, cpuChip, &m.now)
+		m.net.SetObserver(cfg.Observer)
 	}
 	for i := 0; i < cfg.Chips; i++ {
 		m.dram = append(m.dram, mem.NewDRAM(cfg.DRAM))
@@ -348,6 +360,12 @@ func (m *Machine) deliver(arr bus.Arrival, now uint64) {
 	msg := arr.Msg
 	if arr.Node != msg.Dst && msg.Kind != bus.Broadcast {
 		return
+	}
+	if o := m.cfg.Observer; o != nil {
+		o.Event(obs.Event{
+			Cycle: now, Node: arr.Node, Kind: obs.EvBusDeliver,
+			Addr: msg.Addr, Arg: uint64(msg.Kind),
+		})
 	}
 	switch msg.Kind {
 	case bus.Request:

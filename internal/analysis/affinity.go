@@ -1,0 +1,231 @@
+package analysis
+
+import (
+	"github.com/wisc-arch/datascalar/internal/prog"
+)
+
+// Static page affinity: the profile-free input to placement. The
+// interval analysis recovers which pages each load/store can touch;
+// consecutive accesses then vote for their page pairs to live on the
+// same DataScalar node, weighted by loop depth (an access in a loop
+// nest runs ~10^depth times as often as straight-line code). The result
+// feeds mem.PlaceStaticAffinity, giving the paper's "special support to
+// increase datathread length" without running the program first.
+
+// PageAffinity is a statically-estimated page-reference graph.
+type PageAffinity struct {
+	// Touches maps page number (prog.PageOf) -> estimated reference
+	// weight.
+	Touches map[uint64]uint64
+	// Edges maps normalized (low, high) page-number pairs -> estimated
+	// consecutive-reference weight.
+	Edges map[[2]uint64]uint64
+}
+
+// maxAffinityFan bounds how many pages one access may vote for. An
+// access whose interval spans more pages (typically a widened pointer
+// the analysis could not pin down) contributes touches but no edges —
+// spreading a vote over hundreds of pages is noise.
+const maxAffinityFan = 64
+
+// maxAffinityDepth caps the loop-depth exponent so weights stay well
+// inside uint64.
+const maxAffinityDepth = 6
+
+// pow10 returns 10^min(d, maxAffinityDepth).
+func pow10(d int) uint64 {
+	if d > maxAffinityDepth {
+		d = maxAffinityDepth
+	}
+	w := uint64(1)
+	for i := 0; i < d; i++ {
+		w *= 10
+	}
+	return w
+}
+
+// objectRegions returns the label-delimited object extents of the data
+// segment plus the heap and stack reservation, sorted by base. The
+// analysis has no branch refinement, so a pointer marched through a loop
+// widens to an unbounded interval — but its *base* stays precise, and
+// the symbol table says how big the object at that base is. Affinity
+// therefore resolves each access to the object containing its lower
+// bound rather than to the (useless) widened interval.
+func objectRegions(p *prog.Program) []addrSpan {
+	var cuts []uint64
+	for _, addr := range p.Labels {
+		if addr >= prog.DataBase && addr < p.DataEnd() {
+			cuts = append(cuts, addr)
+		}
+	}
+	cuts = append(cuts, prog.DataBase, p.DataEnd())
+	sortUint64s(cuts)
+	var out []addrSpan
+	for i := 0; i+1 < len(cuts); i++ {
+		if cuts[i] < cuts[i+1] {
+			out = append(out, addrSpan{cuts[i], cuts[i+1]})
+		}
+	}
+	if p.HeapBytes > 0 {
+		out = append(out, addrSpan{prog.HeapBase, prog.HeapBase + p.HeapBytes})
+	}
+	out = append(out, addrSpan{stackReserveBase(p), prog.StackTop})
+	return out
+}
+
+func sortUint64s(a []uint64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// accessPages resolves one access to the page run of the object its
+// base address lands in. ok is false when the base is unknown, outside
+// every object, or the object is too large to vote with.
+func accessPages(ea value, regions []addrSpan) (pages []uint64, ok bool) {
+	if ea.k != vRange || ea.lo < 0 {
+		return nil, false
+	}
+	base := uint64(ea.lo)
+	for _, reg := range regions {
+		if base < reg.lo || base >= reg.hi {
+			continue
+		}
+		for pg := prog.PageOf(reg.lo); pg <= prog.PageOf(reg.hi-1); pg++ {
+			pages = append(pages, pg)
+			if len(pages) > maxAffinityFan {
+				return nil, false
+			}
+		}
+		return pages, true
+	}
+	return nil, false
+}
+
+// ComputePageAffinity runs the interval analysis over p and returns the
+// estimated page-reference graph. Accesses vote for edges between
+// consecutive references — within a block, and from a block's last
+// access to each successor's first — with weight 10^loopDepth split
+// across the page-pair candidates.
+func ComputePageAffinity(p *prog.Program) *PageAffinity {
+	c := BuildCFG(p)
+	states := constprop(c)
+	regions := objectRegions(p)
+	aff := &PageAffinity{
+		Touches: make(map[uint64]uint64),
+		Edges:   make(map[[2]uint64]uint64),
+	}
+
+	bump := func(a, b, w uint64) {
+		if a == b {
+			return
+		}
+		key := [2]uint64{a, b}
+		if a > b {
+			key = [2]uint64{b, a}
+		}
+		aff.Edges[key] += w
+	}
+	// addEdge votes for page pairs touched by two consecutive accesses.
+	// Two accesses resolving to equally-sized page runs are assumed to
+	// march in lockstep (u[i] and v[i] share the induction variable), so
+	// they vote pairwise at aligned positions with full weight — that is
+	// the correlation that makes datathreads long. Differently-sized runs
+	// (a scalar against an array, say) fall back to a diluted cross
+	// product; votes that dilute to zero are noise and are dropped.
+	addEdge := func(from, to []uint64, w uint64) {
+		if len(from) == 0 || len(to) == 0 {
+			return
+		}
+		if len(from) == len(to) {
+			for i := range from {
+				bump(from[i], to[i], w)
+			}
+			return
+		}
+		share := w / uint64(len(from)*len(to))
+		if share == 0 {
+			return
+		}
+		for _, a := range from {
+			for _, b := range to {
+				bump(a, b, share)
+			}
+		}
+	}
+
+	// seqDiscount is the sequential-walk prior: an access in a loop
+	// marches through its object, so consecutive pages of that object
+	// follow each other — but only once per page's worth of references
+	// (~PageSize/lineSize misses). These edges are deliberately much
+	// weaker than lockstep edges: stripes across objects merge first,
+	// then consecutive stripes coalesce until cluster capacity is hit.
+	const seqDiscount = 128
+
+	// first/last hold each block's first and last resolvable access, for
+	// cross-block edges.
+	first := make([][]uint64, len(c.Blocks))
+	last := make([][]uint64, len(c.Blocks))
+	for _, b := range c.Blocks {
+		if !b.Reachable {
+			continue
+		}
+		w := pow10(b.LoopDepth)
+		st := states[b.ID]
+		var prev []uint64
+		for i := b.Start; i < b.End; i++ {
+			in := p.Text[i]
+			if in.Op.IsMem() {
+				ea := addV(st.get(in.Rs1), vconst(in.Imm))
+				if pages, ok := accessPages(ea, regions); ok {
+					share := w / uint64(len(pages))
+					if share == 0 {
+						share = 1
+					}
+					for _, pg := range pages {
+						aff.Touches[pg] += share
+					}
+					if b.LoopDepth > 0 {
+						seq := w / seqDiscount
+						if seq == 0 {
+							seq = 1
+						}
+						for j := 0; j+1 < len(pages); j++ {
+							bump(pages[j], pages[j+1], seq)
+						}
+					}
+					addEdge(prev, pages, w)
+					if first[b.ID] == nil {
+						first[b.ID] = pages
+					}
+					prev = pages
+				}
+			}
+			cpTransfer(p, i, &st)
+		}
+		last[b.ID] = prev
+	}
+
+	// Cross-block: the last access before an edge flows into the first
+	// access after it. Weight by the shallower side: a loop exit edge
+	// runs once per loop, not once per iteration.
+	for _, b := range c.Blocks {
+		if !b.Reachable || len(last[b.ID]) == 0 {
+			continue
+		}
+		for _, s := range b.Succs {
+			sb := c.Blocks[s]
+			if !sb.Reachable || len(first[s]) == 0 {
+				continue
+			}
+			d := b.LoopDepth
+			if sb.LoopDepth < d {
+				d = sb.LoopDepth
+			}
+			addEdge(last[b.ID], first[s], pow10(d))
+		}
+	}
+	return aff
+}

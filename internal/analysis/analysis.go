@@ -1,0 +1,178 @@
+// Package analysis is a static-analysis framework over decoded guest
+// programs (prog.Program). It builds a basic-block control-flow graph
+// with an inferred call graph, runs classic dataflow passes over it —
+// liveness, possibly-uninitialized registers, and constant/interval
+// propagation — and emits typed diagnostics for the defect classes that
+// actually bite when writing kernels by hand: reads of never-written
+// registers, unreachable code, branch targets outside .text, statically
+// out-of-segment or misaligned memory accesses, dead register writes,
+// falling off the end of .text, and broken JAL/RA call discipline.
+//
+// The same machinery powers a profile-free placement policy: constant
+// propagation recovers which pages each load/store can touch, and
+// PageAffinity turns that into the page-transition graph that
+// mem.PlaceStaticAffinity clusters across DataScalar nodes (the paper's
+// "special support to increase datathread length", provided statically).
+//
+// Everything here is best-effort and sound in the lint direction:
+// malformed programs never make Analyze fail — they make it report.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/wisc-arch/datascalar/internal/prog"
+)
+
+// Class identifies a diagnostic class. The set is closed and documented
+// in docs/ANALYSIS.md; dslint golden tests cover one program per class.
+type Class string
+
+// Diagnostic classes.
+const (
+	// ClassUninitRead: a register is read on some path before any write
+	// to it. The emulator zeroes registers, so the read is deterministic
+	// — and almost always a typo'd register number or a missing init.
+	ClassUninitRead Class = "uninit-read"
+	// ClassUnreachable: a block can never execute.
+	ClassUnreachable Class = "unreachable"
+	// ClassBadTarget: a branch or jump target lies outside .text or in
+	// the middle of an instruction.
+	ClassBadTarget Class = "bad-target"
+	// ClassOutOfSegment: a memory access with a statically-known address
+	// falls outside the program's declared footprint (or writes .text).
+	ClassOutOfSegment Class = "out-of-segment"
+	// ClassMisaligned: a memory access with a statically-known address
+	// is not aligned to its access width (the emulator faults on these).
+	ClassMisaligned Class = "misaligned"
+	// ClassDeadStore: a register write that no path ever reads, or a
+	// write to the hardwired-zero register.
+	ClassDeadStore Class = "dead-store"
+	// ClassMissingHalt: control can fall off the end of .text.
+	ClassMissingHalt Class = "missing-halt"
+	// ClassCallDiscipline: JAL/RA discipline violations — returning
+	// through a clobbered ra, or indirect transfers the analysis cannot
+	// follow.
+	ClassCallDiscipline Class = "call-discipline"
+)
+
+// Severity grades a diagnostic.
+type Severity uint8
+
+// Severities, in increasing order.
+const (
+	Info Severity = iota
+	Warning
+	Error
+)
+
+// String renders the severity.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("severity(%d)", uint8(s))
+}
+
+// MarshalJSON renders severities as their names.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// Severity returns the default severity of a diagnostic class. Errors
+// are defects that change or crash execution; warnings are code that
+// executes fine but cannot mean what it says (or that the analysis
+// cannot follow).
+func (c Class) Severity() Severity {
+	switch c {
+	case ClassUninitRead, ClassBadTarget, ClassOutOfSegment, ClassMisaligned, ClassMissingHalt:
+		return Error
+	case ClassUnreachable, ClassDeadStore, ClassCallDiscipline:
+		return Warning
+	}
+	return Warning
+}
+
+// Diagnostic is one finding, anchored to an instruction.
+type Diagnostic struct {
+	Class    Class    `json:"class"`
+	Severity Severity `json:"severity"`
+	// Index is the instruction index in Text; PC its address.
+	Index int    `json:"index"`
+	PC    uint64 `json:"pc"`
+	// Line is the 1-based source line when the program carries line
+	// information (assembled with internal/asm), 0 otherwise.
+	Line int    `json:"line,omitempty"`
+	Msg  string `json:"msg"`
+}
+
+// String renders "name:line: severity: msg [class]", falling back to the
+// PC when no source line is known.
+func (d Diagnostic) String() string {
+	pos := fmt.Sprintf("0x%x", d.PC)
+	if d.Line > 0 {
+		pos = fmt.Sprintf("%d", d.Line)
+	}
+	return fmt.Sprintf("%s: %s: %s [%s]", pos, d.Severity, d.Msg, d.Class)
+}
+
+// Report is the result of analyzing one program.
+type Report struct {
+	Program string       `json:"program"`
+	Diags   []Diagnostic `json:"diags"`
+	// Blocks and Funcs summarize the CFG the diagnostics came from.
+	Blocks int `json:"blocks"`
+	Funcs  int `json:"funcs"`
+}
+
+// Count returns how many diagnostics have severity at least s.
+func (r *Report) Count(s Severity) int {
+	n := 0
+	for _, d := range r.Diags {
+		if d.Severity >= s {
+			n++
+		}
+	}
+	return n
+}
+
+// ByClass returns the diagnostics of one class, in program order.
+func (r *Report) ByClass(c Class) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diags {
+		if d.Class == c {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Analyze runs every analyzer over p and returns the combined report,
+// sorted by instruction index. It never fails: a malformed program
+// yields diagnostics, not errors.
+func Analyze(p *prog.Program) *Report {
+	c := BuildCFG(p)
+	r := &Report{Program: p.Name, Blocks: len(c.Blocks), Funcs: len(c.Funcs)}
+	r.Diags = append(r.Diags, c.diags...)
+	if len(c.Blocks) == 0 {
+		return r // empty .text: nothing to analyze
+	}
+	r.Diags = append(r.Diags, checkUnreachable(c)...)
+	r.Diags = append(r.Diags, checkUninit(c)...)
+	r.Diags = append(r.Diags, checkDeadStores(c)...)
+	r.Diags = append(r.Diags, checkCallDiscipline(c)...)
+	r.Diags = append(r.Diags, checkMemory(c, constprop(c))...)
+	sort.SliceStable(r.Diags, func(i, j int) bool {
+		if r.Diags[i].Index != r.Diags[j].Index {
+			return r.Diags[i].Index < r.Diags[j].Index
+		}
+		return r.Diags[i].Class < r.Diags[j].Class
+	})
+	return r
+}

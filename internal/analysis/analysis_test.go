@@ -1,0 +1,372 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/wisc-arch/datascalar/internal/asm"
+	"github.com/wisc-arch/datascalar/internal/isa"
+	"github.com/wisc-arch/datascalar/internal/prog"
+	"github.com/wisc-arch/datascalar/internal/workload"
+)
+
+// analyze assembles src and runs every pass over it.
+func analyze(t *testing.T, src string) *Report {
+	t.Helper()
+	p, err := asm.Assemble("test", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return Analyze(p)
+}
+
+// wantClass asserts the report contains at least one diagnostic of class
+// c whose message contains frag, and returns the first one.
+func wantClass(t *testing.T, r *Report, c Class, frag string) Diagnostic {
+	t.Helper()
+	ds := r.ByClass(c)
+	if len(ds) == 0 {
+		t.Fatalf("no %s diagnostic; got %v", c, r.Diags)
+	}
+	for _, d := range ds {
+		if strings.Contains(d.Msg, frag) {
+			return d
+		}
+	}
+	t.Fatalf("no %s diagnostic mentioning %q; got %v", c, frag, ds)
+	return Diagnostic{}
+}
+
+// One crafted bad program per diagnostic class. Each exercises exactly
+// the defect under test; line numbers are asserted so dslint's file:line
+// output stays trustworthy.
+
+func TestGoldenUninitRead(t *testing.T) {
+	r := analyze(t, `
+        .text
+        add  r1, r2, r3
+        halt
+`)
+	d := wantClass(t, r, ClassUninitRead, "r2")
+	if d.Severity != Error {
+		t.Errorf("severity = %v, want error", d.Severity)
+	}
+	if d.Line != 3 {
+		t.Errorf("line = %d, want 3", d.Line)
+	}
+	wantClass(t, r, ClassUninitRead, "r3")
+}
+
+func TestGoldenUninitReadPathSensitive(t *testing.T) {
+	// r1 is written on only one arm of the diamond: a may-uninit read.
+	r := analyze(t, `
+        .text
+        li   r2, 1
+        beq  r2, zero, skip
+        li   r1, 7
+skip:   add  r3, r1, r2
+        sd   r3, 0(r2)
+        halt
+`)
+	wantClass(t, r, ClassUninitRead, "r1")
+}
+
+func TestGoldenUnreachable(t *testing.T) {
+	r := analyze(t, `
+        .text
+        li   r1, 1
+        b    done
+        li   r2, 2
+        li   r3, 3
+done:   halt
+`)
+	d := wantClass(t, r, ClassUnreachable, "2 instructions")
+	if d.Line != 5 {
+		t.Errorf("line = %d, want 5", d.Line)
+	}
+}
+
+func TestGoldenBadTarget(t *testing.T) {
+	// The assembler refuses unresolved labels, so a bad target needs a
+	// hand-built program: a jump into the middle of an instruction.
+	p := &prog.Program{
+		Name: "bad-target",
+		Text: []isa.Instr{
+			{Op: isa.OpJ, Target: prog.TextBase + isa.InstrBytes/2},
+			{Op: isa.OpHALT},
+		},
+	}
+	r := Analyze(p)
+	d := wantClass(t, r, ClassBadTarget, "outside .text or mid-instruction")
+	if d.Severity != Error {
+		t.Errorf("severity = %v, want error", d.Severity)
+	}
+	// The dropped edge leaves the halt unreachable — also reported.
+	wantClass(t, r, ClassUnreachable, "unreachable")
+}
+
+func TestGoldenOutOfSegment(t *testing.T) {
+	r := analyze(t, `
+        .data
+x:      .space 64
+        .text
+        li   r1, 0x50000000
+        ld   r2, 0(r1)
+        sd   r2, 0(r1)
+        halt
+`)
+	ds := r.ByClass(ClassOutOfSegment)
+	if len(ds) != 2 {
+		t.Fatalf("got %d out-of-segment diags, want 2: %v", len(ds), ds)
+	}
+	wantClass(t, r, ClassOutOfSegment, "outside the program's declared footprint")
+}
+
+func TestGoldenStoreIntoText(t *testing.T) {
+	r := analyze(t, `
+        .text
+entry:  la   r1, entry
+        sd   r2, 0(r1)
+        halt
+`)
+	wantClass(t, r, ClassOutOfSegment, "store into .text")
+}
+
+func TestGoldenOutOfSegmentInterval(t *testing.T) {
+	// A loop marches r1 from an out-of-segment base; the whole interval
+	// stays outside the footprint, so even the widened range is flagged.
+	r := analyze(t, `
+        .text
+        li   r1, 0x40000000
+        li   r2, 8
+loop:   ld   r3, 0(r1)
+        addi r1, r1, 8
+        addi r2, r2, -1
+        bne  r2, zero, loop
+        halt
+`)
+	wantClass(t, r, ClassOutOfSegment, "outside the program's declared footprint")
+}
+
+func TestGoldenMisaligned(t *testing.T) {
+	r := analyze(t, `
+        .data
+x:      .space 64
+        .text
+        la   r1, x
+        ld   r2, 4(r1)
+        halt
+`)
+	d := wantClass(t, r, ClassMisaligned, "8-byte access")
+	if d.Severity != Error {
+		t.Errorf("severity = %v, want error", d.Severity)
+	}
+}
+
+func TestGoldenDeadStore(t *testing.T) {
+	r := analyze(t, `
+        .data
+x:      .space 8
+        .text
+        la   r1, x
+        li   r2, 5
+        li   r2, 6
+        sd   r2, 0(r1)
+        halt
+`)
+	d := wantClass(t, r, ClassDeadStore, "never read")
+	if d.Line != 6 {
+		t.Errorf("line = %d, want 6 (the first li r2)", d.Line)
+	}
+}
+
+func TestGoldenDeadStoreZeroReg(t *testing.T) {
+	r := analyze(t, `
+        .text
+        li   r1, 1
+        add  zero, r1, r1
+        halt
+`)
+	wantClass(t, r, ClassDeadStore, "hardwired-zero")
+}
+
+func TestGoldenMissingHalt(t *testing.T) {
+	r := analyze(t, `
+        .text
+        li   r1, 1
+        addi r1, r1, 1
+`)
+	d := wantClass(t, r, ClassMissingHalt, "falls off the end")
+	if d.Severity != Error {
+		t.Errorf("severity = %v, want error", d.Severity)
+	}
+}
+
+func TestGoldenCallDiscipline(t *testing.T) {
+	// f calls g without saving ra, then returns: the jr in f can only
+	// return through g's return address — an infinite loop at runtime.
+	r := analyze(t, `
+        .text
+        jal  f
+        halt
+f:      jal  g
+        jr   ra
+g:      li   r9, 1
+        jr   ra
+`)
+	d := wantClass(t, r, ClassCallDiscipline, "jal g")
+	if d.Line != 6 {
+		t.Errorf("line = %d, want 6 (f's jr ra)", d.Line)
+	}
+	// g itself returns correctly: no diagnostic on line 8.
+	for _, x := range r.ByClass(ClassCallDiscipline) {
+		if x.Line == 8 {
+			t.Errorf("false positive on g's own return: %v", x)
+		}
+	}
+}
+
+func TestCallDisciplineCleanNesting(t *testing.T) {
+	// Proper save/restore around the nested call: no diagnostics. The
+	// analysis treats a restored ra as trusted (raUnknown).
+	r := analyze(t, `
+        .data
+save:   .space 8
+        .text
+        jal  f
+        halt
+f:      la   r1, save
+        sd   ra, 0(r1)
+        jal  g
+        la   r1, save
+        ld   ra, 0(r1)
+        jr   ra
+g:      li   r9, 2
+        jr   ra
+`)
+	if ds := r.ByClass(ClassCallDiscipline); len(ds) != 0 {
+		t.Errorf("unexpected call-discipline diags: %v", ds)
+	}
+}
+
+func TestCFGFunctionsAndLoops(t *testing.T) {
+	src := `
+        .text
+        li   r1, 4
+        li   r2, 0
+loop:   addi r2, r2, 1
+        jal  f
+        addi r1, r1, -1
+        bne  r1, zero, loop
+        halt
+f:      li   r9, 1
+        jr   ra
+`
+	p, err := asm.Assemble("cfgtest", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := BuildCFG(p)
+	if len(c.Funcs) != 2 {
+		t.Fatalf("funcs = %d, want 2 (entry + f)", len(c.Funcs))
+	}
+	var f *Func
+	for _, fn := range c.Funcs {
+		if fn.Name == "f" {
+			f = fn
+		}
+	}
+	if f == nil {
+		t.Fatalf("no function named f: %+v", c.Funcs)
+	}
+	if len(f.CallSites) != 1 {
+		t.Errorf("f call sites = %v, want one", f.CallSites)
+	}
+	// The loop body (including the called function's blocks, which run
+	// inside the loop) must have depth >= 1; the entry must not.
+	if c.Blocks[c.EntryBlock].LoopDepth != 0 {
+		t.Errorf("entry loop depth = %d, want 0", c.Blocks[c.EntryBlock].LoopDepth)
+	}
+	loopIdx, err := p.PCToIndex(p.Labels["loop"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := c.BlockOf(loopIdx).LoopDepth; d != 1 {
+		t.Errorf("loop body depth = %d, want 1", d)
+	}
+}
+
+// TestKernelsAnalyzeClean is the clean-run gate: every bundled kernel
+// must produce zero diagnostics. A finding here is either a real kernel
+// defect (fix the kernel) or an analyzer false positive (fix the
+// analyzer) — never something to suppress.
+func TestKernelsAnalyzeClean(t *testing.T) {
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			p, err := w.Program(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := Analyze(p)
+			for _, d := range r.Diags {
+				t.Errorf("%s.s:%s", w.Name, d)
+			}
+		})
+	}
+}
+
+func TestAnalyzeEmptyProgram(t *testing.T) {
+	r := Analyze(&prog.Program{Name: "empty"})
+	if len(r.Diags) != 0 {
+		t.Fatalf("empty program diags: %v", r.Diags)
+	}
+}
+
+func TestPageAffinityLockstep(t *testing.T) {
+	// Two arrays of 3 pages each, walked in lockstep. The affinity graph
+	// must pair aligned pages (a_i with b_i) more heavily than anything
+	// else, and the sequential prior must connect consecutive pages
+	// within each array more weakly.
+	src := `
+        .data
+a:      .space 24576
+b:      .space 24576
+        .text
+        la   r1, a
+        la   r2, b
+        li   r3, 3072
+loop:   ld   r4, 0(r1)
+        sd   r4, 0(r2)
+        addi r1, r1, 8
+        addi r2, r2, 8
+        addi r3, r3, -1
+        bne  r3, zero, loop
+        halt
+`
+	p, err := asm.Assemble("lockstep", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aff := ComputePageAffinity(p)
+	aPage := prog.PageOf(p.Labels["a"])
+	bPage := prog.PageOf(p.Labels["b"])
+	for i := uint64(0); i < 3; i++ {
+		aligned := aff.Edges[[2]uint64{aPage + i, bPage + i}]
+		if aligned == 0 {
+			t.Fatalf("no aligned edge for page pair %d: %v", i, aff.Edges)
+		}
+		if i+1 < 3 {
+			seq := aff.Edges[[2]uint64{aPage + i, aPage + i + 1}]
+			if seq == 0 {
+				t.Errorf("no sequential edge within array a at page %d", i)
+			}
+			if seq >= aligned {
+				t.Errorf("sequential edge (%d) not weaker than aligned edge (%d)", seq, aligned)
+			}
+		}
+	}
+	if aff.Touches[aPage] == 0 || aff.Touches[bPage] == 0 {
+		t.Errorf("missing touches: %v", aff.Touches)
+	}
+}

@@ -1,0 +1,458 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/wisc-arch/datascalar/internal/isa"
+	"github.com/wisc-arch/datascalar/internal/prog"
+)
+
+// Block is one basic block: a maximal straight-line run of instructions
+// entered only at Start and left only at End-1.
+type Block struct {
+	ID         int
+	Start, End int   // instruction index range [Start, End)
+	Succs      []int // successor block IDs (interprocedural: calls + returns)
+	Preds      []int // predecessor block IDs
+	// Reachable reports whether the block can execute, starting from the
+	// program entry and following calls and returns.
+	Reachable bool
+	// LoopDepth is the natural-loop nesting depth (0 = not in a loop).
+	LoopDepth int
+	// Funcs lists the IDs of every function whose body contains this
+	// block (normally one; shared tails can belong to several).
+	Funcs []int
+}
+
+// Func is one inferred function: the program entry, or any JAL target.
+type Func struct {
+	ID    int
+	Entry int    // entry block ID
+	Name  string // best-matching text label, or "entry"
+	// CallSites are the instruction indices of JALs targeting Entry.
+	CallSites []int
+	// Blocks is the body: blocks reachable from Entry stepping over calls
+	// (a call continues at its fall-through) and stopping at `jr ra`.
+	Blocks []int
+}
+
+// CFG is the control-flow graph of a program, including the inferred
+// call graph. Construction never fails: malformed control flow (targets
+// outside .text, mid-instruction targets, indirect jumps) is recorded as
+// diagnostics and the offending edges are dropped.
+type CFG struct {
+	Prog   *prog.Program
+	Blocks []*Block
+	Funcs  []*Func
+	// EntryBlock is the block executing first.
+	EntryBlock int
+
+	blockOf []int // instruction index -> block ID
+	diags   []Diagnostic
+}
+
+// BlockOf returns the block containing instruction index i.
+func (c *CFG) BlockOf(i int) *Block { return c.Blocks[c.blockOf[i]] }
+
+// target resolves instruction i's control target to an instruction
+// index, recording a diagnostic when it is malformed.
+func (c *CFG) resolveTarget(i int, in isa.Instr) (int, bool) {
+	t, err := c.Prog.PCToIndex(in.Target)
+	if err != nil {
+		c.diags = append(c.diags, c.diag(ClassBadTarget, i,
+			"%s target 0x%x is outside .text or mid-instruction", in.Op, in.Target))
+		return 0, false
+	}
+	return t, true
+}
+
+func (c *CFG) diag(cl Class, idx int, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		Class:    cl,
+		Severity: cl.Severity(),
+		Index:    idx,
+		PC:       prog.IndexToPC(idx),
+		Line:     c.Prog.LineOf(idx),
+		Msg:      fmt.Sprintf(format, args...),
+	}
+}
+
+// branchOutcome classifies a conditional branch whose outcome is known
+// statically because it compares a register against itself (the `b`
+// pseudo-instruction assembles to `beq zero, zero`).
+// Returns (alwaysTaken, neverTaken).
+func branchOutcome(in isa.Instr) (always, never bool) {
+	if in.Rs1 != in.Rs2 {
+		return false, false
+	}
+	switch in.Op {
+	case isa.OpBEQ, isa.OpBGE, isa.OpBGEU:
+		return true, false
+	case isa.OpBNE, isa.OpBLT, isa.OpBLTU:
+		return false, true
+	}
+	return false, false
+}
+
+// BuildCFG constructs the CFG, call graph, reachability, and loop depths
+// for p. Structural diagnostics (bad targets, unanalyzable indirect
+// jumps, missing halt) accumulate in the returned graph.
+func BuildCFG(p *prog.Program) *CFG {
+	c := &CFG{Prog: p}
+	n := len(p.Text)
+	if n == 0 {
+		return c
+	}
+
+	entryIdx := 0
+	if idx, err := p.PCToIndex(p.EntryPC()); err == nil {
+		entryIdx = idx
+	} else {
+		c.diags = append(c.diags, c.diag(ClassBadTarget, 0,
+			"entry point 0x%x is outside .text; analyzing from the first instruction", p.EntryPC()))
+	}
+
+	// Pass 1: leaders.
+	leader := make([]bool, n)
+	leader[0] = true
+	leader[entryIdx] = true
+	for i, in := range p.Text {
+		if !in.Op.IsControl() {
+			continue
+		}
+		if i+1 < n {
+			leader[i+1] = true
+		}
+		switch in.Op.Format() {
+		case isa.FmtBranch, isa.FmtJump:
+			if t, err := p.PCToIndex(in.Target); err == nil {
+				leader[t] = true
+			}
+		}
+	}
+
+	// Pass 2: blocks.
+	c.blockOf = make([]int, n)
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && !leader[j] {
+			j++
+		}
+		b := &Block{ID: len(c.Blocks), Start: i, End: j}
+		for k := i; k < j; k++ {
+			c.blockOf[k] = b.ID
+		}
+		c.Blocks = append(c.Blocks, b)
+		i = j
+	}
+	c.EntryBlock = c.blockOf[entryIdx]
+
+	// Pass 3: edges. Calls (JAL) get an edge into the callee; the edge
+	// back to the call's fall-through is added with the return edges
+	// below, so a callee that never returns leaves the continuation
+	// unreachable, as it should.
+	addEdge := func(from, to int) {
+		for _, s := range c.Blocks[from].Succs {
+			if s == to {
+				return
+			}
+		}
+		c.Blocks[from].Succs = append(c.Blocks[from].Succs, to)
+		c.Blocks[to].Preds = append(c.Blocks[to].Preds, from)
+	}
+	// callFall[b] is the fall-through block of a block ending in a call.
+	callFall := make(map[int]int)
+	for _, b := range c.Blocks {
+		last := b.End - 1
+		in := p.Text[last]
+		fallthru := func() {
+			if b.End < n {
+				addEdge(b.ID, c.blockOf[b.End])
+			} else if in.Op.FallsThrough() {
+				c.diags = append(c.diags, c.diag(ClassMissingHalt, last,
+					"control falls off the end of .text; add a halt or an explicit jump"))
+			}
+		}
+		switch in.Op.Format() {
+		case isa.FmtBranch:
+			always, never := branchOutcome(in)
+			if !never {
+				if t, ok := c.resolveTarget(last, in); ok {
+					addEdge(b.ID, c.blockOf[t])
+				}
+			}
+			if !always {
+				fallthru()
+			}
+		case isa.FmtJump:
+			t, ok := c.resolveTarget(last, in)
+			switch {
+			case in.Op == isa.OpJAL:
+				if ok {
+					addEdge(b.ID, c.blockOf[t])
+					if b.End < n {
+						callFall[b.ID] = c.blockOf[b.End]
+					} else {
+						c.diags = append(c.diags, c.diag(ClassMissingHalt, last,
+							"call at the end of .text has no instruction to return to"))
+					}
+				} else {
+					fallthru() // keep analyzing past the broken call
+				}
+			case ok:
+				addEdge(b.ID, c.blockOf[t])
+			}
+		case isa.FmtJReg:
+			switch {
+			case in.Op == isa.OpJALR:
+				c.diags = append(c.diags, c.diag(ClassCallDiscipline, last,
+					"jalr: indirect call target is not statically analyzable; assuming it returns"))
+				fallthru()
+				if b.End < n {
+					callFall[b.ID] = c.blockOf[b.End]
+				}
+			case in.Rs1 != isa.RegRA:
+				c.diags = append(c.diags, c.diag(ClassCallDiscipline, last,
+					"jr r%d: indirect jump through a register other than ra is not statically analyzable", in.Rs1))
+			}
+			// jr ra: return edges added after function discovery.
+		default:
+			if in.Op == isa.OpHALT {
+				break
+			}
+			fallthru()
+		}
+	}
+
+	// Pass 4: function discovery. Entries: the program entry plus every
+	// JAL target. Bodies: blocks reachable from the entry, stepping over
+	// calls (continue at the fall-through) and stopping at `jr ra`.
+	callSites := make(map[int][]int) // entry block -> JAL instruction indices
+	for i, in := range p.Text {
+		if in.Op == isa.OpJAL {
+			if t, err := p.PCToIndex(in.Target); err == nil {
+				eb := c.blockOf[t]
+				callSites[eb] = append(callSites[eb], i)
+			}
+		}
+	}
+	entryBlocks := []int{c.EntryBlock}
+	for eb := range callSites {
+		if eb != c.EntryBlock {
+			entryBlocks = append(entryBlocks, eb)
+		}
+	}
+	sort.Ints(entryBlocks[1:])
+	for _, eb := range entryBlocks {
+		f := &Func{ID: len(c.Funcs), Entry: eb, Name: c.labelFor(eb), CallSites: callSites[eb]}
+		sort.Ints(f.CallSites)
+		seen := map[int]bool{eb: true}
+		work := []int{eb}
+		for len(work) > 0 {
+			bid := work[len(work)-1]
+			work = work[:len(work)-1]
+			f.Blocks = append(f.Blocks, bid)
+			b := c.Blocks[bid]
+			b.Funcs = append(b.Funcs, f.ID)
+			var next []int
+			if b.endsWithCall(p) {
+				if ft, ok := callFall[bid]; ok && ft >= 0 {
+					next = []int{ft}
+				}
+			} else if !b.endsWithReturn(p) {
+				next = b.Succs
+			}
+			for _, s := range next {
+				if !seen[s] {
+					seen[s] = true
+					work = append(work, s)
+				}
+			}
+		}
+		sort.Ints(f.Blocks)
+		c.Funcs = append(c.Funcs, f)
+	}
+
+	// Pass 5: return edges. A `jr ra` in function f may return to the
+	// fall-through of any call site of f.
+	for _, b := range c.Blocks {
+		if !b.endsWithReturn(p) {
+			continue
+		}
+		for _, fid := range b.Funcs {
+			for _, cs := range c.Funcs[fid].CallSites {
+				if cs+1 < n {
+					addEdge(b.ID, c.blockOf[cs+1])
+				}
+			}
+		}
+	}
+
+	// Pass 6: reachability from the entry over the full edge set.
+	work := []int{c.EntryBlock}
+	c.Blocks[c.EntryBlock].Reachable = true
+	for len(work) > 0 {
+		bid := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range c.Blocks[bid].Succs {
+			if !c.Blocks[s].Reachable {
+				c.Blocks[s].Reachable = true
+				work = append(work, s)
+			}
+		}
+	}
+
+	c.computeLoopDepths()
+	return c
+}
+
+// endsWithCall reports whether the block's terminator is a call.
+func (b *Block) endsWithCall(p *prog.Program) bool {
+	return p.Text[b.End-1].Op.IsCall()
+}
+
+// endsWithReturn reports whether the block ends with `jr ra`.
+func (b *Block) endsWithReturn(p *prog.Program) bool {
+	in := p.Text[b.End-1]
+	return in.Op == isa.OpJR && in.Rs1 == isa.RegRA
+}
+
+// labelFor returns a text label pointing at block eb's first instruction.
+func (c *CFG) labelFor(eb int) string {
+	pc := prog.IndexToPC(c.Blocks[eb].Start)
+	best := ""
+	for name, addr := range c.Prog.Labels {
+		if addr == pc && (best == "" || name < best) {
+			best = name
+		}
+	}
+	if best == "" {
+		if eb == c.EntryBlock {
+			return "entry"
+		}
+		return fmt.Sprintf("fn@0x%x", pc)
+	}
+	return best
+}
+
+// computeLoopDepths finds natural loops (back edges to a dominator) on
+// the reachable subgraph and records each block's nesting depth.
+func (c *CFG) computeLoopDepths() {
+	nb := len(c.Blocks)
+	if nb == 0 {
+		return
+	}
+	// Iterative dominator computation (simple dataflow formulation; the
+	// graphs here are tiny). dom[b] is a bitset of b's dominators.
+	full := newBitset(nb)
+	for i := 0; i < nb; i++ {
+		full.set(i)
+	}
+	dom := make([]bitset, nb)
+	for i := range dom {
+		if i == c.EntryBlock {
+			dom[i] = newBitset(nb)
+			dom[i].set(i)
+		} else {
+			dom[i] = full.clone()
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range c.Blocks {
+			if !b.Reachable || b.ID == c.EntryBlock {
+				continue
+			}
+			nd := full.clone()
+			any := false
+			for _, p := range b.Preds {
+				if c.Blocks[p].Reachable {
+					nd.intersect(dom[p])
+					any = true
+				}
+			}
+			if !any {
+				nd = newBitset(nb)
+			}
+			nd.set(b.ID)
+			if !nd.equal(dom[b.ID]) {
+				dom[b.ID] = nd
+				changed = true
+			}
+		}
+	}
+
+	// Back edge u -> v with v ∈ dom(u): natural loop is v plus all
+	// blocks that reach u without passing through v.
+	type loop struct {
+		header int
+		body   map[int]bool
+	}
+	loops := map[int]*loop{} // header -> merged loop body
+	for _, u := range c.Blocks {
+		if !u.Reachable {
+			continue
+		}
+		for _, v := range u.Succs {
+			if !dom[u.ID].has(v) {
+				continue
+			}
+			l := loops[v]
+			if l == nil {
+				l = &loop{header: v, body: map[int]bool{v: true}}
+				loops[v] = l
+			}
+			// Walk backwards from u.
+			stack := []int{u.ID}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if l.body[x] {
+					continue
+				}
+				l.body[x] = true
+				for _, p := range c.Blocks[x].Preds {
+					if c.Blocks[p].Reachable {
+						stack = append(stack, p)
+					}
+				}
+			}
+		}
+	}
+	for _, l := range loops {
+		for bid := range l.body {
+			c.Blocks[bid].LoopDepth++
+		}
+	}
+}
+
+// bitset is a simple variable-width bitset used by the dominator pass.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (s bitset) set(i int)      { s[i/64] |= 1 << (i % 64) }
+func (s bitset) has(i int) bool { return s[i/64]&(1<<(i%64)) != 0 }
+
+func (s bitset) clone() bitset {
+	out := make(bitset, len(s))
+	copy(out, s)
+	return out
+}
+
+func (s bitset) intersect(o bitset) {
+	for i := range s {
+		s[i] &= o[i]
+	}
+}
+
+func (s bitset) equal(o bitset) bool {
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}

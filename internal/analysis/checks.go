@@ -1,0 +1,316 @@
+package analysis
+
+import (
+	"github.com/wisc-arch/datascalar/internal/isa"
+	"github.com/wisc-arch/datascalar/internal/prog"
+)
+
+// checkUnreachable reports maximal runs of unreachable blocks, one
+// diagnostic per run.
+func checkUnreachable(c *CFG) []Diagnostic {
+	var out []Diagnostic
+	for i := 0; i < len(c.Blocks); {
+		if c.Blocks[i].Reachable {
+			i++
+			continue
+		}
+		j := i
+		for j+1 < len(c.Blocks) && !c.Blocks[j+1].Reachable {
+			j++
+		}
+		n := c.Blocks[j].End - c.Blocks[i].Start
+		if n == 1 {
+			out = append(out, c.diag(ClassUnreachable, c.Blocks[i].Start,
+				"unreachable instruction"))
+		} else {
+			out = append(out, c.diag(ClassUnreachable, c.Blocks[i].Start,
+				"unreachable code (%d instructions)", n))
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// checkUninit reports reads of registers that may never have been
+// written on some path from the entry.
+func checkUninit(c *CFG) []Diagnostic {
+	states := maybeUninit(c)
+	var out []Diagnostic
+	var scratch []isa.RegRef
+	for _, b := range c.Blocks {
+		if !b.Reachable {
+			continue
+		}
+		st := states[b.ID]
+		for i := b.Start; i < b.End; i++ {
+			in := c.Prog.Text[i]
+			scratch = in.SrcRegs(scratch[:0])
+			for _, s := range scratch {
+				if !s.FP && s.Num == isa.RegZero {
+					continue
+				}
+				if st.has(s) {
+					out = append(out, c.diag(ClassUninitRead, i,
+						"%s may be read before any write reaches this point", s))
+				}
+			}
+			if d, ok := in.DstReg(); ok {
+				st = st.without(d)
+			}
+		}
+	}
+	return out
+}
+
+// checkDeadStores reports register writes no path ever reads, plus
+// writes to the hardwired-zero register.
+func checkDeadStores(c *CFG) []Diagnostic {
+	_, liveOut := liveness(c)
+	var out []Diagnostic
+	var scratch []isa.RegRef
+	for _, b := range c.Blocks {
+		if !b.Reachable {
+			continue
+		}
+		live := liveOut[b.ID]
+		for i := b.End - 1; i >= b.Start; i-- {
+			in := c.Prog.Text[i]
+			if d, ok := in.DstReg(); ok {
+				if !live.has(d) && !in.Op.IsCall() {
+					verb := "computed into"
+					if in.Op.IsLoad() {
+						verb = "loaded into"
+					}
+					out = append(out, c.diag(ClassDeadStore, i,
+						"value %s %s is never read (dead store)", verb, d))
+				}
+				live = live.without(d)
+			} else if raw, isW := in.DstRegRaw(); isW && !raw.FP && raw.Num == isa.RegZero {
+				out = append(out, c.diag(ClassDeadStore, i,
+					"write to hardwired-zero register r0 is discarded"))
+			}
+			scratch = in.SrcRegs(scratch[:0])
+			for _, s := range scratch {
+				if !s.FP && s.Num == isa.RegZero {
+					continue
+				}
+				live = live.with(s)
+			}
+		}
+	}
+	// Report in program order.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Index < out[j-1].Index; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// raProvenance tokens: call-site instruction indices, or one of the two
+// sentinels below.
+const (
+	raFromEntry = -1 // the loader's initial (never-written) ra
+	raUnknown   = -2 // written by a non-call instruction (restore, li, ...)
+)
+
+// checkCallDiscipline verifies JAL/RA discipline: every `jr ra` must
+// return through a return address written by a call to a function that
+// actually contains the jr. A nested, unsaved `jal` inside a function
+// body trips this — the inner call's return address reaches the outer
+// return.
+func checkCallDiscipline(c *CFG) []Diagnostic {
+	nb := len(c.Blocks)
+	in := make([]map[int]bool, nb)
+	for i := range in {
+		in[i] = map[int]bool{}
+	}
+	in[c.EntryBlock][raFromEntry] = true
+
+	// raOut computes the block's outgoing provenance set from ins.
+	writesRA := func(i int) (tok int, writes bool) {
+		inst := c.Prog.Text[i]
+		d, ok := inst.DstRegRaw()
+		if !ok || d.FP || d.Num != isa.RegRA {
+			return 0, false
+		}
+		if inst.Op == isa.OpJAL {
+			return i, true
+		}
+		return raUnknown, true
+	}
+	blockOut := func(bid int) map[int]bool {
+		st := in[bid]
+		for i := c.Blocks[bid].Start; i < c.Blocks[bid].End; i++ {
+			if tok, w := writesRA(i); w {
+				st = map[int]bool{tok: true}
+			}
+		}
+		return st
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range c.Blocks {
+			if !b.Reachable {
+				continue
+			}
+			out := blockOut(b.ID)
+			for _, s := range b.Succs {
+				for tok := range out {
+					if !in[s][tok] {
+						in[s][tok] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	funcByEntry := map[int]int{}
+	for _, f := range c.Funcs {
+		funcByEntry[f.Entry] = f.ID
+	}
+	var out []Diagnostic
+	for _, b := range c.Blocks {
+		if !b.Reachable || !b.endsWithReturn(c.Prog) {
+			continue
+		}
+		// Provenance at the terminator: apply in-block ra writes.
+		st := in[b.ID]
+		for i := b.Start; i < b.End-1; i++ {
+			if tok, w := writesRA(i); w {
+				st = map[int]bool{tok: true}
+			}
+		}
+		for tok := range st {
+			if tok < 0 {
+				continue // entry-ra is the uninit check's job; unknown is trusted
+			}
+			tgt, err := c.Prog.PCToIndex(c.Prog.Text[tok].Target)
+			if err != nil {
+				continue
+			}
+			fid, ok := funcByEntry[c.blockOf[tgt]]
+			if !ok {
+				continue
+			}
+			inFunc := false
+			for _, f := range b.Funcs {
+				if f == fid {
+					inFunc = true
+					break
+				}
+			}
+			if !inFunc {
+				out = append(out, c.diag(ClassCallDiscipline, b.End-1,
+					"jr ra may return through the address written by `jal %s` (line %d); save and restore ra around nested calls",
+					c.Funcs[fid].Name, c.Prog.LineOf(tok)))
+			}
+		}
+	}
+	return out
+}
+
+// addrSpan is a half-open address range.
+type addrSpan struct{ lo, hi uint64 }
+
+// footprint returns the page-rounded address ranges the program may
+// legally touch, mirroring prog.Pages.
+func footprint(p *prog.Program) []addrSpan {
+	var out []addrSpan
+	add := func(base, length uint64) {
+		if length == 0 {
+			return
+		}
+		out = append(out, addrSpan{prog.PageBase(base), prog.PageBase(base+length-1) + prog.PageSize})
+	}
+	add(prog.TextBase, uint64(len(p.Text))*isa.InstrBytes)
+	add(prog.DataBase, uint64(len(p.Data)))
+	add(prog.HeapBase, p.HeapBytes)
+	add(stackReserveBase(p), prog.StackTop-stackReserveBase(p))
+	return out
+}
+
+func spansContain(spans []addrSpan, lo, hi uint64) bool {
+	for _, s := range spans {
+		if lo >= s.lo && hi <= s.hi {
+			return true
+		}
+	}
+	return false
+}
+
+func spansOverlap(spans []addrSpan, lo, hi uint64) bool {
+	for _, s := range spans {
+		if lo < s.hi && hi > s.lo {
+			return true
+		}
+	}
+	return false
+}
+
+// checkMemory verifies statically-resolvable memory accesses: inside the
+// declared footprint, not writing .text, and aligned to the access
+// width.
+func checkMemory(c *CFG, states []cpState) []Diagnostic {
+	spans := footprint(c.Prog)
+	textEnd := c.Prog.TextEnd()
+	var out []Diagnostic
+	for _, b := range c.Blocks {
+		if !b.Reachable {
+			continue
+		}
+		st := states[b.ID]
+		for i := b.Start; i < b.End; i++ {
+			in := c.Prog.Text[i]
+			if in.Op.IsMem() || in.Op == isa.OpPRIVB {
+				width := uint64(in.Op.MemBytes())
+				if width == 0 {
+					width = 1 // PRIVB names an address, not a sized access
+				}
+				ea := addV(st.get(in.Rs1), vconst(in.Imm))
+				switch {
+				case ea.isConst():
+					a := uint64(ea.lo)
+					if !spansContain(spans, a, a+width) {
+						out = append(out, c.diag(ClassOutOfSegment, i,
+							"access to 0x%x is outside the program's declared footprint", a))
+					} else if a >= prog.TextBase && a < textEnd {
+						if in.Op.IsStore() {
+							out = append(out, c.diag(ClassOutOfSegment, i,
+								"store into .text at 0x%x", a))
+						} else {
+							out = append(out, c.diag(ClassOutOfSegment, i,
+								"load from .text at 0x%x (instruction memory holds no data)", a))
+						}
+					}
+					if w := uint64(in.Op.MemBytes()); w > 1 && a%w != 0 {
+						out = append(out, c.diag(ClassMisaligned, i,
+							"%d-byte access to 0x%x is misaligned (the emulator faults here)", w, a))
+					}
+				case ea.k == vRange:
+					switch {
+					case ea.hi < 0:
+						out = append(out, c.diag(ClassOutOfSegment, i,
+							"access address is always negative ([%d, %d])", ea.lo, ea.hi))
+					case ea.lo >= 0:
+						lo, hi := uint64(ea.lo), uint64(ea.hi)
+						if hi > ^uint64(0)-width {
+							hi = ^uint64(0)
+						} else {
+							hi += width
+						}
+						if !spansOverlap(spans, lo, hi) {
+							out = append(out, c.diag(ClassOutOfSegment, i,
+								"access range [0x%x, 0x%x) lies entirely outside the program's declared footprint",
+								lo, hi))
+						}
+					}
+				}
+			}
+			cpTransfer(c.Prog, i, &st)
+		}
+	}
+	return out
+}

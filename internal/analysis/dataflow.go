@@ -1,0 +1,484 @@
+package analysis
+
+import (
+	"math"
+
+	"github.com/wisc-arch/datascalar/internal/isa"
+	"github.com/wisc-arch/datascalar/internal/prog"
+)
+
+// regSet is a bitset over the combined register space (isa.RegRef.Index:
+// int registers 0-31, FP registers 32-63).
+type regSet uint64
+
+func (s regSet) has(r isa.RegRef) bool       { return s&(1<<r.Index()) != 0 }
+func (s regSet) with(r isa.RegRef) regSet    { return s | 1<<r.Index() }
+func (s regSet) without(r isa.RegRef) regSet { return s &^ (1 << r.Index()) }
+
+// liveness computes per-block live-in/live-out register sets over the
+// interprocedural CFG (backward may-analysis). The hardwired zero
+// register is never live.
+func liveness(c *CFG) (liveIn, liveOut []regSet) {
+	nb := len(c.Blocks)
+	liveIn = make([]regSet, nb)
+	liveOut = make([]regSet, nb)
+	use := make([]regSet, nb)
+	def := make([]regSet, nb)
+	var scratch []isa.RegRef
+	for _, b := range c.Blocks {
+		for i := b.End - 1; i >= b.Start; i-- {
+			in := c.Prog.Text[i]
+			if d, ok := in.DstReg(); ok {
+				def[b.ID] = def[b.ID].with(d)
+				use[b.ID] = use[b.ID].without(d)
+			}
+			scratch = in.SrcRegs(scratch[:0])
+			for _, s := range scratch {
+				if !s.FP && s.Num == isa.RegZero {
+					continue
+				}
+				use[b.ID] = use[b.ID].with(s)
+			}
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for bid := nb - 1; bid >= 0; bid-- {
+			b := c.Blocks[bid]
+			var out regSet
+			for _, s := range b.Succs {
+				out |= liveIn[s]
+			}
+			in := use[bid] | (out &^ def[bid])
+			if out != liveOut[bid] || in != liveIn[bid] {
+				liveOut[bid], liveIn[bid] = out, in
+				changed = true
+			}
+		}
+	}
+	return liveIn, liveOut
+}
+
+// initializedAtEntry is the register set the loader defines before the
+// first instruction runs: the hardwired zero, the stack pointer, and the
+// global pointer (emu.New sets all three; every other register merely
+// happens to be zero).
+func initializedAtEntry() regSet {
+	var s regSet
+	s = s.with(isa.IntReg(isa.RegZero))
+	s = s.with(isa.IntReg(isa.RegSP))
+	s = s.with(isa.IntReg(isa.RegGP))
+	return s
+}
+
+// maybeUninit computes, per block, the set of registers that may still
+// be unwritten when the block is entered (forward may-analysis, join =
+// union), considering only reachable blocks.
+func maybeUninit(c *CFG) []regSet {
+	nb := len(c.Blocks)
+	const allRegs = ^regSet(0)
+	// Start at bottom (empty = "everything written") everywhere except
+	// the entry and grow to the least fixpoint, so only registers that
+	// are genuinely unwritten along some real path survive.
+	in := make([]regSet, nb)
+	entryState := allRegs &^ initializedAtEntry()
+	in[c.EntryBlock] = entryState
+	// Transfer: a block removes every register it writes.
+	kill := make([]regSet, nb)
+	for _, b := range c.Blocks {
+		for i := b.Start; i < b.End; i++ {
+			if d, ok := c.Prog.Text[i].DstReg(); ok {
+				kill[b.ID] = kill[b.ID].with(d)
+			}
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range c.Blocks {
+			if !b.Reachable {
+				continue
+			}
+			st := regSet(0)
+			if b.ID == c.EntryBlock {
+				st = entryState
+			}
+			for _, p := range b.Preds {
+				if c.Blocks[p].Reachable {
+					st |= in[p] &^ kill[p]
+				}
+			}
+			if st != in[b.ID] {
+				in[b.ID] = st
+				changed = true
+			}
+		}
+	}
+	return in
+}
+
+// ---------------------------------------------------------------------------
+// Constant / interval propagation.
+
+type vkind uint8
+
+const (
+	vBottom vkind = iota // unreached
+	vRange               // lo <= value <= hi (lo == hi: constant)
+	vTop                 // unknown
+)
+
+// value is an element of the interval lattice over int64.
+type value struct {
+	k      vkind
+	lo, hi int64
+}
+
+var top = value{k: vTop}
+
+func vconst(x int64) value { return value{k: vRange, lo: x, hi: x} }
+
+func vrange(lo, hi int64) value {
+	if lo > hi {
+		return top
+	}
+	return value{k: vRange, lo: lo, hi: hi}
+}
+
+func (v value) isConst() bool { return v.k == vRange && v.lo == v.hi }
+
+func joinV(a, b value) value {
+	switch {
+	case a.k == vBottom:
+		return b
+	case b.k == vBottom:
+		return a
+	case a.k == vTop || b.k == vTop:
+		return top
+	}
+	return vrange(min64(a.lo, b.lo), max64(a.hi, b.hi))
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// addSat returns a+b with saturation at the int64 extremes. Bounds
+// widened to ±inf must survive further arithmetic (a widened pointer
+// keeps marching), so overflow saturates rather than dropping to top.
+func addSat(a, b int64) int64 {
+	s := a + b
+	if a > 0 && b > 0 && s < 0 {
+		return math.MaxInt64
+	}
+	if a < 0 && b < 0 && s >= 0 {
+		return math.MinInt64
+	}
+	return s
+}
+
+func addV(a, b value) value {
+	if a.k != vRange || b.k != vRange {
+		return top
+	}
+	return vrange(addSat(a.lo, b.lo), addSat(a.hi, b.hi))
+}
+
+func subV(a, b value) value {
+	if a.k != vRange || b.k != vRange || b.hi == math.MinInt64 || b.lo == math.MinInt64 {
+		return top
+	}
+	return vrange(addSat(a.lo, -b.hi), addSat(a.hi, -b.lo))
+}
+
+func mulV(a, b value) value {
+	// Constants only; interval multiplication adds noise for no checker.
+	if !a.isConst() || !b.isConst() {
+		return top
+	}
+	p := a.lo * b.lo
+	if a.lo != 0 && (p/a.lo != b.lo) {
+		return top
+	}
+	return vconst(p)
+}
+
+func shlV(a value, sh int64) value {
+	if a.k != vRange || sh < 0 || sh > 62 || a.lo < 0 {
+		return top
+	}
+	hi := a.hi << sh
+	if hi>>sh != a.hi || hi < 0 {
+		return top
+	}
+	return vrange(a.lo<<sh, hi)
+}
+
+func shrV(a value, sh int64) value {
+	if a.k != vRange || sh < 0 || sh > 63 || a.lo < 0 {
+		return top
+	}
+	return vrange(a.lo>>sh, a.hi>>sh)
+}
+
+func andMaskV(a value, mask int64) value {
+	if mask < 0 {
+		return top
+	}
+	if a.k == vRange && a.lo >= 0 && a.hi <= mask {
+		return a
+	}
+	return vrange(0, mask)
+}
+
+func remV(a, b value) value {
+	if !b.isConst() || b.lo <= 0 {
+		return top
+	}
+	if a.k == vRange && a.lo >= 0 {
+		if a.hi < b.lo {
+			return a
+		}
+		return vrange(0, b.lo-1)
+	}
+	return vrange(-(b.lo - 1), b.lo-1)
+}
+
+// cpState is the constant-propagation state: one lattice value per
+// integer register. FP registers are not tracked (they never form
+// addresses).
+type cpState [isa.NumIntRegs]value
+
+func (s *cpState) get(r uint8) value {
+	if r == isa.RegZero {
+		return vconst(0)
+	}
+	return s[r]
+}
+
+func (s *cpState) set(r uint8, v value) {
+	if r != isa.RegZero {
+		s[r] = v
+	}
+}
+
+func joinState(a, b *cpState) (cpState, bool) {
+	var out cpState
+	changed := false
+	for i := range out {
+		out[i] = joinV(a[i], b[i])
+		if out[i] != a[i] {
+			changed = true
+		}
+	}
+	return out, changed
+}
+
+// cpTransfer applies instruction i to st.
+func cpTransfer(p *prog.Program, i int, st *cpState) {
+	in := p.Text[i]
+	switch in.Op {
+	case isa.OpLI:
+		st.set(in.Rd, vconst(in.Imm))
+	case isa.OpADDI:
+		st.set(in.Rd, addV(st.get(in.Rs1), vconst(in.Imm)))
+	case isa.OpADD:
+		st.set(in.Rd, addV(st.get(in.Rs1), st.get(in.Rs2)))
+	case isa.OpSUB:
+		st.set(in.Rd, subV(st.get(in.Rs1), st.get(in.Rs2)))
+	case isa.OpMUL:
+		st.set(in.Rd, mulV(st.get(in.Rs1), st.get(in.Rs2)))
+	case isa.OpSLLI:
+		st.set(in.Rd, shlV(st.get(in.Rs1), in.Imm))
+	case isa.OpSRLI, isa.OpSRAI:
+		st.set(in.Rd, shrV(st.get(in.Rs1), in.Imm))
+	case isa.OpSLL:
+		if v := st.get(in.Rs2); v.isConst() {
+			st.set(in.Rd, shlV(st.get(in.Rs1), v.lo))
+		} else {
+			st.set(in.Rd, top)
+		}
+	case isa.OpSRL, isa.OpSRA:
+		if v := st.get(in.Rs2); v.isConst() {
+			st.set(in.Rd, shrV(st.get(in.Rs1), v.lo))
+		} else {
+			st.set(in.Rd, top)
+		}
+	case isa.OpANDI:
+		st.set(in.Rd, andMaskV(st.get(in.Rs1), in.Imm))
+	case isa.OpAND:
+		a, b := st.get(in.Rs1), st.get(in.Rs2)
+		switch {
+		case b.isConst():
+			st.set(in.Rd, andMaskV(a, b.lo))
+		case a.isConst():
+			st.set(in.Rd, andMaskV(b, a.lo))
+		default:
+			st.set(in.Rd, top)
+		}
+	case isa.OpREM:
+		st.set(in.Rd, remV(st.get(in.Rs1), st.get(in.Rs2)))
+	case isa.OpSLT, isa.OpSLTU, isa.OpSLTI, isa.OpFEQ, isa.OpFLT, isa.OpFLE:
+		st.set(in.Rd, vrange(0, 1))
+	case isa.OpJAL:
+		st.set(isa.RegRA, vconst(int64(prog.IndexToPC(i)+isa.InstrBytes)))
+	case isa.OpJALR:
+		st.set(in.Rd, vconst(int64(prog.IndexToPC(i)+isa.InstrBytes)))
+	default:
+		if d, ok := in.DstRegRaw(); ok && !d.FP {
+			st.set(d.Num, top)
+		}
+	}
+}
+
+// widenAfter is the number of visits to a block before joins start
+// widening grown bounds to object/segment boundaries.
+const widenAfter = 3
+
+// constprop runs the forward interval analysis to a fixpoint and returns
+// the entry state of every block. Widening snaps growing bounds to the
+// program's object boundaries (data labels) and segment boundaries, so a
+// pointer marched through an array converges to that array's extent —
+// precise enough to place the array's pages (see PageAffinity) without
+// claiming more than the footprint allows.
+func constprop(c *CFG) []cpState {
+	nb := len(c.Blocks)
+	states := make([]cpState, nb)
+	for i := range states {
+		for r := range states[i] {
+			states[i][r] = value{k: vBottom}
+		}
+	}
+	var entry cpState
+	for r := range entry {
+		entry[r] = top
+	}
+	entry[isa.RegZero] = vconst(0)
+	entry[isa.RegSP] = vconst(int64(prog.StackTop - 16))
+	entry[isa.RegGP] = vconst(int64(prog.DataBase))
+	states[c.EntryBlock] = entry
+
+	bounds := boundCandidates(c.Prog)
+	visits := make([]int, nb)
+	work := []int{c.EntryBlock}
+	inWork := make([]bool, nb)
+	inWork[c.EntryBlock] = true
+	for len(work) > 0 {
+		bid := work[0]
+		work = work[1:]
+		inWork[bid] = false
+		b := c.Blocks[bid]
+		visits[bid]++
+		out := states[bid]
+		for i := b.Start; i < b.End; i++ {
+			cpTransfer(c.Prog, i, &out)
+		}
+		for _, s := range b.Succs {
+			joined, changed := joinState(&states[s], &out)
+			if !changed {
+				continue
+			}
+			if visits[s] >= widenAfter {
+				widenState(&states[s], &joined, bounds)
+			}
+			if joined != states[s] {
+				states[s] = joined
+				if !inWork[s] {
+					inWork[s] = true
+					work = append(work, s)
+				}
+			}
+		}
+	}
+	return states
+}
+
+// boundCandidates returns the sorted address boundaries widening may
+// snap to: segment edges plus every data label (object starts).
+func boundCandidates(p *prog.Program) []int64 {
+	set := make(map[int64]bool)
+	for _, b := range []uint64{
+		0, prog.TextBase, p.TextEnd(), prog.DataBase, p.DataEnd(),
+		prog.HeapBase, prog.HeapBase + p.HeapBytes, stackReserveBase(p), prog.StackTop,
+	} {
+		set[int64(b)] = true
+	}
+	for _, addr := range p.Labels {
+		if addr >= prog.DataBase && addr < p.DataEnd() {
+			set[int64(addr)] = true
+		}
+	}
+	out := make([]int64, 0, len(set))
+	for b := range set {
+		out = append(out, b)
+	}
+	sortInt64s(out)
+	return out
+}
+
+// stackReserveBase mirrors prog.Pages' stack reservation default.
+func stackReserveBase(p *prog.Program) uint64 {
+	stack := p.StackBytes
+	if stack == 0 {
+		stack = 64 * 1024
+	}
+	return prog.StackTop - stack
+}
+
+func sortInt64s(a []int64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// widenState widens every register whose bounds grew since the last
+// visit: a grown upper bound snaps to the smallest boundary past the
+// stable lower bound that covers it (the end of the object being walked,
+// else the segment end, else +inf), and symmetrically for lower bounds.
+func widenState(old, joined *cpState, bounds []int64) {
+	for r := range joined {
+		ov, jv := old[r], joined[r]
+		if jv.k != vRange || ov.k != vRange {
+			continue
+		}
+		lo, hi := jv.lo, jv.hi
+		if jv.hi > ov.hi {
+			hi = widenHi(jv.lo, jv.hi, bounds)
+		}
+		if jv.lo < ov.lo {
+			lo = widenLo(jv.lo, jv.hi, bounds)
+		}
+		joined[r] = vrange(lo, hi)
+	}
+}
+
+func widenHi(lo, hi int64, bounds []int64) int64 {
+	for _, b := range bounds {
+		if b > lo && b-1 >= hi {
+			return b - 1
+		}
+	}
+	return math.MaxInt64
+}
+
+func widenLo(lo, hi int64, bounds []int64) int64 {
+	for i := len(bounds) - 1; i >= 0; i-- {
+		if bounds[i] <= lo {
+			return bounds[i]
+		}
+	}
+	return math.MinInt64
+}

@@ -38,16 +38,28 @@ import (
 	"github.com/wisc-arch/datascalar/internal/prog"
 )
 
-// Error is an assembly error with source position.
+// Error is an assembly error with source position and, when one token is
+// at fault, the offending token.
 type Error struct {
 	Line int
+	Tok  string // offending source token, "" when the whole statement is at fault
 	Msg  string
 }
 
-func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+func (e *Error) Error() string {
+	if e.Tok != "" {
+		return fmt.Sprintf("asm: line %d: %s (at %q)", e.Line, e.Msg, e.Tok)
+	}
+	return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg)
+}
 
 func errf(line int, format string, args ...any) error {
 	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// errt is errf carrying the offending token.
+func errt(line int, tok, format string, args ...any) error {
+	return &Error{Line: line, Tok: tok, Msg: fmt.Sprintf(format, args...)}
 }
 
 // Assemble assembles source into a program named name.
@@ -68,6 +80,7 @@ func Assemble(name, source string) (*prog.Program, error) {
 		Data:   a.data,
 		Entry:  a.entry,
 		Labels: a.labels,
+		Lines:  a.lines,
 	}
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("asm: %w", err)
@@ -93,7 +106,8 @@ type assembler struct {
 	entry  uint64
 
 	// pass 2 outputs
-	text []isa.Instr
+	text  []isa.Instr
+	lines []int // source line of each text instruction
 }
 
 // pass1 scans the source, expanding data directives immediately (their
@@ -126,7 +140,7 @@ func (a *assembler) pass1(source string) error {
 				break // ':' inside an operand is impossible in this syntax, but be safe
 			}
 			if _, dup := a.labels[label]; dup {
-				return errf(line, "duplicate label %q", label)
+				return errt(line, label, "duplicate label")
 			}
 			switch section {
 			case ".text":
@@ -155,14 +169,14 @@ func (a *assembler) pass1(source string) error {
 			}
 		case strings.HasPrefix(op, "."):
 			if section != ".data" {
-				return errf(line, "directive %s only allowed in .data", op)
+				return errt(line, op, "directive outside .data section")
 			}
 			if err := a.dataDirective(line, op, rest); err != nil {
 				return err
 			}
 		default:
 			if section != ".text" {
-				return errf(line, "instruction %q in .data section", op)
+				return errt(line, op, "instruction in .data section")
 			}
 			a.stmts = append(a.stmts, stmt{line: line, op: op, args: splitArgs(rest)})
 		}
@@ -171,7 +185,7 @@ func (a *assembler) pass1(source string) error {
 	if entryLabel != "" {
 		addr, ok := a.labels[entryLabel]
 		if !ok {
-			return errf(entryLine, ".entry: undefined label %q", entryLabel)
+			return errt(entryLine, entryLabel, ".entry: undefined label")
 		}
 		a.entry = addr
 	}
@@ -201,7 +215,7 @@ func (a *assembler) dataDirective(line int, op, rest string) error {
 				return err
 			}
 			if v < -128 || v > 255 {
-				return errf(line, ".byte value %d out of range", v)
+				return errt(line, arg, ".byte value %d out of range", v)
 			}
 			a.data = append(a.data, byte(v))
 		}
@@ -209,7 +223,7 @@ func (a *assembler) dataDirective(line int, op, rest string) error {
 		for _, arg := range args {
 			f, err := strconv.ParseFloat(arg, 64)
 			if err != nil {
-				return errf(line, ".double: %v", err)
+				return errt(line, arg, ".double: %v", err)
 			}
 			var b [8]byte
 			binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
@@ -224,7 +238,7 @@ func (a *assembler) dataDirective(line int, op, rest string) error {
 			return err
 		}
 		if n < 0 || n > 1<<28 {
-			return errf(line, ".space size %d out of range", n)
+			return errt(line, args[0], ".space size %d out of range", n)
 		}
 		a.data = append(a.data, make([]byte, n)...)
 	case ".align":
@@ -236,13 +250,13 @@ func (a *assembler) dataDirective(line int, op, rest string) error {
 			return err
 		}
 		if n <= 0 || n&(n-1) != 0 {
-			return errf(line, ".align %d not a positive power of two", n)
+			return errt(line, args[0], ".align %d not a positive power of two", n)
 		}
 		for uint64(len(a.data))%uint64(n) != 0 {
 			a.data = append(a.data, 0)
 		}
 	default:
-		return errf(line, "unknown directive %s", op)
+		return errt(line, op, "unknown directive")
 	}
 	return nil
 }
@@ -266,12 +280,14 @@ func (a *assembler) pass2() error {
 		binary.LittleEndian.PutUint64(a.data[fx.off:], uint64(v))
 	}
 	a.text = make([]isa.Instr, 0, len(a.stmts))
+	a.lines = make([]int, 0, len(a.stmts))
 	for _, st := range a.stmts {
 		in, err := a.encode(st)
 		if err != nil {
 			return err
 		}
 		a.text = append(a.text, in)
+		a.lines = append(a.lines, st.line)
 	}
 	return nil
 }
@@ -280,7 +296,7 @@ func (a *assembler) encode(st stmt) (isa.Instr, error) {
 	line := st.line
 	need := func(n int) error {
 		if len(st.args) != n {
-			return errf(line, "%s: want %d operands, got %d", st.op, n, len(st.args))
+			return errt(line, st.op, "want %d operands, got %d", n, len(st.args))
 		}
 		return nil
 	}
@@ -297,7 +313,7 @@ func (a *assembler) encode(st stmt) (isa.Instr, error) {
 		}
 		addr, ok := a.labels[st.args[1]]
 		if !ok {
-			return isa.Instr{}, errf(line, "la: undefined label %q", st.args[1])
+			return isa.Instr{}, errt(line, st.args[1], "la: undefined label")
 		}
 		return isa.Instr{Op: isa.OpLI, Rd: rd, Imm: int64(addr)}, nil
 	case "mov":
@@ -326,7 +342,7 @@ func (a *assembler) encode(st stmt) (isa.Instr, error) {
 
 	op := isa.OpByName(st.op)
 	if op == isa.OpInvalid {
-		return isa.Instr{}, errf(line, "unknown mnemonic %q", st.op)
+		return isa.Instr{}, errt(line, st.op, "unknown mnemonic")
 	}
 
 	var in isa.Instr
@@ -429,7 +445,7 @@ func (a *assembler) addrOperand(line int, in isa.Instr, memArg string) (isa.Inst
 	open := strings.IndexByte(memArg, '(')
 	closeP := strings.IndexByte(memArg, ')')
 	if open < 0 || closeP < open {
-		return in, errf(line, "bad memory operand %q, want offset(base)", memArg)
+		return in, errt(line, memArg, "bad memory operand, want offset(base)")
 	}
 	offStr := strings.TrimSpace(memArg[:open])
 	baseStr := strings.TrimSpace(memArg[open+1 : closeP])
@@ -476,7 +492,7 @@ func (a *assembler) target(line int, arg string) (uint64, error) {
 	if v, err := parseInt(arg); err == nil {
 		return uint64(v), nil
 	}
-	return 0, errf(line, "undefined label %q", arg)
+	return 0, errt(line, arg, "undefined branch or jump target")
 }
 
 // constExpr evaluates an immediate: a number, a data/text label address, or
@@ -494,7 +510,7 @@ func (a *assembler) constExpr(line int, arg string) (int64, error) {
 			}
 			off, err := parseInt(arg[i:])
 			if err != nil {
-				return 0, errf(line, "bad offset in %q", arg)
+				return 0, errt(line, arg, "bad offset in label expression")
 			}
 			return int64(base) + off, nil
 		}
@@ -502,7 +518,7 @@ func (a *assembler) constExpr(line int, arg string) (int64, error) {
 	if addr, ok := a.labels[arg]; ok {
 		return int64(addr), nil
 	}
-	return 0, errf(line, "bad immediate %q", arg)
+	return 0, errt(line, arg, "bad immediate")
 }
 
 func parseInt(s string) (int64, error) {
@@ -547,7 +563,7 @@ func intReg(line int, s string) (uint8, error) {
 			return uint8(n), nil
 		}
 	}
-	return 0, errf(line, "bad integer register %q", s)
+	return 0, errt(line, s, "bad integer register")
 }
 
 func fpReg(line int, s string) (uint8, error) {
@@ -557,7 +573,7 @@ func fpReg(line int, s string) (uint8, error) {
 			return uint8(n), nil
 		}
 	}
-	return 0, errf(line, "bad fp register %q", s)
+	return 0, errt(line, s, "bad fp register")
 }
 
 func reg3(line int, args []string, parse func(int, string) (uint8, error)) (uint8, uint8, uint8, error) {

@@ -2,6 +2,7 @@ package asm
 
 import (
 	"encoding/binary"
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -332,5 +333,67 @@ func TestRegionMarkers(t *testing.T) {
 	}
 	if _, err := Assemble("bad", "\t.text\n\tprivb r1\n\thalt"); err == nil {
 		t.Fatal("privb without address operand accepted")
+	}
+}
+
+func TestErrorCarriesToken(t *testing.T) {
+	cases := []struct {
+		name, src, tok string
+		line           int
+	}{
+		{"bad register", "\t.text\n\tadd r1, rq7, r2\n", "rq7", 2},
+		{"unknown mnemonic", "\t.text\n\tfrobnicate r1\n", "frobnicate", 2},
+		{"undefined target", "\t.text\n\tnop\n\tj nowhere\n", "nowhere", 3},
+		{"bad immediate", "\t.text\n\tli r1, banana\n", "banana", 2},
+		{"duplicate label", "\t.text\nx:\tnop\nx:\tnop\n", "x", 3},
+		{"unknown directive", "\t.data\n\t.quadword 3\n", ".quadword", 2},
+		{"bad memory operand", "\t.text\n\tld r1, r2\n", "r2", 2},
+		{"operand count", "\t.text\n\tadd r1, r2\n", "add", 2},
+	}
+	for _, tc := range cases {
+		_, err := Assemble(tc.name, tc.src)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		var ae *Error
+		if !asError(err, &ae) {
+			t.Errorf("%s: error type %T, want *Error", tc.name, err)
+			continue
+		}
+		if ae.Line != tc.line {
+			t.Errorf("%s: line = %d, want %d (%v)", tc.name, ae.Line, tc.line, err)
+		}
+		if ae.Tok != tc.tok {
+			t.Errorf("%s: tok = %q, want %q (%v)", tc.name, ae.Tok, tc.tok, err)
+		}
+		if !strings.Contains(err.Error(), fmt.Sprintf("%q", tc.tok)) {
+			t.Errorf("%s: rendered error lacks token: %v", tc.name, err)
+		}
+	}
+}
+
+func TestSourceLinesThreaded(t *testing.T) {
+	src := "\t.text\n" + // line 1
+		"start:\tli r1, 4\n" + // line 2
+		"\n" + // line 3
+		"loop:\taddi r1, r1, -1\n" + // line 4
+		"\tbne r1, zero, loop\n" + // line 5
+		"\thalt\n" // line 6
+	p, err := Assemble("lines", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 4, 5, 6}
+	if len(p.Lines) != len(p.Text) {
+		t.Fatalf("Lines len = %d, Text len = %d", len(p.Lines), len(p.Text))
+	}
+	for i, w := range want {
+		if p.LineOf(i) != w {
+			t.Errorf("LineOf(%d) = %d, want %d", i, p.LineOf(i), w)
+		}
+	}
+	if p.LineOf(-1) != 0 || p.LineOf(len(p.Text)) != 0 {
+		t.Error("out-of-range LineOf not 0")
 	}
 }

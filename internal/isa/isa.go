@@ -313,6 +313,24 @@ func (op Op) IsControl() bool {
 	return false
 }
 
+// IsCall reports whether op is a call: it transfers control while writing
+// a return address (JAL writes RA, JALR writes Rd).
+func (op Op) IsCall() bool { return op == OpJAL || op == OpJALR }
+
+// FallsThrough reports whether execution can continue at the next
+// sequential instruction after op. It is false for unconditional
+// non-linking transfers (J, JR) and for HALT. Calls (JAL, JALR) report
+// true: the instruction after a call is reachable through the callee's
+// return, which is how the static analyses in internal/analysis model
+// them.
+func (op Op) FallsThrough() bool {
+	switch op {
+	case OpJ, OpJR, OpHALT:
+		return false
+	}
+	return true
+}
+
 // OpByName returns the operation with the given mnemonic, or OpInvalid.
 func OpByName(name string) Op {
 	return opsByName[name]
@@ -472,6 +490,29 @@ func (in Instr) DstReg() (RegRef, bool) {
 			if in.Rd == RegZero {
 				return RegRef{}, false
 			}
+			return IntReg(in.Rd), true
+		}
+	}
+	return RegRef{}, false
+}
+
+// DstRegRaw is DstReg without the hardwired-zero filtering: it reports the
+// architectural destination register even when it is R0 (whose writes are
+// discarded). Static analyses use it to flag writes that can never be
+// observed; timing models should use DstReg, which reflects the register's
+// actual dataflow.
+func (in Instr) DstRegRaw() (RegRef, bool) {
+	switch in.Op.Format() {
+	case FmtRRR, FmtRRI, FmtRI, FmtLoad, FmtF2I, FmtFCmp:
+		return IntReg(in.Rd), true
+	case FmtFLoad, FmtFRR, FmtFR, FmtI2F:
+		return FPReg(in.Rd), true
+	case FmtJump:
+		if in.Op == OpJAL {
+			return IntReg(RegRA), true
+		}
+	case FmtJReg:
+		if in.Op == OpJALR {
 			return IntReg(in.Rd), true
 		}
 	}

@@ -296,3 +296,48 @@ func TestOpStringOutOfRange(t *testing.T) {
 		t.Error("bogus op metadata not defaulted")
 	}
 }
+
+func TestControlFlowHelpers(t *testing.T) {
+	for _, op := range []Op{OpJ, OpJR, OpHALT} {
+		if op.FallsThrough() {
+			t.Errorf("%s falls through", op)
+		}
+	}
+	for _, op := range []Op{OpADD, OpBEQ, OpJAL, OpJALR, OpNOP, OpLD, OpPRIVB} {
+		if !op.FallsThrough() {
+			t.Errorf("%s does not fall through", op)
+		}
+	}
+	if !OpJAL.IsCall() || !OpJALR.IsCall() {
+		t.Error("JAL/JALR not calls")
+	}
+	if OpJ.IsCall() || OpJR.IsCall() || OpBEQ.IsCall() {
+		t.Error("non-linking transfer classified as call")
+	}
+}
+
+func TestDstRegRaw(t *testing.T) {
+	// Writes to R0 are invisible to DstReg but visible to DstRegRaw.
+	in := Instr{Op: OpADD, Rd: RegZero, Rs1: 1, Rs2: 2}
+	if _, ok := in.DstReg(); ok {
+		t.Error("DstReg reported a write to r0")
+	}
+	r, ok := in.DstRegRaw()
+	if !ok || r != IntReg(RegZero) {
+		t.Errorf("DstRegRaw = %v, %v", r, ok)
+	}
+	// JAL links through RA under both views.
+	jal := Instr{Op: OpJAL, Target: 0x10000}
+	r, ok = jal.DstRegRaw()
+	if !ok || r != IntReg(RegRA) {
+		t.Errorf("jal DstRegRaw = %v, %v", r, ok)
+	}
+	// Branches and stores have no destination at all.
+	for _, in := range []Instr{
+		{Op: OpBEQ}, {Op: OpSD, Rs1: 1, Rs2: 2}, {Op: OpJ}, {Op: OpJR, Rs1: RegRA}, {Op: OpHALT},
+	} {
+		if _, ok := in.DstRegRaw(); ok {
+			t.Errorf("%s has a raw destination", in.Op)
+		}
+	}
+}

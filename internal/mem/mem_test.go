@@ -417,3 +417,43 @@ func TestBuildOptimized(t *testing.T) {
 		t.Fatalf("cold page owner = %d", pt.OwnerOf(12*prog.PageSize))
 	}
 }
+
+func TestPlaceStaticAffinityClusters(t *testing.T) {
+	// Two lockstep "arrays" of 4 pages each: page 10+i pairs with page
+	// 20+i. Clustering must co-locate aligned pairs and balance nodes.
+	touches := map[uint64]uint64{}
+	edges := map[[2]uint64]uint64{}
+	for i := uint64(0); i < 4; i++ {
+		touches[10+i] = 100
+		touches[20+i] = 100
+		edges[[2]uint64{10 + i, 20 + i}] = 50
+	}
+	pl := PlaceStaticAffinity(touches, edges, 4, nil)
+	if len(pl) != 8 {
+		t.Fatalf("placed %d pages, want 8", len(pl))
+	}
+	counts := map[int]int{}
+	for i := uint64(0); i < 4; i++ {
+		if pl[10+i] != pl[20+i] {
+			t.Errorf("pair %d split: node %d vs %d", i, pl[10+i], pl[20+i])
+		}
+		counts[pl[10+i]]++
+	}
+	for n, c := range counts {
+		if c != 1 {
+			t.Errorf("node %d owns %d pairs, want 1", n, c)
+		}
+	}
+}
+
+func TestPlaceStaticAffinityRespectsFixed(t *testing.T) {
+	touches := map[uint64]uint64{1: 10, 2: 10, 3: 10}
+	edges := map[[2]uint64]uint64{{1, 2}: 5, {2, 3}: 5}
+	pl := PlaceStaticAffinity(touches, edges, 2, map[uint64]bool{2: true})
+	if _, ok := pl[2]; ok {
+		t.Fatalf("fixed page placed: %v", pl)
+	}
+	if len(pl) != 2 {
+		t.Fatalf("placed %d pages, want 2", len(pl))
+	}
+}

@@ -69,12 +69,30 @@ type edge struct {
 // Pages in `fixed` (e.g. replicated pages) are skipped. The result maps
 // page -> owner for the caller to feed into a PageTable.
 func (t *TransitionProfile) OptimizePlacement(nodes int, fixed map[uint64]bool) map[uint64]int {
+	return clusterPlacement(t.pages, t.counts, nodes, fixed)
+}
+
+// PlaceStaticAffinity is the profile-free twin of OptimizePlacement: it
+// clusters pages across the heaviest edges of a statically-estimated
+// affinity graph (see internal/analysis.PageAffinity) instead of a
+// measured miss stream. touches maps page -> estimated reference weight;
+// edges maps normalized (low, high) page pairs -> estimated transition
+// weight. Same balancing and determinism guarantees as
+// OptimizePlacement.
+func PlaceStaticAffinity(touches map[uint64]uint64, edges map[[2]uint64]uint64, nodes int, fixed map[uint64]bool) map[uint64]int {
+	return clusterPlacement(touches, edges, nodes, fixed)
+}
+
+// clusterPlacement is the clustering core shared by profile-guided and
+// static-affinity placement: capacity-bounded union-find over edges in
+// descending weight order, then balanced bin packing of the clusters.
+func clusterPlacement(touches map[uint64]uint64, counts map[[2]uint64]uint64, nodes int, fixed map[uint64]bool) map[uint64]int {
 	if nodes < 1 {
 		nodes = 1
 	}
 	// Collect movable pages deterministically.
 	var pages []uint64
-	for pg := range t.pages {
+	for pg := range touches {
 		if !fixed[pg] {
 			pages = append(pages, pg)
 		}
@@ -104,7 +122,7 @@ func (t *TransitionProfile) OptimizePlacement(nodes int, fixed map[uint64]bool) 
 	// Edges sorted by descending weight, ties broken by page numbers for
 	// determinism.
 	var edges []edge
-	for key, w := range t.counts {
+	for key, w := range counts {
 		if fixed[key[0]] || fixed[key[1]] {
 			continue
 		}

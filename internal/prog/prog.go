@@ -101,6 +101,21 @@ type Program struct {
 	// Labels maps symbol names to addresses (text labels to instruction
 	// addresses, data labels to DataBase-relative absolute addresses).
 	Labels map[string]uint64
+
+	// Lines, when non-nil, records the 1-based source line of each Text
+	// instruction (parallel to Text). The assembler fills it so
+	// diagnostics from internal/analysis can point back into the .s
+	// source; programs built directly may leave it nil.
+	Lines []int
+}
+
+// LineOf returns the source line of instruction i, or 0 when no line
+// information is available.
+func (p *Program) LineOf(i int) int {
+	if i < 0 || i >= len(p.Lines) {
+		return 0
+	}
+	return p.Lines[i]
 }
 
 // TextEnd returns one past the last text address.
@@ -153,6 +168,9 @@ func (p *Program) Validate() error {
 	}
 	if p.StackBytes > StackTop-StackBase {
 		return fmt.Errorf("prog %s: stack reservation too large", p.Name)
+	}
+	if p.Lines != nil && len(p.Lines) != len(p.Text) {
+		return fmt.Errorf("prog %s: %d line records for %d instructions", p.Name, len(p.Lines), len(p.Text))
 	}
 	for i, in := range p.Text {
 		if err := in.Validate(); err != nil {

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"github.com/wisc-arch/datascalar/internal/analysis"
 	"github.com/wisc-arch/datascalar/internal/asm"
 	"github.com/wisc-arch/datascalar/internal/bus"
 	"github.com/wisc-arch/datascalar/internal/cache"
@@ -445,17 +446,22 @@ func AblationLatencies(opts Options) (LatencyResult, error) {
 // Ablation 6: profile-guided page placement (the paper's "special support
 // to increase datathread length", Section 3.2).
 
-// PlacementRow compares round-robin distribution against profile-guided
-// placement on one benchmark.
+// PlacementRow compares round-robin distribution, profile-guided
+// placement, and static-affinity placement (internal/analysis, no
+// profiling run) on one benchmark.
 type PlacementRow struct {
 	Benchmark string
 	// Mean datathread length over the miss stream under each placement.
-	RRThreadMean, OptThreadMean float64
+	RRThreadMean, OptThreadMean, StaticThreadMean float64
+	// Broadcasts per 1000 committed instructions under each placement
+	// (default bus). Replication is identical across the three, so this
+	// isolates how placement shifts work between owned and remote pages.
+	RRBcastPerK, OptBcastPerK, StaticBcastPerK float64
 	// DataScalar 4-node IPC under each placement, at the default bus.
-	RRIPC, OptIPC float64
+	RRIPC, OptIPC, StaticIPC float64
 	// The same comparison under a 4x slower global bus, where broadcast
 	// latency is exposed and datathread length actually pays.
-	RRIPCSlow, OptIPCSlow float64
+	RRIPCSlow, OptIPCSlow, StaticIPCSlow float64
 }
 
 // PlacementResult holds the placement ablation.
@@ -466,15 +472,32 @@ type PlacementResult struct {
 // Table renders the ablation.
 func (r PlacementResult) Table() *stats.Table {
 	t := stats.NewTable(
-		"Ablation: round-robin vs profile-guided page placement (4 nodes)",
-		"benchmark", "thread mean RR", "thread mean opt",
-		"IPC RR", "IPC opt", "IPC RR slow-bus", "IPC opt slow-bus")
+		"Ablation: round-robin vs profile-guided vs static-affinity page placement (4 nodes)",
+		"benchmark", "thread RR", "thread opt", "thread static",
+		"bcast/1k RR", "bcast/1k opt", "bcast/1k static",
+		"IPC RR", "IPC opt", "IPC static",
+		"IPC RR slow", "IPC opt slow", "IPC static slow")
 	for _, row := range r.Rows {
 		t.AddRowf(row.Benchmark,
-			stats.Round1(row.RRThreadMean), stats.Round1(row.OptThreadMean),
-			row.RRIPC, row.OptIPC, row.RRIPCSlow, row.OptIPCSlow)
+			stats.Round1(row.RRThreadMean), stats.Round1(row.OptThreadMean), stats.Round1(row.StaticThreadMean),
+			stats.Round1(row.RRBcastPerK), stats.Round1(row.OptBcastPerK), stats.Round1(row.StaticBcastPerK),
+			row.RRIPC, row.OptIPC, row.StaticIPC,
+			row.RRIPCSlow, row.OptIPCSlow, row.StaticIPCSlow)
 	}
 	return t
+}
+
+// bcastPerK returns broadcasts per 1000 committed instructions across
+// all nodes of a run.
+func bcastPerK(r core.Result) float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	var total uint64
+	for i := range r.Nodes {
+		total += r.Nodes[i].Broadcasts.Value()
+	}
+	return 1000 * float64(total) / float64(r.Instructions)
 }
 
 // AblationPlacement profiles each benchmark's miss-stream page
@@ -528,6 +551,13 @@ func AblationPlacement(opts Options) (PlacementResult, error) {
 			return out, err
 		}
 
+		// Static-affinity placement: same clustering, but the transition
+		// graph comes from interval analysis of the binary instead of a
+		// profiling run.
+		aff := analysis.ComputePageAffinity(pr.p)
+		staticPlacement := mem.PlaceStaticAffinity(aff.Touches, aff.Edges, nodes, fixed)
+		staticPT := mem.BuildOptimized(pr.p.Pages(), staticPlacement, fixed, nodes)
+
 		threadMean := func(pt *mem.PageTable) (float64, error) {
 			f := trace.DefaultMissFilter()
 			an := trace.NewDatathreadAnalyzer(pt)
@@ -550,12 +580,20 @@ func AblationPlacement(opts Options) (PlacementResult, error) {
 		if err != nil {
 			return out, err
 		}
+		staticMean, err := threadMean(staticPT)
+		if err != nil {
+			return out, err
+		}
 
 		rr, err := runDSWithPT(pr, rrPT, nodes, opts.TimingInstr, nil)
 		if err != nil {
 			return out, err
 		}
 		opt, err := runDSWithPT(pr, optPT, nodes, opts.TimingInstr, nil)
+		if err != nil {
+			return out, err
+		}
+		static, err := runDSWithPT(pr, staticPT, nodes, opts.TimingInstr, nil)
 		if err != nil {
 			return out, err
 		}
@@ -568,15 +606,25 @@ func AblationPlacement(opts Options) (PlacementResult, error) {
 		if err != nil {
 			return out, err
 		}
+		staticSlow, err := runDSWithPT(pr, staticPT, nodes, opts.TimingInstr, slowBus)
+		if err != nil {
+			return out, err
+		}
 
 		out.Rows = append(out.Rows, PlacementRow{
-			Benchmark:     name,
-			RRThreadMean:  rrMean,
-			OptThreadMean: optMean,
-			RRIPC:         rr.IPC,
-			OptIPC:        opt.IPC,
-			RRIPCSlow:     rrSlow.IPC,
-			OptIPCSlow:    optSlow.IPC,
+			Benchmark:        name,
+			RRThreadMean:     rrMean,
+			OptThreadMean:    optMean,
+			StaticThreadMean: staticMean,
+			RRBcastPerK:      bcastPerK(rr),
+			OptBcastPerK:     bcastPerK(opt),
+			StaticBcastPerK:  bcastPerK(static),
+			RRIPC:            rr.IPC,
+			OptIPC:           opt.IPC,
+			StaticIPC:        static.IPC,
+			RRIPCSlow:        rrSlow.IPC,
+			OptIPCSlow:       optSlow.IPC,
+			StaticIPCSlow:    staticSlow.IPC,
 		})
 	}
 	return out, nil

@@ -113,16 +113,26 @@ func TestAblationPlacement(t *testing.T) {
 	rows := map[string]PlacementRow{}
 	for _, row := range res.Rows {
 		rows[row.Benchmark] = row
-		if row.RRThreadMean <= 0 || row.OptThreadMean <= 0 {
+		if row.RRThreadMean <= 0 || row.OptThreadMean <= 0 || row.StaticThreadMean <= 0 {
 			t.Fatalf("%s: empty thread means: %+v", row.Benchmark, row)
+		}
+		if row.RRBcastPerK <= 0 {
+			t.Fatalf("%s: no broadcasts recorded: %+v", row.Benchmark, row)
 		}
 	}
 	// Structured interleaved streams must see large thread-length gains;
 	// uniformly random pointer graphs (gcc, li) have no clusterable
-	// structure, and the optimizer must at least not hurt them.
+	// structure, and the optimizer must at least not hurt them. The
+	// static-affinity placement sees the same structure without a
+	// profiling run, so it is held to the same 2x bar on the regular
+	// codes.
 	for _, name := range []string{"swim", "applu"} {
-		if r := rows[name]; r.OptThreadMean < r.RRThreadMean*2 {
+		r := rows[name]
+		if r.OptThreadMean < r.RRThreadMean*2 {
 			t.Errorf("%s: thread mean %.1f -> %.1f, want >= 2x", name, r.RRThreadMean, r.OptThreadMean)
+		}
+		if r.StaticThreadMean < r.RRThreadMean*2 {
+			t.Errorf("%s: static thread mean %.1f -> %.1f, want >= 2x", name, r.RRThreadMean, r.StaticThreadMean)
 		}
 	}
 	for _, row := range res.Rows {
@@ -130,8 +140,20 @@ func TestAblationPlacement(t *testing.T) {
 			t.Errorf("%s: placement shortened threads (%.1f -> %.1f)",
 				row.Benchmark, row.RRThreadMean, row.OptThreadMean)
 		}
+		if row.StaticThreadMean < row.RRThreadMean*0.9 {
+			t.Errorf("%s: static placement shortened threads (%.1f -> %.1f)",
+				row.Benchmark, row.RRThreadMean, row.StaticThreadMean)
+		}
 		if row.OptIPC < row.RRIPC*0.95 || row.OptIPCSlow < row.RRIPCSlow*0.95 {
 			t.Errorf("%s: placement cost IPC: %+v", row.Benchmark, row)
+		}
+		if row.StaticIPC < row.RRIPC*0.95 || row.StaticIPCSlow < row.RRIPCSlow*0.95 {
+			t.Errorf("%s: static placement cost IPC: %+v", row.Benchmark, row)
+		}
+		// Placement moves ownership, not replication: the broadcast rate
+		// must stay essentially unchanged across the three placements.
+		if diff := row.StaticBcastPerK - row.RRBcastPerK; diff > row.RRBcastPerK*0.05 || -diff > row.RRBcastPerK*0.05 {
+			t.Errorf("%s: static placement moved broadcast rate: %+v", row.Benchmark, row)
 		}
 	}
 	t.Logf("\n%s", res.Table().String())

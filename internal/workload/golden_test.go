@@ -22,9 +22,9 @@ var golden = map[string]goldenRow{
 	"compress": {Instr: 2200687, Loads: 44447, Stores: 44422, Misses: 22335},
 	"fpppp":    {Instr: 267509, Loads: 61440, Stores: 15360, Misses: 256},
 	"gcc":      {Instr: 1880359, Loads: 79454, Stores: 2837, Misses: 12700},
-	"go":       {Instr: 1165622, Loads: 63173, Stores: 10583, Misses: 1439},
+	"go":       {Instr: 1135677, Loads: 64872, Stores: 10867, Misses: 1487},
 	"hydro2d":  {Instr: 622081, Loads: 103219, Stores: 51609, Misses: 27184},
-	"li":       {Instr: 1782517, Loads: 114124, Stores: 512, Misses: 49960},
+	"li":       {Instr: 1778421, Loads: 114124, Stores: 512, Misses: 49960},
 	"m88ksim":  {Instr: 1434454, Loads: 34000, Stores: 15088, Misses: 10287},
 	"mgrid":    {Instr: 563762, Loads: 113909, Stores: 16272, Misses: 16586},
 	"perl":     {Instr: 3354712, Loads: 49197, Stores: 2893, Misses: 6030},

@@ -147,7 +147,6 @@ gos:    # play on empty points with < 4 neighbors; else record ko
         sd   r17, 0(r15)         # place stone
         b    hrec
 occupied:
-        li   r17, 0
 hrec:   la   r18, hist
         add  r18, r18, r14
         ld   r19, 0(r18)
@@ -234,8 +233,7 @@ heap:   .space %[1]d
         # of two and the multiplier is odd), car = i
         la   r1, heap
         li   r2, 0
-cinit:  fcvtdw f1, r2            # keep FP unit honest in an int code
-        sd   r2, 0(r1)           # car
+cinit:  sd   r2, 0(r1)           # car
         li   r3, 17
         mul  r4, r2, r3
         addi r4, r4, 7

@@ -9,6 +9,7 @@ package datascalar
 // EXPERIMENTS.md records paper-versus-measured values for each.
 
 import (
+	"context"
 	"testing"
 )
 
@@ -21,7 +22,7 @@ func benchOpts() ExperimentOptions { return DefaultExperimentOptions() }
 // fourteen SPEC95-analogue benchmarks.
 func BenchmarkTable1Traffic(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := Table1(benchOpts())
+		res, err := Table1(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -42,7 +43,7 @@ func BenchmarkTable1Traffic(b *testing.B) {
 // approximations for a four-processor system.
 func BenchmarkTable2Datathreads(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := Table2(benchOpts())
+		res, err := Table2(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -58,7 +59,7 @@ func BenchmarkTable2Datathreads(b *testing.B) {
 // benchmarks.
 func BenchmarkFigure7IPC(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := Figure7(benchOpts())
+		res, err := Figure7(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -79,7 +80,7 @@ func BenchmarkFigure7IPC(b *testing.B) {
 // timing runs.
 func BenchmarkTable3Broadcast(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		f7, err := Figure7(benchOpts())
+		f7, err := Figure7(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -92,19 +93,28 @@ func BenchmarkTable3Broadcast(b *testing.B) {
 
 // BenchmarkFigure8Sensitivity regenerates Figure 8: IPC sensitivity of
 // go and compress to cache size, memory access time, bus clock, bus
-// width, and RUU entries, for all five systems.
+// width, and RUU entries, for all five systems. The serial and parallel
+// sub-benchmarks run the identical 250-job sweep at 1 and 4 workers; the
+// engine guarantees byte-identical results, so the wall-clock ratio is
+// the experiment engine's speedup.
 func BenchmarkFigure8Sensitivity(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		res, err := Figure8(benchOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			for _, t := range res.Tables() {
-				b.Logf("\n%s", t.String())
+	run := func(b *testing.B, parallel int, logTables bool) {
+		opts := benchOpts()
+		opts.Parallel = parallel
+		for i := 0; i < b.N; i++ {
+			res, err := Figure8(context.Background(), opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 && logTables {
+				for _, t := range res.Tables() {
+					b.Logf("\n%s", t.String())
+				}
 			}
 		}
 	}
+	b.Run("serial", func(b *testing.B) { run(b, 1, true) })
+	b.Run("parallel4", func(b *testing.B) { run(b, 4, false) })
 }
 
 // BenchmarkFigure1MMM regenerates Figure 1: the synchronous ESP Massive
@@ -145,7 +155,7 @@ func BenchmarkFigure3Crossings(b *testing.B) {
 // their owners, with operand broadcasts replaced by result flow.
 func BenchmarkAblationResultComm(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := AblationResultComm(benchOpts())
+		res, err := AblationResultComm(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -162,7 +172,7 @@ func BenchmarkAblationResultComm(b *testing.B) {
 // unidirectional ring (paper Section 4.4).
 func BenchmarkAblationInterconnect(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := AblationInterconnect(benchOpts())
+		res, err := AblationInterconnect(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -176,7 +186,7 @@ func BenchmarkAblationInterconnect(b *testing.B) {
 // the paper's write-no-allocate policy choice.
 func BenchmarkAblationWritePolicy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := AblationWritePolicy(benchOpts())
+		res, err := AblationWritePolicy(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -191,7 +201,7 @@ func BenchmarkAblationWritePolicy(b *testing.B) {
 // asynchronous datathreading exists to reclaim.
 func BenchmarkAblationSyncESP(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := AblationSyncESP(benchOpts())
+		res, err := AblationSyncESP(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -205,7 +215,7 @@ func BenchmarkAblationSyncESP(b *testing.B) {
 // latencies the paper fixes by assumption.
 func BenchmarkAblationLatencies(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := AblationLatencies(benchOpts())
+		res, err := AblationLatencies(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -220,7 +230,7 @@ func BenchmarkAblationLatencies(b *testing.B) {
 // "special support to increase datathread length".
 func BenchmarkAblationPlacement(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := AblationPlacement(benchOpts())
+		res, err := AblationPlacement(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -237,7 +247,7 @@ func BenchmarkAblationPlacement(b *testing.B) {
 // exactly when memory dominates system cost.
 func BenchmarkCostEffectiveness(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		f7, err := Figure7(benchOpts())
+		f7, err := Figure7(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -253,7 +263,7 @@ func BenchmarkCostEffectiveness(b *testing.B) {
 // the traditional system collapses with the shrinking on-chip fraction.
 func BenchmarkScaling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := Scaling(benchOpts())
+		res, err := Scaling(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -275,7 +285,7 @@ func BenchmarkScaling(b *testing.B) {
 // broadcasts.
 func BenchmarkAblationReplication(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := AblationReplication(benchOpts())
+		res, err := AblationReplication(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}

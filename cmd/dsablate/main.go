@@ -13,10 +13,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	datascalar "github.com/wisc-arch/datascalar"
 )
@@ -26,10 +28,15 @@ func main() {
 	log.SetPrefix("dsablate: ")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	only := flag.String("only", "", "run a single ablation by name")
+	parallel := flag.Int("parallel", 0, "simulation worker count (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	opts := datascalar.DefaultExperimentOptions()
 	opts.Scale = *scale
+	opts.Parallel = *parallel
 
 	type ablation struct {
 		name string
@@ -37,35 +44,35 @@ func main() {
 	}
 	ablations := []ablation{
 		{"interconnect", func() (fmt.Stringer, error) {
-			r, err := datascalar.AblationInterconnect(opts)
+			r, err := datascalar.AblationInterconnect(ctx, opts)
 			return r.Table(), err
 		}},
 		{"writepolicy", func() (fmt.Stringer, error) {
-			r, err := datascalar.AblationWritePolicy(opts)
+			r, err := datascalar.AblationWritePolicy(ctx, opts)
 			return r.Table(), err
 		}},
 		{"syncesp", func() (fmt.Stringer, error) {
-			r, err := datascalar.AblationSyncESP(opts)
+			r, err := datascalar.AblationSyncESP(ctx, opts)
 			return r.Table(), err
 		}},
 		{"resultcomm", func() (fmt.Stringer, error) {
-			r, err := datascalar.AblationResultComm(opts)
+			r, err := datascalar.AblationResultComm(ctx, opts)
 			return r.Table(), err
 		}},
 		{"latencies", func() (fmt.Stringer, error) {
-			r, err := datascalar.AblationLatencies(opts)
+			r, err := datascalar.AblationLatencies(ctx, opts)
 			return r.Table(), err
 		}},
 		{"placement", func() (fmt.Stringer, error) {
-			r, err := datascalar.AblationPlacement(opts)
+			r, err := datascalar.AblationPlacement(ctx, opts)
 			return r.Table(), err
 		}},
 		{"scaling", func() (fmt.Stringer, error) {
-			r, err := datascalar.Scaling(opts)
+			r, err := datascalar.Scaling(ctx, opts)
 			return r.Table(), err
 		}},
 		{"replication", func() (fmt.Stringer, error) {
-			r, err := datascalar.AblationReplication(opts)
+			r, err := datascalar.AblationReplication(ctx, opts)
 			return r.Table(), err
 		}},
 	}

@@ -9,10 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	datascalar "github.com/wisc-arch/datascalar"
 )
@@ -22,15 +24,20 @@ func main() {
 	log.SetPrefix("dssense: ")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	instr := flag.Uint64("instr", 0, "measured instructions per sweep point (0 = default)")
+	parallel := flag.Int("parallel", 0, "simulation worker count (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	opts := datascalar.DefaultExperimentOptions()
 	opts.Scale = *scale
+	opts.Parallel = *parallel
 	if *instr != 0 {
 		opts.SweepInstr = *instr
 	}
 
-	res, err := datascalar.Figure8(opts)
+	res, err := datascalar.Figure8(ctx, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

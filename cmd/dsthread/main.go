@@ -8,9 +8,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"os"
+	"os/signal"
 
 	datascalar "github.com/wisc-arch/datascalar"
 )
@@ -20,15 +22,20 @@ func main() {
 	log.SetPrefix("dsthread: ")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	instr := flag.Uint64("instr", 0, "max instructions per benchmark (0 = default)")
+	parallel := flag.Int("parallel", 0, "analysis worker count (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	opts := datascalar.DefaultExperimentOptions()
 	opts.Scale = *scale
+	opts.Parallel = *parallel
 	if *instr != 0 {
 		opts.RefInstr = *instr
 	}
 
-	res, err := datascalar.Table2(opts)
+	res, err := datascalar.Table2(ctx, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,10 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	datascalar "github.com/wisc-arch/datascalar"
 )
@@ -25,15 +27,20 @@ func main() {
 	bshr := flag.Bool("bshr", true, "also print Table 3 (broadcast statistics)")
 	cost := flag.Bool("cost", false, "also print the Wood-Hill cost-effectiveness analysis (paper §4.4)")
 	jsonOut := flag.String("json", "", "also write results as JSON to this file (\"-\" = stdout)")
+	parallel := flag.Int("parallel", 0, "simulation worker count (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	opts := datascalar.DefaultExperimentOptions()
 	opts.Scale = *scale
+	opts.Parallel = *parallel
 	if *instr != 0 {
 		opts.TimingInstr = *instr
 	}
 
-	f7, err := datascalar.Figure7(opts)
+	f7, err := datascalar.Figure7(ctx, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,10 +8,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	datascalar "github.com/wisc-arch/datascalar"
 )
@@ -23,15 +25,20 @@ func main() {
 	instr := flag.Uint64("instr", 0, "max instructions per benchmark (0 = default)")
 	detail := flag.Bool("detail", false, "print per-benchmark miss and writeback counts")
 	jsonOut := flag.String("json", "", "also write the Table 1 result as JSON to this file (\"-\" = stdout)")
+	parallel := flag.Int("parallel", 0, "analysis worker count (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	opts := datascalar.DefaultExperimentOptions()
 	opts.Scale = *scale
+	opts.Parallel = *parallel
 	if *instr != 0 {
 		opts.RefInstr = *instr
 	}
 
-	res, err := datascalar.Table1(opts)
+	res, err := datascalar.Table1(ctx, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -28,6 +28,7 @@
 package datascalar
 
 import (
+	"context"
 	"io"
 
 	"github.com/wisc-arch/datascalar/internal/asm"
@@ -219,7 +220,10 @@ func SimulateMMM(cfg MMMConfig, refs []uint64, owner map[uint64]int) (MMMResult,
 // Experiments: the paper's tables and figures.
 
 // ExperimentOptions bound experiment cost; the zero value selects the
-// standard sizes.
+// standard sizes. Every experiment takes a context for cancellation and
+// runs its independent simulations on Parallel workers (default
+// GOMAXPROCS); results are assembled in job order, so output is
+// bit-identical at any worker count.
 type ExperimentOptions = sim.Options
 
 // DefaultExperimentOptions returns the standard experiment sizes.
@@ -236,21 +240,29 @@ type (
 )
 
 // Table1 measures the off-chip traffic ESP eliminates (paper Table 1).
-func Table1(opts ExperimentOptions) (Table1Result, error) { return sim.Table1(opts) }
+func Table1(ctx context.Context, opts ExperimentOptions) (Table1Result, error) {
+	return sim.Table1(ctx, opts)
+}
 
 // Table2 measures datathread lengths on a four-node system (paper
 // Table 2).
-func Table2(opts ExperimentOptions) (Table2Result, error) { return sim.Table2(opts) }
+func Table2(ctx context.Context, opts ExperimentOptions) (Table2Result, error) {
+	return sim.Table2(ctx, opts)
+}
 
 // Figure7 runs the timing comparison: perfect cache vs DataScalar (2 and
 // 4 nodes) vs traditional (1/2 and 1/4 on-chip).
-func Figure7(opts ExperimentOptions) (Figure7Result, error) { return sim.Figure7(opts) }
+func Figure7(ctx context.Context, opts ExperimentOptions) (Figure7Result, error) {
+	return sim.Figure7(ctx, opts)
+}
 
 // Table3 derives the broadcast statistics from a Figure7 result.
 func Table3(f7 Figure7Result) Table3Result { return sim.Table3(f7) }
 
 // Figure8 runs the sensitivity analysis on go and compress.
-func Figure8(opts ExperimentOptions) (Figure8Result, error) { return sim.Figure8(opts) }
+func Figure8(ctx context.Context, opts ExperimentOptions) (Figure8Result, error) {
+	return sim.Figure8(ctx, opts)
+}
 
 // ResultTable is a rendered, aligned text table.
 type ResultTable = stats.Table
@@ -282,32 +294,32 @@ type (
 
 // AblationInterconnect compares the global bus against a unidirectional
 // ring (paper Section 4.4 discusses both).
-func AblationInterconnect(opts ExperimentOptions) (InterconnectResult, error) {
-	return sim.AblationInterconnect(opts)
+func AblationInterconnect(ctx context.Context, opts ExperimentOptions) (InterconnectResult, error) {
+	return sim.AblationInterconnect(ctx, opts)
 }
 
 // AblationWritePolicy measures the ESP traffic saved by the paper's
 // write-no-allocate choice.
-func AblationWritePolicy(opts ExperimentOptions) (WritePolicyResult, error) {
-	return sim.AblationWritePolicy(opts)
+func AblationWritePolicy(ctx context.Context, opts ExperimentOptions) (WritePolicyResult, error) {
+	return sim.AblationWritePolicy(ctx, opts)
 }
 
 // AblationSyncESP measures what lock-step (Massive Memory Machine) ESP
 // would cost on each timing benchmark's miss stream — the gap
 // asynchronous datathreading closes.
-func AblationSyncESP(opts ExperimentOptions) (SyncESPResult, error) {
-	return sim.AblationSyncESP(opts)
+func AblationSyncESP(ctx context.Context, opts ExperimentOptions) (SyncESPResult, error) {
+	return sim.AblationSyncESP(ctx, opts)
 }
 
 // AblationResultComm measures the Section 5.1 result-communication
 // optimization on a private block-reduction workload.
-func AblationResultComm(opts ExperimentOptions) (ResultCommResult, error) {
-	return sim.AblationResultComm(opts)
+func AblationResultComm(ctx context.Context, opts ExperimentOptions) (ResultCommResult, error) {
+	return sim.AblationResultComm(ctx, opts)
 }
 
 // AblationLatencies sweeps the BSHR and broadcast-queue latencies.
-func AblationLatencies(opts ExperimentOptions) (LatencyResult, error) {
-	return sim.AblationLatencies(opts)
+func AblationLatencies(ctx context.Context, opts ExperimentOptions) (LatencyResult, error) {
+	return sim.AblationLatencies(ctx, opts)
 }
 
 // PlacementResult compares round-robin and profile-guided page placement.
@@ -317,8 +329,8 @@ type PlacementResult = sim.PlacementResult
 // pages that miss consecutively onto one node) against round-robin — the
 // software form of the paper's "special support to increase datathread
 // length".
-func AblationPlacement(opts ExperimentOptions) (PlacementResult, error) {
-	return sim.AblationPlacement(opts)
+func AblationPlacement(ctx context.Context, opts ExperimentOptions) (PlacementResult, error) {
+	return sim.AblationPlacement(ctx, opts)
 }
 
 // TransitionProfile accumulates page-to-page miss transitions for
@@ -343,15 +355,17 @@ func Costup(n int, procFrac float64) float64 { return sim.Costup(n, procFrac) }
 type ScalingResult = sim.ScalingResult
 
 // Scaling sweeps node counts beyond the paper's evaluation.
-func Scaling(opts ExperimentOptions) (ScalingResult, error) { return sim.Scaling(opts) }
+func Scaling(ctx context.Context, opts ExperimentOptions) (ScalingResult, error) {
+	return sim.Scaling(ctx, opts)
+}
 
 // ReplicationResult sweeps the static replication fraction (paper §3).
 type ReplicationResult = sim.ReplicationResult
 
 // AblationReplication measures the broadcast traffic eliminated (and
 // capacity paid) as the hottest data pages are statically replicated.
-func AblationReplication(opts ExperimentOptions) (ReplicationResult, error) {
-	return sim.AblationReplication(opts)
+func AblationReplication(ctx context.Context, opts ExperimentOptions) (ReplicationResult, error) {
+	return sim.AblationReplication(ctx, opts)
 }
 
 // RingConfig parameterizes the ring interconnect alternative; set it on

@@ -1,6 +1,7 @@
 package datascalar
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -184,15 +185,15 @@ func TestFacadeExperiments(t *testing.T) {
 		t.Fatal("default options empty")
 	}
 
-	t1, err := Table1(opts)
+	t1, err := Table1(context.Background(), opts)
 	if err != nil || len(t1.Rows) != 14 {
 		t.Fatalf("Table1: %v (%d rows)", err, len(t1.Rows))
 	}
-	t2, err := Table2(opts)
+	t2, err := Table2(context.Background(), opts)
 	if err != nil || len(t2.Rows) != 14 {
 		t.Fatalf("Table2: %v (%d rows)", err, len(t2.Rows))
 	}
-	f7, err := Figure7(opts)
+	f7, err := Figure7(context.Background(), opts)
 	if err != nil || len(f7.Rows) != 6 {
 		t.Fatalf("Figure7: %v (%d rows)", err, len(f7.Rows))
 	}
@@ -219,22 +220,22 @@ func TestFacadeAblations(t *testing.T) {
 		RefInstr:    150_000,
 		SweepInstr:  20_000,
 	}
-	if r, err := AblationInterconnect(opts); err != nil || len(r.Rows) == 0 {
+	if r, err := AblationInterconnect(context.Background(), opts); err != nil || len(r.Rows) == 0 {
 		t.Fatalf("interconnect: %v", err)
 	}
-	if r, err := AblationWritePolicy(opts); err != nil || len(r.Rows) == 0 {
+	if r, err := AblationWritePolicy(context.Background(), opts); err != nil || len(r.Rows) == 0 {
 		t.Fatalf("writepolicy: %v", err)
 	}
-	if r, err := AblationSyncESP(opts); err != nil || len(r.Rows) == 0 {
+	if r, err := AblationSyncESP(context.Background(), opts); err != nil || len(r.Rows) == 0 {
 		t.Fatalf("syncesp: %v", err)
 	}
-	if r, err := AblationResultComm(opts); err != nil || len(r.Rows) == 0 {
+	if r, err := AblationResultComm(context.Background(), opts); err != nil || len(r.Rows) == 0 {
 		t.Fatalf("resultcomm: %v", err)
 	}
-	if r, err := AblationLatencies(opts); err != nil || len(r.Rows) == 0 {
+	if r, err := AblationLatencies(context.Background(), opts); err != nil || len(r.Rows) == 0 {
 		t.Fatalf("latencies: %v", err)
 	}
-	if r, err := AblationPlacement(opts); err != nil || len(r.Rows) == 0 {
+	if r, err := AblationPlacement(context.Background(), opts); err != nil || len(r.Rows) == 0 {
 		t.Fatalf("placement: %v", err)
 	}
 	if NewTransitionProfile() == nil {
@@ -249,7 +250,7 @@ func TestFacadeFigure8(t *testing.T) {
 		t.Skip("short mode")
 	}
 	opts := ExperimentOptions{SweepInstr: 15_000, TimingInstr: 15_000, RefInstr: 50_000, Scale: 1}
-	r, err := Figure8(opts)
+	r, err := Figure8(context.Background(), opts)
 	if err != nil || len(r.Series) != 10 {
 		t.Fatalf("Figure8: %v (%d series)", err, len(r.Series))
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -27,7 +28,7 @@ func main() {
 	}
 
 	opts := datascalar.DefaultExperimentOptions()
-	res, err := datascalar.Table1(opts)
+	res, err := datascalar.Table1(context.Background(), opts)
 	if err != nil {
 		log.Fatal(err)
 	}

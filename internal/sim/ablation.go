@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/wisc-arch/datascalar/internal/analysis"
@@ -19,7 +20,9 @@ import (
 // This file holds the ablation studies DESIGN.md §6 calls out: design
 // choices the paper discusses but does not (or only partially)
 // evaluates. Each ablation isolates one mechanism of the DataScalar
-// design and measures its contribution.
+// design and measures its contribution. Like every harness, the
+// ablations enumerate their sweeps as engine jobs, so they parallelize
+// under Options.Parallel with bit-identical results.
 
 // ---------------------------------------------------------------------------
 // Ablation 1: bus versus ring interconnect (paper Section 4.4).
@@ -54,37 +57,37 @@ func (r InterconnectResult) Table() *stats.Table {
 // but do not scale, while rings scale aggregate bandwidth at the cost of
 // multi-hop broadcast latency; the crossover should appear as node count
 // grows.
-func AblationInterconnect(opts Options) (InterconnectResult, error) {
+func AblationInterconnect(ctx context.Context, opts Options) (InterconnectResult, error) {
 	opts = opts.withDefaults()
 	var out InterconnectResult
 	ringCfg := bus.DefaultRingConfig()
-	for _, name := range []string{"compress", "mgrid"} {
+	onRing := func(cfg *core.Config) { cfg.Ring = &ringCfg }
+	names := []string{"compress", "mgrid"}
+	nodeCounts := []int{2, 4}
+	var jobs []Job
+	for _, name := range names {
 		w, ok := workload.ByName(name)
 		if !ok {
 			return out, fmt.Errorf("sim: missing workload %s", name)
 		}
-		pr, err := prepare(w, opts.Scale)
-		if err != nil {
-			return out, err
+		for _, nodes := range nodeCounts {
+			jobs = append(jobs,
+				Job{Workload: w, Scale: opts.Scale, Kind: KindDS, Nodes: nodes, MaxInstr: opts.TimingInstr},
+				Job{Workload: w, Scale: opts.Scale, Kind: KindDS, Nodes: nodes, MaxInstr: opts.TimingInstr, DSMut: onRing},
+			)
 		}
-		for _, nodes := range []int{2, 4} {
-			onBus, err := runDS(pr, nodes, opts.TimingInstr, nil)
-			if err != nil {
-				return out, err
-			}
-			onRing, err := runDS(pr, nodes, opts.TimingInstr, func(cfg *core.Config) {
-				cfg.Ring = &ringCfg
-			})
-			if err != nil {
-				return out, err
-			}
-			out.Rows = append(out.Rows, InterconnectRow{
-				Benchmark: name,
-				Nodes:     nodes,
-				BusIPC:    onBus.IPC,
-				RingIPC:   onRing.IPC,
-			})
-		}
+	}
+	res, err := runJobs(ctx, opts, jobs)
+	if err != nil {
+		return out, err
+	}
+	for i := 0; i < len(res); i += 2 {
+		out.Rows = append(out.Rows, InterconnectRow{
+			Benchmark: jobs[i].Workload.Name,
+			Nodes:     jobs[i].Nodes,
+			BusIPC:    res[i].IPC(),
+			RingIPC:   res[i+1].IPC(),
+		})
 	}
 	return out, nil
 }
@@ -129,39 +132,39 @@ func (r WritePolicyResult) Table() *stats.Table {
 // broadcast traffic generated under each store-miss policy for the
 // store-heavy benchmarks. Write-allocate turns every store miss into a
 // line broadcast whose payload is immediately overwritten — the waste
-// the paper's chosen write-no-allocate policy avoids.
-func AblationWritePolicy(opts Options) (WritePolicyResult, error) {
+// the paper's chosen write-no-allocate policy avoids. The eight
+// (benchmark, policy) measurements are independent analysis units.
+func AblationWritePolicy(ctx context.Context, opts Options) (WritePolicyResult, error) {
 	opts = opts.withDefaults()
 	var out WritePolicyResult
-	for _, name := range []string{"compress", "vortex", "swim", "wave5"} {
+	names := []string{"compress", "vortex", "swim", "wave5"}
+	policies := []cache.AllocPolicy{cache.WriteAllocate, cache.WriteNoAllocate}
+	bytes, err := runIndexed(ctx, opts.Parallel, len(names)*len(policies), func(i int) (uint64, error) {
+		name := names[i/len(policies)]
 		w, ok := workload.ByName(name)
 		if !ok {
-			return out, fmt.Errorf("sim: missing workload %s", name)
+			return 0, fmt.Errorf("sim: missing workload %s", name)
 		}
 		pr, err := prepare(w, opts.Scale)
 		if err != nil {
-			return out, err
+			return 0, err
 		}
-		measure := func(alloc cache.AllocPolicy) (uint64, error) {
-			cfg := trace.DefaultTrafficConfig()
-			cfg.L1.Alloc = alloc
-			a := trace.NewTrafficAnalyzer(cfg)
-			err := trace.ForEachRefFrom(pr.p, pr.ff, opts.RefInstr, false, func(ref trace.Ref) error {
-				return a.Observe(ref)
-			})
-			if err != nil {
-				return 0, err
-			}
-			return a.Finish().ESPBytes, nil
-		}
-		allocB, err := measure(cache.WriteAllocate)
+		cfg := trace.DefaultTrafficConfig()
+		cfg.L1.Alloc = policies[i%len(policies)]
+		a := trace.NewTrafficAnalyzer(cfg)
+		err = trace.ForEachRefFrom(pr.p, pr.ff, opts.RefInstr, false, func(ref trace.Ref) error {
+			return a.Observe(ref)
+		})
 		if err != nil {
-			return out, err
+			return 0, err
 		}
-		noAllocB, err := measure(cache.WriteNoAllocate)
-		if err != nil {
-			return out, err
-		}
+		return a.Finish().ESPBytes, nil
+	})
+	if err != nil {
+		return out, err
+	}
+	for i, name := range names {
+		allocB, noAllocB := bytes[2*i], bytes[2*i+1]
 		row := WritePolicyRow{Benchmark: name, AllocESPBytes: allocB, NoAllocESPBytes: noAllocB}
 		if allocB > 0 {
 			row.Saved = 1 - float64(noAllocB)/float64(allocB)
@@ -217,17 +220,18 @@ func (r SyncESPResult) Table() *stats.Table {
 // because lock-step ESP sustains exactly one datathread. The slowdown
 // column is the gap asynchronous ESP (the DataScalar machine) closes by
 // running datathreads concurrently.
-func AblationSyncESP(opts Options) (SyncESPResult, error) {
+func AblationSyncESP(ctx context.Context, opts Options) (SyncESPResult, error) {
 	opts = opts.withDefaults()
 	var out SyncESPResult
-	for _, w := range workload.TimingSet() {
-		pr, err := prepare(w, opts.Scale)
+	ws := workload.TimingSet()
+	rows, err := runIndexed(ctx, opts.Parallel, len(ws), func(i int) (SyncESPRow, error) {
+		pr, err := prepare(ws[i], opts.Scale)
 		if err != nil {
-			return out, err
+			return SyncESPRow{}, err
 		}
-		pt, err := partitionFor(pr, 4)
+		pt, err := defaultPartition(pr.p, 4)
 		if err != nil {
-			return out, err
+			return SyncESPRow{}, err
 		}
 		filter := trace.DefaultMissFilter()
 		var refs []uint64
@@ -244,26 +248,26 @@ func AblationSyncESP(opts Options) (SyncESPResult, error) {
 			return nil
 		})
 		if err != nil {
-			return out, err
+			return SyncESPRow{}, err
 		}
 		res, err := mmm.Simulate(mmm.Config{Processors: 4, BroadcastDelay: 8}, refs, owner)
 		if err != nil {
-			return out, err
+			return SyncESPRow{}, err
 		}
-		out.Rows = append(out.Rows, SyncESPRow{
-			Benchmark:   w.Name,
+		return SyncESPRow{
+			Benchmark:   pr.w.Name,
 			Misses:      uint64(len(refs)),
 			SyncCycles:  res.Cycles,
 			IdealCycles: res.IdealCycles,
 			Slowdown:    res.Slowdown(),
 			LeadChanges: res.LeadChanges,
-		})
+		}, nil
+	})
+	if err != nil {
+		return out, err
 	}
+	out.Rows = rows
 	return out, nil
-}
-
-func partitionFor(pr prepared, nodes int) (*mem.PageTable, error) {
-	return mem.Partition{NumNodes: nodes, BlockPages: 1, ReplicateText: true}.Build(pr.p)
 }
 
 // ---------------------------------------------------------------------------
@@ -349,23 +353,29 @@ tot:    ld   r4, 0(r11)
 
 // AblationResultComm measures the paper's Section 5.1 optimization on the
 // block-reduction workload at two and four nodes.
-func AblationResultComm(opts Options) (ResultCommResult, error) {
+func AblationResultComm(ctx context.Context, opts Options) (ResultCommResult, error) {
 	opts = opts.withDefaults()
 	var out ResultCommResult
 	p, err := asm.Assemble("resultcomm", resultCommKernel())
 	if err != nil {
 		return out, err
 	}
-	pr := prepared{w: workloadStub("resultcomm"), p: p, ff: p.Labels["bench_main"]}
-	for _, nodes := range []int{2, 4} {
-		off, err := runDS(pr, nodes, 0, nil)
-		if err != nil {
-			return out, err
-		}
-		on, err := runDS(pr, nodes, 0, func(cfg *core.Config) { cfg.ResultComm = true })
-		if err != nil {
-			return out, err
-		}
+	w := workloadStub("resultcomm")
+	commOn := func(cfg *core.Config) { cfg.ResultComm = true }
+	nodeCounts := []int{2, 4}
+	var jobs []Job
+	for _, nodes := range nodeCounts {
+		jobs = append(jobs,
+			Job{Workload: w, Program: p, Kind: KindDS, Nodes: nodes},
+			Job{Workload: w, Program: p, Kind: KindDS, Nodes: nodes, DSMut: commOn},
+		)
+	}
+	res, err := runJobs(ctx, opts, jobs)
+	if err != nil {
+		return out, err
+	}
+	for i, nodes := range nodeCounts {
+		off, on := res[2*i].DS, res[2*i+1].DS
 		var skipped uint64
 		for _, ns := range on.Nodes {
 			skipped += ns.SkippedInstr.Value()
@@ -412,31 +422,36 @@ func (r LatencyResult) Table() *stats.Table {
 // AblationLatencies sweeps the two DataScalar-specific structure
 // latencies the paper fixes by assumption (2-cycle broadcast queue,
 // BSHR access) to show how sensitive the design is to them.
-func AblationLatencies(opts Options) (LatencyResult, error) {
+func AblationLatencies(ctx context.Context, opts Options) (LatencyResult, error) {
 	opts = opts.withDefaults()
 	out := LatencyResult{Benchmark: "compress"}
 	w, ok := workload.ByName("compress")
 	if !ok {
 		return out, fmt.Errorf("sim: missing compress")
 	}
-	pr, err := prepare(w, opts.Scale)
+	points := []struct{ bshr, q uint64 }{
+		{1, 1}, {2, 2}, {4, 4}, {8, 8}, {16, 16},
+	}
+	jobs := make([]Job, len(points))
+	for i, point := range points {
+		point := point
+		jobs[i] = Job{
+			Workload: w, Scale: opts.Scale, Kind: KindDS, Nodes: 2, MaxInstr: opts.SweepInstr,
+			DSMut: func(cfg *core.Config) {
+				cfg.BSHRCycles = point.bshr
+				cfg.BcastQueueCycles = point.q
+			},
+		}
+	}
+	res, err := runJobs(ctx, opts, jobs)
 	if err != nil {
 		return out, err
 	}
-	for _, point := range []struct{ bshr, q uint64 }{
-		{1, 1}, {2, 2}, {4, 4}, {8, 8}, {16, 16},
-	} {
-		r, err := runDS(pr, 2, opts.SweepInstr, func(cfg *core.Config) {
-			cfg.BSHRCycles = point.bshr
-			cfg.BcastQueueCycles = point.q
-		})
-		if err != nil {
-			return out, err
-		}
+	for i, point := range points {
 		out.Rows = append(out.Rows, LatencyRow{
 			BSHRCycles:       point.bshr,
 			BcastQueueCycles: point.q,
-			IPC:              r.IPC,
+			IPC:              res[i].IPC(),
 		})
 	}
 	return out, nil
@@ -500,13 +515,25 @@ func bcastPerK(r core.Result) float64 {
 	return 1000 * float64(total) / float64(r.Instructions)
 }
 
+// placementPlan is one benchmark's stage-one output: the three page
+// tables to race and the analysis-side datathread means.
+type placementPlan struct {
+	pr                          prepared
+	rrPT, optPT, staticPT       *mem.PageTable
+	rrMean, optMean, staticMean float64
+}
+
 // AblationPlacement profiles each benchmark's miss-stream page
 // transitions, clusters pages that miss consecutively onto the same node
 // (capacity-balanced), and measures the effect on datathread length and
 // DataScalar IPC against the paper's round-robin distribution. This is
 // the software side of the paper's observation that "programs would
 // benefit from special support to increase datathread length".
-func AblationPlacement(opts Options) (PlacementResult, error) {
+//
+// Two engine phases: stage one builds the three placements per benchmark
+// (profiling + static analysis, independent per benchmark); stage two
+// races the six timing runs per benchmark as one flat job batch.
+func AblationPlacement(ctx context.Context, opts Options) (PlacementResult, error) {
 	opts = opts.withDefaults()
 	const nodes = 4
 	var out PlacementResult
@@ -514,108 +541,44 @@ func AblationPlacement(opts Options) (PlacementResult, error) {
 	// placement, so only thread length moves); gcc/li chase dependent
 	// pointers, where fewer ownership transitions shorten the serialized
 	// crossing chain and IPC can move too.
-	for _, name := range []string{"swim", "applu", "gcc", "li"} {
-		w, ok := workload.ByName(name)
-		if !ok {
-			return out, fmt.Errorf("sim: missing workload %s", name)
-		}
-		pr, err := prepare(w, opts.Scale)
-		if err != nil {
-			return out, err
-		}
+	names := []string{"swim", "applu", "gcc", "li"}
+	plans, err := runIndexed(ctx, opts.Parallel, len(names), func(i int) (placementPlan, error) {
+		return placementPlanFor(names[i], nodes, opts)
+	})
+	if err != nil {
+		return out, err
+	}
 
-		// Profile page transitions over the cache-filtered miss stream.
-		tp := mem.NewTransitionProfile()
-		filter := trace.DefaultMissFilter()
-		err = trace.ForEachRefFrom(pr.p, pr.ff, opts.RefInstr, false, func(ref trace.Ref) error {
-			if filter.Observe(ref) {
-				tp.Observe(ref.Addr)
-			}
-			return nil
-		})
-		if err != nil {
-			return out, err
-		}
-
-		// Fixed set: text pages stay replicated, as in the timing runs.
-		fixed := map[uint64]bool{}
-		for _, pg := range pr.p.Pages() {
-			if prog.SegmentOf(pg*prog.PageSize) == prog.SegText {
-				fixed[pg] = true
-			}
-		}
-		placement := tp.OptimizePlacement(nodes, fixed)
-		optPT := mem.BuildOptimized(pr.p.Pages(), placement, fixed, nodes)
-		rrPT, err := partitionFor(pr, nodes)
-		if err != nil {
-			return out, err
-		}
-
-		// Static-affinity placement: same clustering, but the transition
-		// graph comes from interval analysis of the binary instead of a
-		// profiling run.
-		aff := analysis.ComputePageAffinity(pr.p)
-		staticPlacement := mem.PlaceStaticAffinity(aff.Touches, aff.Edges, nodes, fixed)
-		staticPT := mem.BuildOptimized(pr.p.Pages(), staticPlacement, fixed, nodes)
-
-		threadMean := func(pt *mem.PageTable) (float64, error) {
-			f := trace.DefaultMissFilter()
-			an := trace.NewDatathreadAnalyzer(pt)
-			err := trace.ForEachRefFrom(pr.p, pr.ff, opts.RefInstr, false, func(ref trace.Ref) error {
-				if f.Observe(ref) {
-					an.Observe(ref.Addr, false)
-				}
-				return nil
+	slowBus := func(cfg *core.Config) { cfg.Bus.ClockDivisor = 8 }
+	var jobs []Job
+	for _, plan := range plans {
+		// Six timing runs per benchmark: the three placements at the
+		// default bus, then the same three under the 4x slower bus.
+		for _, pt := range []*mem.PageTable{plan.rrPT, plan.optPT, plan.staticPT} {
+			jobs = append(jobs, Job{
+				Workload: plan.pr.w, Scale: opts.Scale, Kind: KindDS, Nodes: nodes,
+				MaxInstr: opts.TimingInstr, PageTable: pt,
 			})
-			if err != nil {
-				return 0, err
-			}
-			return an.Finish().AllMean, nil
 		}
-		rrMean, err := threadMean(rrPT)
-		if err != nil {
-			return out, err
+		for _, pt := range []*mem.PageTable{plan.rrPT, plan.optPT, plan.staticPT} {
+			jobs = append(jobs, Job{
+				Workload: plan.pr.w, Scale: opts.Scale, Kind: KindDS, Nodes: nodes,
+				MaxInstr: opts.TimingInstr, PageTable: pt, DSMut: slowBus,
+			})
 		}
-		optMean, err := threadMean(optPT)
-		if err != nil {
-			return out, err
-		}
-		staticMean, err := threadMean(staticPT)
-		if err != nil {
-			return out, err
-		}
-
-		rr, err := runDSWithPT(pr, rrPT, nodes, opts.TimingInstr, nil)
-		if err != nil {
-			return out, err
-		}
-		opt, err := runDSWithPT(pr, optPT, nodes, opts.TimingInstr, nil)
-		if err != nil {
-			return out, err
-		}
-		static, err := runDSWithPT(pr, staticPT, nodes, opts.TimingInstr, nil)
-		if err != nil {
-			return out, err
-		}
-		slowBus := func(cfg *core.Config) { cfg.Bus.ClockDivisor = 8 }
-		rrSlow, err := runDSWithPT(pr, rrPT, nodes, opts.TimingInstr, slowBus)
-		if err != nil {
-			return out, err
-		}
-		optSlow, err := runDSWithPT(pr, optPT, nodes, opts.TimingInstr, slowBus)
-		if err != nil {
-			return out, err
-		}
-		staticSlow, err := runDSWithPT(pr, staticPT, nodes, opts.TimingInstr, slowBus)
-		if err != nil {
-			return out, err
-		}
-
+	}
+	res, err := runJobs(ctx, opts, jobs)
+	if err != nil {
+		return out, err
+	}
+	for i, plan := range plans {
+		rr, opt, static := res[6*i].DS, res[6*i+1].DS, res[6*i+2].DS
+		rrSlow, optSlow, staticSlow := res[6*i+3].DS, res[6*i+4].DS, res[6*i+5].DS
 		out.Rows = append(out.Rows, PlacementRow{
-			Benchmark:        name,
-			RRThreadMean:     rrMean,
-			OptThreadMean:    optMean,
-			StaticThreadMean: staticMean,
+			Benchmark:        names[i],
+			RRThreadMean:     plan.rrMean,
+			OptThreadMean:    plan.optMean,
+			StaticThreadMean: plan.staticMean,
 			RRBcastPerK:      bcastPerK(rr),
 			OptBcastPerK:     bcastPerK(opt),
 			StaticBcastPerK:  bcastPerK(static),
@@ -628,6 +591,79 @@ func AblationPlacement(opts Options) (PlacementResult, error) {
 		})
 	}
 	return out, nil
+}
+
+// placementPlanFor builds one benchmark's three candidate placements and
+// their analysis-side datathread means.
+func placementPlanFor(name string, nodes int, opts Options) (placementPlan, error) {
+	w, ok := workload.ByName(name)
+	if !ok {
+		return placementPlan{}, fmt.Errorf("sim: missing workload %s", name)
+	}
+	pr, err := prepare(w, opts.Scale)
+	if err != nil {
+		return placementPlan{}, err
+	}
+
+	// Profile page transitions over the cache-filtered miss stream.
+	tp := mem.NewTransitionProfile()
+	filter := trace.DefaultMissFilter()
+	err = trace.ForEachRefFrom(pr.p, pr.ff, opts.RefInstr, false, func(ref trace.Ref) error {
+		if filter.Observe(ref) {
+			tp.Observe(ref.Addr)
+		}
+		return nil
+	})
+	if err != nil {
+		return placementPlan{}, err
+	}
+
+	// Fixed set: text pages stay replicated, as in the timing runs.
+	fixed := map[uint64]bool{}
+	for _, pg := range pr.p.Pages() {
+		if prog.SegmentOf(pg*prog.PageSize) == prog.SegText {
+			fixed[pg] = true
+		}
+	}
+	placement := tp.OptimizePlacement(nodes, fixed)
+	optPT := mem.BuildOptimized(pr.p.Pages(), placement, fixed, nodes)
+	rrPT, err := defaultPartition(pr.p, nodes)
+	if err != nil {
+		return placementPlan{}, err
+	}
+
+	// Static-affinity placement: same clustering, but the transition
+	// graph comes from interval analysis of the binary instead of a
+	// profiling run.
+	aff := analysis.ComputePageAffinity(pr.p)
+	staticPlacement := mem.PlaceStaticAffinity(aff.Touches, aff.Edges, nodes, fixed)
+	staticPT := mem.BuildOptimized(pr.p.Pages(), staticPlacement, fixed, nodes)
+
+	threadMean := func(pt *mem.PageTable) (float64, error) {
+		f := trace.DefaultMissFilter()
+		an := trace.NewDatathreadAnalyzer(pt)
+		err := trace.ForEachRefFrom(pr.p, pr.ff, opts.RefInstr, false, func(ref trace.Ref) error {
+			if f.Observe(ref) {
+				an.Observe(ref.Addr, false)
+			}
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		return an.Finish().AllMean, nil
+	}
+	plan := placementPlan{pr: pr, rrPT: rrPT, optPT: optPT, staticPT: staticPT}
+	if plan.rrMean, err = threadMean(rrPT); err != nil {
+		return placementPlan{}, err
+	}
+	if plan.optMean, err = threadMean(optPT); err != nil {
+		return placementPlan{}, err
+	}
+	if plan.staticMean, err = threadMean(staticPT); err != nil {
+		return placementPlan{}, err
+	}
+	return plan, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -674,67 +710,109 @@ func (r ReplicationResult) Table() *stats.Table {
 	return t
 }
 
+// replicationFractions are the swept budgets.
+var replicationFractions = []float64{0, 0.125, 0.25, 0.5}
+
+// replicationPlan is one benchmark's stage-one output: the page table
+// and chosen page count per swept fraction.
+type replicationPlan struct {
+	pr     prepared
+	pts    []*mem.PageTable
+	counts []int
+}
+
 // AblationReplication sweeps the fraction of (hottest-first) data pages
 // statically replicated at every node, measuring the broadcast traffic
 // eliminated and the capacity paid — the paper's Section 3 replication
 // trade-off quantified. The timing runs of Figure 7 replicate nothing
 // ("we did not statically replicate any data pages"), making this the
 // other end of the design space.
-func AblationReplication(opts Options) (ReplicationResult, error) {
+func AblationReplication(ctx context.Context, opts Options) (ReplicationResult, error) {
 	opts = opts.withDefaults()
 	const nodes = 4
 	out := ReplicationResult{Nodes: nodes}
-	for _, name := range []string{"compress", "li"} {
-		w, ok := workload.ByName(name)
-		if !ok {
-			return out, fmt.Errorf("sim: missing workload %s", name)
-		}
-		pr, err := prepare(w, opts.Scale)
-		if err != nil {
-			return out, err
-		}
+	names := []string{"compress", "li"}
+	plans, err := runIndexed(ctx, opts.Parallel, len(names), func(i int) (replicationPlan, error) {
+		return replicationPlanFor(names[i], nodes, opts)
+	})
+	if err != nil {
+		return out, err
+	}
 
-		// Page heat over the steady-state reference stream.
-		profiler := mem.NewProfiler()
-		if err := trace.ProfilePagesFrom(pr.p, pr.ff, opts.RefInstr, profiler.Observe); err != nil {
-			return out, err
+	var jobs []Job
+	for _, plan := range plans {
+		for _, pt := range plan.pts {
+			jobs = append(jobs, Job{
+				Workload: plan.pr.w, Scale: opts.Scale, Kind: KindDS, Nodes: nodes,
+				MaxInstr: opts.TimingInstr, PageTable: pt,
+			})
 		}
-		var dataPages []uint64
-		for _, pg := range profiler.PagesByHeat() {
-			if prog.SegmentOf(pg*prog.PageSize) != prog.SegText {
-				dataPages = append(dataPages, pg)
-			}
-		}
-
-		row := ReplicationRow{Benchmark: name}
-		for _, frac := range []float64{0, 0.125, 0.25, 0.5} {
-			n := int(frac * float64(len(dataPages)))
-			repl := make(map[uint64]bool, n)
-			for _, pg := range dataPages[:n] {
-				repl[pg] = true
-			}
-			pt, err := mem.Partition{
-				NumNodes:        nodes,
-				BlockPages:      1,
-				ReplicateText:   true,
-				ReplicatedPages: repl,
-			}.Build(pr.p)
-			if err != nil {
-				return out, err
-			}
-			r, err := runDSWithPT(pr, pt, nodes, opts.TimingInstr, nil)
-			if err != nil {
-				return out, err
-			}
+	}
+	res, err := runJobs(ctx, opts, jobs)
+	if err != nil {
+		return out, err
+	}
+	i := 0
+	for pi, plan := range plans {
+		row := ReplicationRow{Benchmark: names[pi]}
+		for fi, frac := range replicationFractions {
+			r := res[i].DS
+			i++
 			row.Points = append(row.Points, ReplicationPoint{
 				Fraction:        frac,
-				ReplicatedPages: n,
+				ReplicatedPages: plan.counts[fi],
 				IPC:             r.IPC,
 				Broadcasts:      r.BusStats.ByKindMsgs[bus.Broadcast].Value(),
-				NodeKB:          pt.NodeBytes(0) / 1024,
+				NodeKB:          plan.pts[fi].NodeBytes(0) / 1024,
 			})
 		}
 		out.Rows = append(out.Rows, row)
 	}
 	return out, nil
+}
+
+// replicationPlanFor profiles one benchmark's page heat and builds the
+// page table for each swept replication fraction.
+func replicationPlanFor(name string, nodes int, opts Options) (replicationPlan, error) {
+	w, ok := workload.ByName(name)
+	if !ok {
+		return replicationPlan{}, fmt.Errorf("sim: missing workload %s", name)
+	}
+	pr, err := prepare(w, opts.Scale)
+	if err != nil {
+		return replicationPlan{}, err
+	}
+
+	// Page heat over the steady-state reference stream.
+	profiler := mem.NewProfiler()
+	if err := trace.ProfilePagesFrom(pr.p, pr.ff, opts.RefInstr, profiler.Observe); err != nil {
+		return replicationPlan{}, err
+	}
+	var dataPages []uint64
+	for _, pg := range profiler.PagesByHeat() {
+		if prog.SegmentOf(pg*prog.PageSize) != prog.SegText {
+			dataPages = append(dataPages, pg)
+		}
+	}
+
+	plan := replicationPlan{pr: pr}
+	for _, frac := range replicationFractions {
+		n := int(frac * float64(len(dataPages)))
+		repl := make(map[uint64]bool, n)
+		for _, pg := range dataPages[:n] {
+			repl[pg] = true
+		}
+		pt, err := mem.Partition{
+			NumNodes:        nodes,
+			BlockPages:      1,
+			ReplicateText:   true,
+			ReplicatedPages: repl,
+		}.Build(pr.p)
+		if err != nil {
+			return replicationPlan{}, err
+		}
+		plan.pts = append(plan.pts, pt)
+		plan.counts = append(plan.counts, n)
+	}
+	return plan, nil
 }

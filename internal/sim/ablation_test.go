@@ -1,10 +1,13 @@
 package sim
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestAblationInterconnect(t *testing.T) {
 	opts := testOpts()
-	res, err := AblationInterconnect(opts)
+	res, err := AblationInterconnect(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -20,7 +23,7 @@ func TestAblationInterconnect(t *testing.T) {
 }
 
 func TestAblationWritePolicy(t *testing.T) {
-	res, err := AblationWritePolicy(testOpts())
+	res, err := AblationWritePolicy(context.Background(), testOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +50,7 @@ func TestAblationWritePolicy(t *testing.T) {
 }
 
 func TestAblationSyncESP(t *testing.T) {
-	res, err := AblationSyncESP(testOpts())
+	res, err := AblationSyncESP(context.Background(), testOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +70,7 @@ func TestAblationSyncESP(t *testing.T) {
 }
 
 func TestAblationResultComm(t *testing.T) {
-	res, err := AblationResultComm(testOpts())
+	res, err := AblationResultComm(context.Background(), testOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +90,7 @@ func TestAblationResultComm(t *testing.T) {
 }
 
 func TestAblationLatencies(t *testing.T) {
-	res, err := AblationLatencies(testOpts())
+	res, err := AblationLatencies(context.Background(), testOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +106,7 @@ func TestAblationLatencies(t *testing.T) {
 }
 
 func TestAblationPlacement(t *testing.T) {
-	res, err := AblationPlacement(testOpts())
+	res, err := AblationPlacement(context.Background(), testOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +176,7 @@ func TestCostEffectiveness(t *testing.T) {
 
 	opts := testOpts()
 	opts.TimingInstr = 200_000
-	f7, err := Figure7(opts)
+	f7, err := Figure7(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +205,7 @@ func TestCostEffectiveness(t *testing.T) {
 
 func TestScaling(t *testing.T) {
 	opts := testOpts()
-	res, err := Scaling(opts)
+	res, err := Scaling(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +238,7 @@ func TestScaling(t *testing.T) {
 }
 
 func TestAblationReplication(t *testing.T) {
-	res, err := AblationReplication(testOpts())
+	res, err := AblationReplication(context.Background(), testOpts())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"github.com/wisc-arch/datascalar/internal/core"
 	"github.com/wisc-arch/datascalar/internal/stats"
 	"github.com/wisc-arch/datascalar/internal/workload"
@@ -44,50 +46,38 @@ func (r Figure7Result) Table() *stats.Table {
 // round-robin (no static data replication, text replicated, as in the
 // paper) and the traditional runs holding the matching fraction of
 // memory on-chip.
-func Figure7(opts Options) (Figure7Result, error) {
+func Figure7(ctx context.Context, opts Options) (Figure7Result, error) {
 	opts = opts.withDefaults()
 	var out Figure7Result
-	for _, w := range workload.TimingSet() {
-		pr, err := prepare(w, opts.Scale)
-		if err != nil {
-			return out, err
-		}
-		row := Figure7Row{Benchmark: w.Name}
-
-		perfect, err := runPerfect(pr, opts.TimingInstr, nil)
-		if err != nil {
-			return out, err
-		}
-		row.PerfectIPC = perfect.IPC
-		row.Instr = perfect.Instructions
-
-		ds2, err := runDS(pr, 2, opts.TimingInstr, nil)
-		if err != nil {
-			return out, err
-		}
-		row.DS2IPC = ds2.IPC
-		row.DS2Detail = ds2
-
-		ds4, err := runDS(pr, 4, opts.TimingInstr, nil)
-		if err != nil {
-			return out, err
-		}
-		row.DS4IPC = ds4.IPC
-		row.DS4Detail = ds4
-
-		t2, err := runTrad(pr, 2, opts.TimingInstr, nil)
-		if err != nil {
-			return out, err
-		}
-		row.Trad2IPC = t2.IPC
-
-		t4, err := runTrad(pr, 4, opts.TimingInstr, nil)
-		if err != nil {
-			return out, err
-		}
-		row.Trad4IPC = t4.IPC
-
-		out.Rows = append(out.Rows, row)
+	ws := workload.TimingSet()
+	var jobs []Job
+	for _, w := range ws {
+		// Five systems per benchmark: perfect, DS2, DS4, trad 1/2, trad 1/4.
+		jobs = append(jobs,
+			Job{Workload: w, Scale: opts.Scale, Kind: KindPerfect, MaxInstr: opts.TimingInstr},
+			Job{Workload: w, Scale: opts.Scale, Kind: KindDS, Nodes: 2, MaxInstr: opts.TimingInstr},
+			Job{Workload: w, Scale: opts.Scale, Kind: KindDS, Nodes: 4, MaxInstr: opts.TimingInstr},
+			Job{Workload: w, Scale: opts.Scale, Kind: KindTraditional, Nodes: 2, MaxInstr: opts.TimingInstr},
+			Job{Workload: w, Scale: opts.Scale, Kind: KindTraditional, Nodes: 4, MaxInstr: opts.TimingInstr},
+		)
+	}
+	res, err := runJobs(ctx, opts, jobs)
+	if err != nil {
+		return out, err
+	}
+	for i, w := range ws {
+		perfect, ds2, ds4, t2, t4 := res[5*i], res[5*i+1], res[5*i+2], res[5*i+3], res[5*i+4]
+		out.Rows = append(out.Rows, Figure7Row{
+			Benchmark:  w.Name,
+			PerfectIPC: perfect.IPC(),
+			Instr:      perfect.Trad.Instructions,
+			DS2IPC:     ds2.IPC(),
+			DS2Detail:  ds2.DS,
+			DS4IPC:     ds4.IPC(),
+			DS4Detail:  ds4.DS,
+			Trad2IPC:   t2.IPC(),
+			Trad4IPC:   t4.IPC(),
+		})
 	}
 	return out, nil
 }

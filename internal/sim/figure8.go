@@ -1,9 +1,14 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
+	"github.com/wisc-arch/datascalar/internal/bus"
+	"github.com/wisc-arch/datascalar/internal/cache"
 	"github.com/wisc-arch/datascalar/internal/core"
+	"github.com/wisc-arch/datascalar/internal/mem"
+	"github.com/wisc-arch/datascalar/internal/ooo"
 	"github.com/wisc-arch/datascalar/internal/stats"
 	"github.com/wisc-arch/datascalar/internal/traditional"
 	"github.com/wisc-arch/datascalar/internal/workload"
@@ -76,30 +81,48 @@ var Figure8Order = []Figure8Param{
 	ParamCacheKB, ParamMemNs, ParamBusClock, ParamBusWidth, ParamRUU,
 }
 
+// figure8Benchmarks are the two analogues the paper sweeps.
+var figure8Benchmarks = []string{"go", "compress"}
+
 // Figure8 reproduces the paper's sensitivity analysis on the go and
 // compress analogues: every parameter is swept one at a time around the
 // default configuration, measuring the same five systems as Figure 7.
-func Figure8(opts Options) (Figure8Result, error) {
+// The full grid — 2 benchmarks x 5 parameters x 5 values x 5 systems =
+// 250 independent timing runs — is enumerated as one job batch.
+func Figure8(ctx context.Context, opts Options) (Figure8Result, error) {
 	opts = opts.withDefaults()
 	var out Figure8Result
 	sweeps := Figure8Sweeps()
-	for _, name := range []string{"go", "compress"} {
+	var jobs []Job
+	for _, name := range figure8Benchmarks {
 		w, ok := workload.ByName(name)
 		if !ok {
 			return out, fmt.Errorf("sim: missing workload %s", name)
 		}
-		pr, err := prepare(w, opts.Scale)
-		if err != nil {
-			return out, err
-		}
 		for _, param := range Figure8Order {
-			series := Figure8Series{Benchmark: name, Param: param}
 			for _, v := range sweeps[param] {
-				pt, err := figure8Point(pr, param, v, opts.SweepInstr)
-				if err != nil {
-					return out, fmt.Errorf("sim: figure8 %s %s=%d: %w", name, param, v, err)
-				}
-				series.Points = append(series.Points, pt)
+				jobs = append(jobs, figure8Jobs(w, opts, param, v)...)
+			}
+		}
+	}
+	res, err := runJobs(ctx, opts, jobs)
+	if err != nil {
+		return out, err
+	}
+	i := 0
+	for range figure8Benchmarks {
+		for _, param := range Figure8Order {
+			series := Figure8Series{Benchmark: jobs[i].Workload.Name, Param: param}
+			for _, v := range sweeps[param] {
+				series.Points = append(series.Points, Figure8Point{
+					Value:   v,
+					Perfect: res[i].IPC(),
+					DS2:     res[i+1].IPC(),
+					DS4:     res[i+2].IPC(),
+					Trad2:   res[i+3].IPC(),
+					Trad4:   res[i+4].IPC(),
+				})
+				i += 5
 			}
 			out.Series = append(out.Series, series)
 		}
@@ -107,81 +130,55 @@ func Figure8(opts Options) (Figure8Result, error) {
 	return out, nil
 }
 
-func figure8Point(pr prepared, param Figure8Param, v int, maxInstr uint64) (Figure8Point, error) {
-	pt := Figure8Point{Value: v}
-
+// figure8Jobs enumerates one sweep point's five systems in Figure 7
+// order: perfect, DS2, DS4, trad 1/2, trad 1/4.
+func figure8Jobs(w workload.Workload, opts Options, param Figure8Param, v int) []Job {
 	dsMut := func(cfg *core.Config) { applyDSParam(cfg, param, v) }
 	tradMut := func(cfg *traditional.Config) { applyTradParam(cfg, param, v) }
-
-	perfect, err := runPerfect(pr, maxInstr, tradMut)
-	if err != nil {
-		return pt, err
+	base := Job{Workload: w, Scale: opts.Scale, MaxInstr: opts.SweepInstr, DSMut: dsMut, TradMut: tradMut}
+	jobs := make([]Job, 5)
+	for i, sys := range []struct {
+		kind  MachineKind
+		nodes int
+	}{
+		{KindPerfect, 0}, {KindDS, 2}, {KindDS, 4}, {KindTraditional, 2}, {KindTraditional, 4},
+	} {
+		j := base
+		j.Kind, j.Nodes = sys.kind, sys.nodes
+		jobs[i] = j
 	}
-	pt.Perfect = perfect.IPC
+	return jobs
+}
 
-	ds2, err := runDS(pr, 2, maxInstr, dsMut)
-	if err != nil {
-		return pt, err
+// applyParam applies one sweep value to the sub-configurations both
+// machine kinds share; the DS- and traditional-specific appliers below
+// only select the fields. The RUU sweep scales the LSQ (clamped to at
+// least one entry) and the store-forwarding distance with it, as the
+// paper's single RUU axis implies.
+func applyParam(param Figure8Param, v int, l1 *cache.Config, dram *mem.DRAMConfig, b *bus.Config, c *ooo.Config) {
+	switch param {
+	case ParamCacheKB:
+		l1.SizeBytes = v * 1024
+	case ParamMemNs:
+		dram.AccessCycles = uint64(v)
+	case ParamBusClock:
+		b.ClockDivisor = uint64(v)
+	case ParamBusWidth:
+		b.WidthBytes = v
+	case ParamRUU:
+		c.RUUSize = v
+		c.LSQSize = v / 2
+		if c.LSQSize < 1 {
+			c.LSQSize = 1
+		}
+		c.FwdDist = uint64(c.LSQSize)
 	}
-	pt.DS2 = ds2.IPC
-
-	ds4, err := runDS(pr, 4, maxInstr, dsMut)
-	if err != nil {
-		return pt, err
-	}
-	pt.DS4 = ds4.IPC
-
-	t2, err := runTrad(pr, 2, maxInstr, tradMut)
-	if err != nil {
-		return pt, err
-	}
-	pt.Trad2 = t2.IPC
-
-	t4, err := runTrad(pr, 4, maxInstr, tradMut)
-	if err != nil {
-		return pt, err
-	}
-	pt.Trad4 = t4.IPC
-
-	return pt, nil
 }
 
 func applyDSParam(cfg *core.Config, param Figure8Param, v int) {
-	switch param {
-	case ParamCacheKB:
-		cfg.L1.SizeBytes = v * 1024
-	case ParamMemNs:
-		cfg.DRAM.AccessCycles = uint64(v)
-	case ParamBusClock:
-		cfg.Bus.ClockDivisor = uint64(v)
-	case ParamBusWidth:
-		cfg.Bus.WidthBytes = v
-	case ParamRUU:
-		cfg.Core.RUUSize = v
-		cfg.Core.LSQSize = v / 2
-		if cfg.Core.LSQSize < 1 {
-			cfg.Core.LSQSize = 1
-		}
-		cfg.Core.FwdDist = uint64(cfg.Core.LSQSize)
-	}
+	applyParam(param, v, &cfg.L1, &cfg.DRAM, &cfg.Bus, &cfg.Core)
 }
 
 func applyTradParam(cfg *traditional.Config, param Figure8Param, v int) {
-	switch param {
-	case ParamCacheKB:
-		cfg.L1.SizeBytes = v * 1024
-	case ParamMemNs:
-		cfg.DRAM.AccessCycles = uint64(v)
-	case ParamBusClock:
-		cfg.Bus.ClockDivisor = uint64(v)
-	case ParamBusWidth:
-		cfg.Bus.WidthBytes = v
-	case ParamRUU:
-		cfg.Core.RUUSize = v
-		cfg.Core.LSQSize = v / 2
-		if cfg.Core.LSQSize < 1 {
-			cfg.Core.LSQSize = 1
-		}
-		cfg.Core.FwdDist = uint64(cfg.Core.LSQSize)
-	}
+	applyParam(param, v, &cfg.L1, &cfg.DRAM, &cfg.Bus, &cfg.Core)
 }

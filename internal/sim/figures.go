@@ -135,22 +135,24 @@ func Figure3() (Figure3Result, error) {
 	if err != nil {
 		return out, err
 	}
-	pr := prepared{
-		w:  workloadStub("figure3"),
-		p:  p,
-		ff: p.Labels["bench_main"],
-	}
+	w := workloadStub("figure3")
 
-	ds, err := runDS(pr, 4, 0, func(cfg *core.Config) { cfg.L1.SizeBytes = 512 })
+	ds, err := Job{
+		Workload: w, Program: p, Kind: KindDS, Nodes: 4,
+		DSMut: func(cfg *core.Config) { cfg.L1.SizeBytes = 512 },
+	}.run()
 	if err != nil {
 		return out, err
 	}
-	out.DSCyclesPerLap = float64(ds.Cycles) / laps
+	out.DSCyclesPerLap = float64(ds.DS.Cycles) / laps
 
-	tr, err := runTrad(pr, 4, 0, func(cfg *traditional.Config) { cfg.L1.SizeBytes = 512 })
+	tr, err := Job{
+		Workload: w, Program: p, Kind: KindTraditional, Nodes: 4,
+		TradMut: func(cfg *traditional.Config) { cfg.L1.SizeBytes = 512 },
+	}.run()
 	if err != nil {
 		return out, err
 	}
-	out.TradCyclesPerLap = float64(tr.Cycles) / laps
+	out.TradCyclesPerLap = float64(tr.Trad.Cycles) / laps
 	return out, nil
 }

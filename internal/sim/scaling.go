@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/wisc-arch/datascalar/internal/bus"
@@ -55,48 +56,50 @@ func (r ScalingResult) Table() *stats.Table {
 // Scaling sweeps node counts 2, 4, 8 over two contrasting benchmarks:
 // compress (write-heavy, DataScalar's best case) and mgrid (bandwidth-
 // hungry stencil).
-func Scaling(opts Options) (ScalingResult, error) {
+func Scaling(ctx context.Context, opts Options) (ScalingResult, error) {
 	opts = opts.withDefaults()
 	var out ScalingResult
 	ringCfg := bus.DefaultRingConfig()
-	for _, name := range []string{"compress", "mgrid"} {
+	onRing := func(cfg *core.Config) { cfg.Ring = &ringCfg }
+	names := []string{"compress", "mgrid"}
+	nodeCounts := []int{2, 4, 8}
+	var jobs []Job
+	for _, name := range names {
 		w, ok := workload.ByName(name)
 		if !ok {
 			return out, fmt.Errorf("sim: missing workload %s", name)
 		}
-		pr, err := prepare(w, opts.Scale)
-		if err != nil {
-			return out, err
+		for _, nodes := range nodeCounts {
+			jobs = append(jobs,
+				Job{Workload: w, Scale: opts.Scale, Kind: KindDS, Nodes: nodes, MaxInstr: opts.TimingInstr},
+				Job{Workload: w, Scale: opts.Scale, Kind: KindDS, Nodes: nodes, MaxInstr: opts.TimingInstr, DSMut: onRing},
+				Job{Workload: w, Scale: opts.Scale, Kind: KindTraditional, Nodes: nodes, MaxInstr: opts.TimingInstr},
+			)
 		}
+	}
+	res, err := runJobs(ctx, opts, jobs)
+	if err != nil {
+		return out, err
+	}
+	i := 0
+	for _, name := range names {
 		row := ScalingRow{Benchmark: name}
-		for _, nodes := range []int{2, 4, 8} {
-			onBus, err := runDS(pr, nodes, opts.TimingInstr, nil)
-			if err != nil {
-				return out, err
-			}
-			onRing, err := runDS(pr, nodes, opts.TimingInstr, func(cfg *core.Config) {
-				cfg.Ring = &ringCfg
-			})
-			if err != nil {
-				return out, err
-			}
-			trad, err := runTrad(pr, nodes, opts.TimingInstr, nil)
-			if err != nil {
-				return out, err
-			}
+		for _, nodes := range nodeCounts {
+			busRun, ringRun, trad := res[i].DS, res[i+1].DS, res[i+2].Trad
+			i += 3
 			pt := ScalingPoint{
 				Nodes:  nodes,
-				DSBus:  onBus.IPC,
-				DSRing: onRing.IPC,
+				DSBus:  busRun.IPC,
+				DSRing: ringRun.IPC,
 				Trad:   trad.IPC,
 			}
-			if onBus.Cycles > 0 {
-				pt.BusUtil = float64(onBus.BusStats.BusyCycles.Value()) / float64(onBus.Cycles)
+			if busRun.Cycles > 0 {
+				pt.BusUtil = float64(busRun.BusStats.BusyCycles.Value()) / float64(busRun.Cycles)
 			}
-			if onRing.Cycles > 0 {
+			if ringRun.Cycles > 0 {
 				// Aggregate link-busy over nodes links.
-				pt.RingUtil = float64(onRing.BusStats.BusyCycles.Value()) /
-					(float64(onRing.Cycles) * float64(nodes))
+				pt.RingUtil = float64(ringRun.BusStats.BusyCycles.Value()) /
+					(float64(ringRun.Cycles) * float64(nodes))
 			}
 			row.Points = append(row.Points, pt)
 		}

@@ -5,17 +5,15 @@
 // the Figure 1 / Figure 3 illustrative experiments. Each harness returns
 // structured results plus a rendered text table, and cmd/ binaries and
 // the repository-level benchmarks are thin wrappers around them.
+//
+// Every harness enumerates its sweep as Jobs and executes them on the
+// experiment engine (engine.go): a bounded worker pool that assembles
+// results strictly in job order, so harness output is bit-identical at
+// any Options.Parallel setting and a cancelled context stops a sweep at
+// the next job boundary.
 package sim
 
-import (
-	"fmt"
-
-	"github.com/wisc-arch/datascalar/internal/core"
-	"github.com/wisc-arch/datascalar/internal/mem"
-	"github.com/wisc-arch/datascalar/internal/prog"
-	"github.com/wisc-arch/datascalar/internal/traditional"
-	"github.com/wisc-arch/datascalar/internal/workload"
-)
+import "runtime"
 
 // Options bound experiment cost. The defaults reproduce the shipped
 // EXPERIMENTS.md numbers in a few minutes on a laptop; the paper ran
@@ -31,6 +29,11 @@ type Options struct {
 	RefInstr uint64
 	// SweepInstr bounds each point of the Figure 8 sensitivity sweeps.
 	SweepInstr uint64
+	// Parallel bounds the worker pool the harnesses run their jobs on:
+	// 1 runs everything serially, 0 (or negative) means GOMAXPROCS.
+	// Results are bit-identical at every setting — each simulation is
+	// deterministic and the engine assembles results in job order.
+	Parallel int
 }
 
 // DefaultOptions returns the standard experiment sizes.
@@ -40,6 +43,7 @@ func DefaultOptions() Options {
 		TimingInstr: 300_000,
 		RefInstr:    2_000_000,
 		SweepInstr:  150_000,
+		Parallel:    runtime.GOMAXPROCS(0),
 	}
 }
 
@@ -57,93 +61,8 @@ func (o Options) withDefaults() Options {
 	if o.SweepInstr == 0 {
 		o.SweepInstr = d.SweepInstr
 	}
+	if o.Parallel <= 0 {
+		o.Parallel = d.Parallel
+	}
 	return o
-}
-
-// prepared bundles a workload's assembled program with its benchmark-main
-// fast-forward point.
-type prepared struct {
-	w  workload.Workload
-	p  *prog.Program
-	ff uint64
-}
-
-func prepare(w workload.Workload, scale int) (prepared, error) {
-	p, err := w.Program(scale)
-	if err != nil {
-		return prepared{}, err
-	}
-	ff, ok := p.Labels["bench_main"]
-	if !ok {
-		return prepared{}, fmt.Errorf("sim: workload %s lacks a bench_main label", w.Name)
-	}
-	return prepared{w: w, p: p, ff: ff}, nil
-}
-
-// runDS runs an n-node DataScalar machine with the paper's default
-// configuration (round-robin single-page distribution, replicated text).
-func runDS(pr prepared, nodes int, maxInstr uint64, mut func(*core.Config)) (core.Result, error) {
-	pt, err := mem.Partition{NumNodes: nodes, BlockPages: 1, ReplicateText: true}.Build(pr.p)
-	if err != nil {
-		return core.Result{}, err
-	}
-	return runDSWithPT(pr, pt, nodes, maxInstr, mut)
-}
-
-// runDSWithPT runs a DataScalar machine under an explicit page table.
-func runDSWithPT(pr prepared, pt *mem.PageTable, nodes int, maxInstr uint64, mut func(*core.Config)) (core.Result, error) {
-	cfg := core.DefaultConfig(nodes)
-	cfg.MaxInstr = maxInstr
-	cfg.FastForwardPC = pr.ff
-	if mut != nil {
-		mut(&cfg)
-	}
-	m, err := core.NewMachine(cfg, pr.p, pt)
-	if err != nil {
-		return core.Result{}, err
-	}
-	r, err := m.Run()
-	if err != nil {
-		return core.Result{}, fmt.Errorf("sim: %s DS%d: %w", pr.w.Name, nodes, err)
-	}
-	if !r.CorrespondenceOK {
-		return core.Result{}, fmt.Errorf("sim: %s DS%d: cache correspondence violated", pr.w.Name, nodes)
-	}
-	return r, nil
-}
-
-// runTrad runs the traditional baseline with 1/chips of memory on-chip.
-func runTrad(pr prepared, chips int, maxInstr uint64, mut func(*traditional.Config)) (traditional.Result, error) {
-	pt, err := mem.Partition{NumNodes: chips, BlockPages: 1, ReplicateText: true}.Build(pr.p)
-	if err != nil {
-		return traditional.Result{}, err
-	}
-	cfg := traditional.DefaultConfig(chips)
-	cfg.MaxInstr = maxInstr
-	cfg.FastForwardPC = pr.ff
-	if mut != nil {
-		mut(&cfg)
-	}
-	m, err := traditional.NewMachine(cfg, pr.p, pt)
-	if err != nil {
-		return traditional.Result{}, err
-	}
-	r, err := m.Run()
-	if err != nil {
-		return traditional.Result{}, fmt.Errorf("sim: %s trad/%d: %w", pr.w.Name, chips, err)
-	}
-	return r, nil
-}
-
-// runPerfect runs the perfect-data-cache baseline.
-func runPerfect(pr prepared, maxInstr uint64, mut func(*traditional.Config)) (traditional.Result, error) {
-	cfg := traditional.DefaultConfig(2)
-	if mut != nil {
-		mut(&cfg)
-	}
-	r, err := traditional.RunPerfect(cfg.Core, pr.p, maxInstr, pr.ff)
-	if err != nil {
-		return traditional.Result{}, fmt.Errorf("sim: %s perfect: %w", pr.w.Name, err)
-	}
-	return r, nil
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -17,7 +18,7 @@ func testOpts() Options {
 }
 
 func TestTable1ShapeHolds(t *testing.T) {
-	res, err := Table1(testOpts())
+	res, err := Table1(context.Background(), testOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestTable1ShapeHolds(t *testing.T) {
 }
 
 func TestTable2ShapeHolds(t *testing.T) {
-	res, err := Table2(testOpts())
+	res, err := Table2(context.Background(), testOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestTable2ShapeHolds(t *testing.T) {
 func TestFigure7AndTable3ShapesHold(t *testing.T) {
 	opts := testOpts()
 	opts.TimingInstr = 250_000
-	res, err := Figure7(opts)
+	res, err := Figure7(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +200,7 @@ func checkTable3(t *testing.T, f7 Figure7Result) {
 func TestFigure8ShapeHolds(t *testing.T) {
 	opts := testOpts()
 	opts.SweepInstr = 40_000
-	res, err := Figure8(opts)
+	res, err := Figure8(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"github.com/wisc-arch/datascalar/internal/stats"
 	"github.com/wisc-arch/datascalar/internal/trace"
 	"github.com/wisc-arch/datascalar/internal/workload"
@@ -44,13 +46,14 @@ func (r Table1Result) Table() *stats.Table {
 // reference stream is filtered through the paper's 16 KB two-way
 // write-back write-allocate L1, and the surviving miss traffic is
 // accounted under a conventional request/response system versus ESP.
-func Table1(opts Options) (Table1Result, error) {
+func Table1(ctx context.Context, opts Options) (Table1Result, error) {
 	opts = opts.withDefaults()
 	var out Table1Result
-	for _, w := range workload.Table1Order() {
-		pr, err := prepare(w, opts.Scale)
+	ws := workload.Table1Order()
+	rows, err := runIndexed(ctx, opts.Parallel, len(ws), func(i int) (Table1Row, error) {
+		pr, err := prepare(ws[i], opts.Scale)
 		if err != nil {
-			return out, err
+			return Table1Row{}, err
 		}
 		// Measure from the kernel's steady state (bench_main), as the
 		// timing runs do; initialization is setup the SPEC originals did
@@ -60,15 +63,19 @@ func Table1(opts Options) (Table1Result, error) {
 			return a.Observe(ref)
 		})
 		if err != nil {
-			return out, err
+			return Table1Row{}, err
 		}
 		res := a.Finish()
-		out.Rows = append(out.Rows, Table1Row{
-			Benchmark:              w.Name,
+		return Table1Row{
+			Benchmark:              pr.w.Name,
 			TrafficEliminated:      res.TrafficEliminated(),
 			TransactionsEliminated: res.TransactionsEliminated(),
 			Detail:                 res,
-		})
+		}, nil
+	})
+	if err != nil {
+		return out, err
 	}
+	out.Rows = rows
 	return out, nil
 }

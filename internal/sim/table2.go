@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/wisc-arch/datascalar/internal/mem"
@@ -52,21 +53,26 @@ func (r Table2Result) Table() *stats.Table {
 // the text and the largest data segment spread over multiple processors,
 // then measure mean datathread lengths over the cache-filtered miss
 // stream.
-func Table2(opts Options) (Table2Result, error) {
+func Table2(ctx context.Context, opts Options) (Table2Result, error) {
 	opts = opts.withDefaults()
 	const nodes = 4
 	out := Table2Result{Nodes: nodes}
-	for _, w := range workload.Table1Order() {
-		pr, err := prepare(w, opts.Scale)
+	ws := workload.Table1Order()
+	rows, err := runIndexed(ctx, opts.Parallel, len(ws), func(i int) (Table2Row, error) {
+		pr, err := prepare(ws[i], opts.Scale)
 		if err != nil {
-			return out, err
+			return Table2Row{}, err
 		}
 		row, err := table2One(pr, nodes, opts.RefInstr)
 		if err != nil {
-			return out, fmt.Errorf("sim: table2 %s: %w", w.Name, err)
+			return Table2Row{}, fmt.Errorf("sim: table2 %s: %w", ws[i].Name, err)
 		}
-		out.Rows = append(out.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return out, err
 	}
+	out.Rows = rows
 	return out, nil
 }
 

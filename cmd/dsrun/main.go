@@ -21,6 +21,9 @@
 // final counters, and -json the full Result as JSON ("-" = stdout,
 // anything else = file path). Observation never changes the simulation:
 // cycle counts and counters are identical with or without these flags.
+//
+// Profiling (see docs/PERFORMANCE.md): -cpuprofile and -memprofile write
+// pprof profiles of the run for `go tool pprof`.
 package main
 
 import (
@@ -28,9 +31,47 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	datascalar "github.com/wisc-arch/datascalar"
 )
+
+// startProfiles starts CPU profiling and arranges the end-of-run heap
+// profile; the returned stop function must run before exit (fatal-error
+// paths skip it — a failed run's profile is not useful).
+func startProfiles(cpu, mem string) (func(), error) {
+	var cpuF *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuF = f
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			runtime.GC() // materialize the live heap before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Print(err)
+			}
+			f.Close()
+		}
+	}, nil
+}
 
 // runArtifact is the -json envelope: enough run identity to tell
 // artifacts apart, plus the model's full result.
@@ -116,11 +157,19 @@ func main() {
 	list := flag.Bool("list", false, "list bundled workloads and exit")
 	report := flag.Bool("report", false, "print full statistics tables after DataScalar runs")
 	jsonOut := flag.String("json", "", "write the full result as JSON to this file (\"-\" = stdout)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	var ob observability
 	flag.StringVar(&ob.traceOut, "trace-out", "", "write a Chrome trace-event file (Perfetto-loadable) to this path")
 	flag.StringVar(&ob.metricsOut, "metrics-out", "", "write an interval metrics JSON time series to this path")
 	flag.Uint64Var(&ob.interval, "interval", 10000, "metrics sampling interval in cycles (ds only)")
 	flag.Parse()
+
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProfiles()
 
 	if *list {
 		for _, w := range datascalar.Workloads() {

@@ -6,6 +6,9 @@
 // Usage:
 //
 //	dstiming [-scale N] [-instr N] [-bshr]
+//
+// Profiling (see docs/PERFORMANCE.md): -cpuprofile and -memprofile write
+// pprof profiles of the run for `go tool pprof`.
 package main
 
 import (
@@ -15,9 +18,47 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 
 	datascalar "github.com/wisc-arch/datascalar"
 )
+
+// startProfiles starts CPU profiling and arranges the end-of-run heap
+// profile; the returned stop function must run before exit (fatal-error
+// paths skip it — a failed run's profile is not useful).
+func startProfiles(cpu, mem string) (func(), error) {
+	var cpuF *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuF = f
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			runtime.GC() // materialize the live heap before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Print(err)
+			}
+			f.Close()
+		}
+	}, nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -28,10 +69,18 @@ func main() {
 	cost := flag.Bool("cost", false, "also print the Wood-Hill cost-effectiveness analysis (paper §4.4)")
 	jsonOut := flag.String("json", "", "also write results as JSON to this file (\"-\" = stdout)")
 	parallel := flag.Int("parallel", 0, "simulation worker count (0 = GOMAXPROCS, 1 = serial)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProfiles()
 
 	opts := datascalar.DefaultExperimentOptions()
 	opts.Scale = *scale

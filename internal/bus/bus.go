@@ -18,10 +18,15 @@ package bus
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/wisc-arch/datascalar/internal/obs"
 	"github.com/wisc-arch/datascalar/internal/stats"
 )
+
+// NoEvent is returned by NextDeliveryCycle when the interconnect holds no
+// messages: nothing will ever happen without a new Enqueue.
+const NoEvent = math.MaxUint64
 
 // HeaderBytes is the address/tag overhead carried by every message.
 // Asynchronous ESP requires tags on broadcasts (unlike the synchronous
@@ -138,6 +143,9 @@ type Bus struct {
 	current Message
 	stats   Stats
 	obs     obs.Observer
+	// arrivals is the scratch buffer TickArrivals returns; reused so the
+	// per-cycle delivery path is allocation-free in steady state.
+	arrivals []Arrival
 }
 
 // SetObserver attaches an observer emitting a bus.grant event each time
@@ -203,6 +211,35 @@ func (b *Bus) Tick(now uint64) (Message, bool) {
 	return delivered, ok
 }
 
+// NextDeliveryCycle reports the earliest cycle > nothing-happens-before
+// which Tick could change bus state: the in-flight transfer's completion,
+// or — when idle — the earliest cycle a queued head becomes eligible to
+// arbitrate. Ticks at any cycle before the returned value are no-ops, so
+// a scheduler may skip them. Call it only after Tick(now) has run for the
+// current cycle. NoEvent means the bus is empty.
+func (b *Bus) NextDeliveryCycle(now uint64) uint64 {
+	if b.busy {
+		if b.doneAt <= now {
+			return now + 1 // delivery already due; next Tick acts immediately
+		}
+		return b.doneAt
+	}
+	next := uint64(NoEvent)
+	for _, q := range b.queues {
+		if len(q) == 0 {
+			continue
+		}
+		at := q[0].ReadyAt
+		if at <= now {
+			at = now + 1
+		}
+		if at < next {
+			next = at
+		}
+	}
+	return next
+}
+
 // arbitrate grants the bus to the next ready message in round-robin
 // order, starting after the last grantee's source.
 func (b *Bus) arbitrate(now uint64) {
@@ -214,7 +251,11 @@ func (b *Bus) arbitrate(now uint64) {
 			continue
 		}
 		m := q[0]
-		b.queues[src] = q[1:]
+		// Shift rather than re-slice so the queue's backing array keeps
+		// its full capacity; q[1:] would bleed capacity off the front and
+		// force Enqueue to reallocate steadily. Queues stay short (see
+		// MaxQueueLen), so the copy is cheap.
+		b.queues[src] = q[:copy(q, q[1:])]
 		b.rrNext = (src + 1) % n
 		b.busy = true
 		cycles := b.cfg.TransferCycles(m.WireBytes())

@@ -22,6 +22,13 @@ type Network interface {
 	Tick(now uint64) []Arrival
 	// Pending returns the number of undelivered messages.
 	Pending() int
+	// NextDeliveryCycle returns the earliest future cycle at which Tick
+	// could deliver a message or otherwise change interconnect state
+	// (NoEvent when empty). Every Tick at a cycle strictly before the
+	// returned value is guaranteed to be a no-op, which is what lets the
+	// machine scheduler skip idle cycles without altering timing. Call
+	// only after Tick(now) has run for the current cycle.
+	NextDeliveryCycle(now uint64) uint64
 	// NetStats returns the shared traffic counters.
 	NetStats() *Stats
 	// SetObserver attaches an observability sink for transfer-grant
@@ -38,22 +45,25 @@ func (b *Bus) NetStats() *Stats { return &b.stats }
 // TickArrivals implements the Network Tick contract for the bus: a
 // completing broadcast arrives at every node but the sender in the same
 // cycle (every bus transaction is an implicit broadcast); point-to-point
-// messages arrive at their destination.
+// messages arrive at their destination. The returned slice is only valid
+// until the next call.
 func (b *Bus) TickArrivals(now uint64) []Arrival {
 	msg, ok := b.Tick(now)
 	if !ok {
 		return nil
 	}
+	out := b.arrivals[:0]
 	if msg.Kind == Broadcast {
-		out := make([]Arrival, 0, b.numNodes()-1)
 		for n := 0; n < b.numNodes(); n++ {
 			if n != msg.Src {
 				out = append(out, Arrival{Node: n, Msg: msg})
 			}
 		}
-		return out
+	} else {
+		out = append(out, Arrival{Node: msg.Dst, Msg: msg})
 	}
-	return []Arrival{{Node: msg.Dst, Msg: msg}}
+	b.arrivals = out
+	return out
 }
 
 // busNetwork adapts Bus to the Network interface.

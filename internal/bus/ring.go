@@ -82,6 +82,9 @@ type Ring struct {
 	flight   []*ringMsg
 	stats    Stats
 	obs      obs.Observer
+	// arrivals is the scratch buffer Tick returns; reused so the per-cycle
+	// delivery path is allocation-free in steady state.
+	arrivals []Arrival
 }
 
 // SetObserver attaches an observer emitting a bus.grant event when a
@@ -129,12 +132,36 @@ func (r *Ring) Enqueue(m Message) {
 // Pending implements Network.
 func (r *Ring) Pending() int { return len(r.flight) }
 
+// NextDeliveryCycle implements Network for the ring: the minimum over all
+// in-flight hops' completion cycles and all sitting messages' earliest
+// possible departures (ready and link free). The value is a safe lower
+// bound — link contention may push an actual departure later, but a Tick
+// at the returned cycle then simply does nothing and the scheduler
+// recomputes.
+func (r *Ring) NextDeliveryCycle(now uint64) uint64 {
+	next := uint64(NoEvent)
+	for _, f := range r.flight {
+		at := f.readyAt
+		if !f.inFlight && r.linkFree[f.at] > at {
+			at = r.linkFree[f.at]
+		}
+		if at <= now {
+			at = now + 1
+		}
+		if at < next {
+			next = at
+		}
+	}
+	return next
+}
+
 // Tick implements Network. Each message alternates between completing a
 // hop (delivering at the node it reaches, when appropriate) and starting
 // the next one as soon as its outgoing link is free; distinct links
-// carry distinct messages concurrently.
+// carry distinct messages concurrently. The returned slice is only valid
+// until the next call.
 func (r *Ring) Tick(now uint64) []Arrival {
-	var out []Arrival
+	out := r.arrivals[:0]
 	kept := r.flight[:0]
 	for _, f := range r.flight {
 		// Complete an in-progress hop whose transfer has finished.
@@ -175,5 +202,6 @@ func (r *Ring) Tick(now uint64) []Arrival {
 		kept = append(kept, f)
 	}
 	r.flight = kept
+	r.arrivals = out
 	return out
 }

@@ -8,8 +8,9 @@ import (
 func runRing(r *Ring, until uint64) map[uint64][]Arrival {
 	out := map[uint64][]Arrival{}
 	for now := uint64(0); now <= until && (r.Pending() > 0 || now == 0); now++ {
+		// Tick's slice is only valid until the next call: copy to retain.
 		if arr := r.Tick(now); len(arr) > 0 {
-			out[now] = arr
+			out[now] = append([]Arrival(nil), arr...)
 		}
 	}
 	return out

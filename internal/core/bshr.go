@@ -84,6 +84,13 @@ type BSHR struct {
 	owed  map[uint64]int
 	stats BSHRStats
 
+	// tokFree recycles the backing arrays of waiting slices whose entry
+	// was matched; released is the scratch slice Arrive hands back (valid
+	// until the next Arrive — the machine consumes it within the cycle).
+	// Together they make the steady-state waiting path allocation-free.
+	tokFree  [][]ooo.LoadToken
+	released []ooo.LoadToken
+
 	// Observability (nil obs = disabled, zero cost); the owning machine
 	// attributes events to a node and supplies its cycle clock.
 	obs      obs.Observer
@@ -142,7 +149,7 @@ func (b *BSHR) Request(line uint64, tok ooo.LoadToken) (dataReady bool, arrivedA
 		b.obsEvent(obs.EvBSHRJoin, line, uint64(len(b.entries[i].waiting)))
 		return false, 0
 	}
-	b.entries = append(b.entries, bshrEntry{line: line, waiting: []ooo.LoadToken{tok}, seq: b.nextSeq})
+	b.entries = append(b.entries, bshrEntry{line: line, waiting: b.newWaiting(tok), seq: b.nextSeq})
 	b.nextSeq++
 	b.stats.Allocs.Inc()
 	if n := b.numWaiting(); n > b.stats.MaxWaiting {
@@ -152,18 +159,32 @@ func (b *BSHR) Request(line uint64, tok ooo.LoadToken) (dataReady bool, arrivedA
 	return false, 0
 }
 
+// newWaiting returns a one-token waiting slice, reusing the capacity of
+// a previously matched entry when one is available.
+func (b *BSHR) newWaiting(tok ooo.LoadToken) []ooo.LoadToken {
+	if n := len(b.tokFree); n > 0 {
+		s := b.tokFree[n-1]
+		b.tokFree = b.tokFree[:n-1]
+		return append(s[:0], tok)
+	}
+	return append(make([]ooo.LoadToken, 0, 2), tok)
+}
+
 // Arrive delivers a broadcast of line at cycle now. It returns the load
-// tokens released (empty when the broadcast was buffered or squashed).
+// tokens released (empty when the broadcast was buffered or squashed);
+// the returned slice is only valid until the next Arrive call.
 func (b *BSHR) Arrive(line uint64, now uint64) []ooo.LoadToken {
 	b.stats.Arrivals.Inc()
 	// Waiting consumers always match first so that no pending load can
 	// starve.
 	if i := b.find(line, false); i >= 0 {
 		toks := b.entries[i].waiting
+		b.released = append(b.released[:0], toks...)
+		b.tokFree = append(b.tokFree, toks)
 		b.remove(i)
 		b.stats.Matched.Inc()
-		b.obsEvent(obs.EvBSHRMatch, line, uint64(len(toks)))
-		return toks
+		b.obsEvent(obs.EvBSHRMatch, line, uint64(len(b.released)))
+		return b.released
 	}
 	// Absorb arrivals owed from fills that had no local consumer.
 	if b.owed[line] > 0 {

@@ -72,6 +72,11 @@ type Config struct {
 	// that many cycles, plus one final partial interval at end of run
 	// (0 disables sampling; ignored without an Observer).
 	SampleInterval uint64
+	// NoCycleSkip forces Run back to pure cycle-by-cycle polling,
+	// disabling the next-event scheduler. Results are bit-identical
+	// either way (enforced by the differential suite in internal/sim);
+	// the flag exists so that equivalence stays testable.
+	NoCycleSkip bool
 	// ResultComm enables result communication (paper Section 5.1):
 	// PRIVB/PRIVE regions execute only at the node owning their data,
 	// with uncached local accesses and no operand broadcasts; other
@@ -183,6 +188,9 @@ type nodeSampleState struct {
 func (m *Machine) Events() []string { return m.events }
 
 func (m *Machine) traceEvent(node int, format string, args ...any) {
+	if m.cfg.TraceLine == 0 {
+		return // tracing off: no formatting work on the hot path
+	}
 	m.events = append(m.events, fmt.Sprintf("cycle=%d node=%d ", m.now, node)+fmt.Sprintf(format, args...))
 }
 
@@ -265,7 +273,11 @@ func (m *Machine) Network() bus.Network { return m.net }
 
 // Run executes the program to completion on all nodes, interleaving all
 // contexts cycle by cycle (the paper's simulator "switches contexts after
-// executing each cycle").
+// executing each cycle"). When the configuration allows (the default),
+// the loop skips provably idle stretches — cycles where no core can act
+// and the interconnect has nothing due — by jumping m.now straight to the
+// next event; see docs/PERFORMANCE.md for the invariants that make the
+// skipped and polled runs bit-identical.
 func (m *Machine) Run() (Result, error) {
 	watchdog := m.cfg.WatchdogCycles
 	if watchdog == 0 {
@@ -319,12 +331,76 @@ func (m *Machine) Run() (Result, error) {
 		if m.sampler != nil && m.now%m.cfg.SampleInterval == 0 {
 			m.emitSamples()
 		}
+		if !m.cfg.NoCycleSkip {
+			m.skipIdle(lastProgress, watchdog)
+		}
 	}
 	if m.sampler != nil && m.now > m.sampler.lastCycle {
 		m.emitSamples() // final partial interval
 	}
 
 	return m.collect(), nil
+}
+
+// skipIdle advances m.now past cycles that are provably no-ops for every
+// component, preserving bit-identity with the polled loop:
+//
+//   - Each live core certifies, via NextEventCycle, that its Cycle calls
+//     up to (but excluding) its next event only bump deterministic stall
+//     counters; SkipCycles replays those in bulk.
+//   - The interconnect certifies, via NextDeliveryCycle, that its Ticks
+//     before the returned cycle are no-ops (no delivery, no arbitration,
+//     no counter movement), so not calling them changes nothing.
+//   - The jump is capped at lastProgress+watchdog+1, the first cycle the
+//     polled loop's watchdog could fire, so deadlocks surface with the
+//     identical cycle number and message.
+//   - Sample boundaries crossed by the jump are replayed in order with
+//     m.now set to each boundary; the counters a sample reads are frozen
+//     across skipped cycles, so the emitted values match exactly.
+//
+// Called with m.now = the next cycle to simulate (cycle m.now-1 and its
+// network Tick have completed).
+func (m *Machine) skipIdle(lastProgress, watchdog uint64) {
+	target := lastProgress + watchdog + 1
+	if nn := m.net.NextDeliveryCycle(m.now - 1); nn < target {
+		target = nn
+	}
+	if target <= m.now {
+		return
+	}
+	live := false
+	for _, nd := range m.nodes {
+		if nd.core.Done() {
+			continue
+		}
+		live = true
+		next, ok := nd.core.NextEventCycle(m.now)
+		if !ok {
+			return
+		}
+		if next < target {
+			target = next
+		}
+	}
+	// With every core done the run is over; jumping further would inflate
+	// the final cycle count.
+	if !live || target <= m.now {
+		return
+	}
+	delta := target - m.now
+	for _, nd := range m.nodes {
+		if !nd.core.Done() {
+			nd.core.SkipCycles(delta)
+		}
+	}
+	if m.sampler != nil {
+		si := m.cfg.SampleInterval
+		for b := (m.now/si + 1) * si; b <= target; b += si {
+			m.now = b
+			m.emitSamples()
+		}
+	}
+	m.now = target
 }
 
 // emitSamples snapshots every node's interval rates and occupancies at

@@ -103,7 +103,10 @@ type node struct {
 	net  bus.Network
 
 	outstanding map[uint64]*missEntry
-	inflight    map[ooo.LoadToken]issueInfo
+	// missFree recycles missEntry records: steady state opens and closes
+	// miss episodes constantly, and reuse keeps that off the allocator.
+	missFree []*missEntry
+	inflight map[ooo.LoadToken]issueInfo
 
 	stats NodeStats
 
@@ -160,7 +163,14 @@ func (n *node) IssueLoad(now uint64, tok ooo.LoadToken, addr uint64, size int) (
 	n.stats.IssueMisses.Inc()
 	n.inflight[tok] = issueInfo{hit: false, attached: true}
 
-	e := &missEntry{line: line, refs: 1}
+	var e *missEntry
+	if k := len(n.missFree); k > 0 {
+		e = n.missFree[k-1]
+		n.missFree = n.missFree[:k-1]
+		*e = missEntry{line: line, refs: 1}
+	} else {
+		e = &missEntry{line: line, refs: 1}
+	}
 	n.outstanding[line] = e
 
 	if n.pt.Owns(addr, n.id) {
@@ -280,6 +290,7 @@ func (n *node) release(e *missEntry, line uint64, info issueInfo) {
 	e.refs--
 	if e.refs <= 0 {
 		delete(n.outstanding, line)
+		n.missFree = append(n.missFree, e)
 	}
 }
 

@@ -1,0 +1,52 @@
+package emu
+
+import (
+	"testing"
+
+	"github.com/wisc-arch/datascalar/internal/asm"
+)
+
+// allocLoop mixes ALU work, loads, and stores over a few pages so the
+// steady-state allocation measurement covers the fetch, execute, and
+// memory fast paths together.
+const allocLoop = `
+        .data
+buf:    .space 16384
+        .text
+        li   r5, 100000000    # effectively infinite for the test
+outer:  la   r1, buf
+        li   r2, 2048
+loop:   sd   r2, 0(r1)
+        ld   r3, 0(r1)
+        add  r4, r4, r3
+        addi r1, r1, 8
+        addi r2, r2, -1
+        bne  r2, zero, loop
+        addi r5, r5, -1
+        bne  r5, zero, outer
+        halt
+`
+
+// TestStepZeroAllocs: the per-instruction hot path — fetch, decode,
+// execute, memory access — must not allocate in steady state. Warm the
+// machine first so every page it touches exists.
+func TestStepZeroAllocs(t *testing.T) {
+	p, err := asm.Assemble("t", allocLoop)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m, err := New(p)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if _, err := m.Run(20_000); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+	if allocs := testing.AllocsPerRun(10_000, func() {
+		if _, err := m.Step(); err != nil {
+			t.Fatalf("step: %v", err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("emu.Step allocated %.2f times per instruction in steady state", allocs)
+	}
+}

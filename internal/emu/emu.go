@@ -37,7 +37,10 @@ type Dyn struct {
 
 // Machine is the architectural state of one emulated processor.
 type Machine struct {
-	prog   *prog.Program
+	prog *prog.Program
+	// text mirrors prog.Text so the Step fetch path is one bounds check
+	// and an indexed load, with no pointer chase through prog.
+	text   []isa.Instr
 	r      [isa.NumIntRegs]uint64
 	f      [isa.NumFPRegs]float64
 	pc     uint64
@@ -56,6 +59,7 @@ func New(p *prog.Program) (*Machine, error) {
 	}
 	m := &Machine{
 		prog: p,
+		text: p.Text,
 		pc:   p.EntryPC(),
 		mem:  NewMemory(),
 	}
@@ -103,11 +107,21 @@ func (m *Machine) Step() (Dyn, error) {
 	if m.halted {
 		return Dyn{}, ErrHalted
 	}
-	idx, err := m.prog.PCToIndex(m.pc)
-	if err != nil {
-		return Dyn{}, fmt.Errorf("emu: fetch: %w", err)
+	// Fast fetch: text occupies [TextBase, TextBase+len*InstrBytes) and
+	// TextBase is InstrBytes-aligned, so an in-range aligned PC maps to
+	// index (pc-TextBase)/InstrBytes directly. Anything else falls back to
+	// PCToIndex, which produces the exact diagnostic it always has.
+	var in isa.Instr
+	if off := m.pc - prog.TextBase; m.pc >= prog.TextBase &&
+		m.pc%isa.InstrBytes == 0 && off/isa.InstrBytes < uint64(len(m.text)) {
+		in = m.text[off/isa.InstrBytes]
+	} else {
+		idx, err := m.prog.PCToIndex(m.pc)
+		if err != nil {
+			return Dyn{}, fmt.Errorf("emu: fetch: %w", err)
+		}
+		in = m.prog.Text[idx]
 	}
-	in := m.prog.Text[idx]
 	d := Dyn{Seq: m.icount, PC: m.pc, Instr: in, NextPC: m.pc + isa.InstrBytes,
 		Private: m.privDepth > 0 && in.Op != isa.OpPRIVE}
 
@@ -353,6 +367,11 @@ func checkAlign(ea uint64, size int) error {
 // untouched memory return zero.
 type Memory struct {
 	pages map[uint64][]byte
+	// lastPg/lastPage cache the most recently touched page: guest access
+	// streams have strong page locality, and the cache turns the common
+	// case into a compare instead of a map lookup.
+	lastPg   uint64
+	lastPage []byte
 }
 
 // NewMemory returns an empty memory.
@@ -361,10 +380,16 @@ func NewMemory() *Memory {
 }
 
 func (mem *Memory) page(pg uint64, create bool) []byte {
+	if pg == mem.lastPg && mem.lastPage != nil {
+		return mem.lastPage
+	}
 	p, ok := mem.pages[pg]
 	if !ok && create {
 		p = make([]byte, prog.PageSize)
 		mem.pages[pg] = p
+	}
+	if p != nil {
+		mem.lastPg, mem.lastPage = pg, p
 	}
 	return p
 }

@@ -1,0 +1,44 @@
+package ooo
+
+import (
+	"testing"
+)
+
+// TestCycleZeroAllocs: the per-cycle core path — dispatch, issue,
+// completion, commit, including the ring-buffer RUU and the hand-rolled
+// heaps — must not allocate in steady state. The kernel mixes loads,
+// stores, ALU ops, and branches; FixedLatencyMem keeps the completion
+// heap busy.
+func TestCycleZeroAllocs(t *testing.T) {
+	src := `
+        .data
+buf:    .space 16384
+        .text
+        li   r5, 100000000    # effectively infinite for the test
+outer:  la   r1, buf
+        li   r2, 2048
+loop:   sd   r2, 0(r1)
+        ld   r3, 0(r1)
+        add  r4, r4, r3
+        addi r1, r1, 8
+        addi r2, r2, -1
+        bne  r2, zero, loop
+        addi r5, r5, -1
+        bne  r5, zero, outer
+        halt
+`
+	c, _ := coreFor(t, src, FixedLatencyMem{Cycles: 20}, nil)
+	now := uint64(0)
+	for ; now < 50_000; now++ { // warmup: grow heaps, wakeup slices, maps
+		c.Cycle(now)
+		if c.Err() != nil || c.Done() {
+			t.Fatalf("warmup ended early: err=%v done=%v", c.Err(), c.Done())
+		}
+	}
+	if allocs := testing.AllocsPerRun(20_000, func() {
+		c.Cycle(now)
+		now++
+	}); allocs != 0 {
+		t.Fatalf("ooo.Core.Cycle allocated %.3f times per cycle in steady state", allocs)
+	}
+}

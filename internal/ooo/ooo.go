@@ -17,8 +17,8 @@
 package ooo
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
 
 	"github.com/wisc-arch/datascalar/internal/cache"
 
@@ -26,6 +26,10 @@ import (
 	"github.com/wisc-arch/datascalar/internal/isa"
 	"github.com/wisc-arch/datascalar/internal/stats"
 )
+
+// NoEvent is the NextEventCycle sentinel for "no self-scheduled event":
+// the core cannot act again until an external completion arrives.
+const NoEvent = math.MaxUint64
 
 // Source supplies the committed-path dynamic instruction stream (perfect
 // branch prediction makes the fetched path equal the committed path).
@@ -99,6 +103,11 @@ type Config struct {
 	// ClassLoad entry is unused (the MemPort decides load latency) and
 	// ClassStore is the commit-readiness latency.
 	Latency [isa.NumClasses]uint64
+	// NoCycleSkip forces the standalone Run driver back to strict
+	// cycle-by-cycle polling, disabling next-event cycle skipping. Results
+	// are bit-identical either way (the differential suite proves it);
+	// the flag exists for that differential testing and for debugging.
+	NoCycleSkip bool
 }
 
 // DefaultConfig returns the paper's core: 8-way fetch/issue/commit, 256
@@ -177,32 +186,108 @@ type uop struct {
 	inLSQ   bool
 }
 
-// completion-event heap ordered by (doneAt, seq).
+// completion-event heap ordered by (doneAt, seq). The heap is hand-rolled
+// rather than container/heap so pushes never box the event into an
+// interface — Cycle runs once per simulated cycle per core, and the two
+// heap pushes per instruction were the core's dominant allocation source.
+// The (at, seq) order is total, so the pop sequence is identical to the
+// container/heap implementation it replaces.
 type compEvent struct {
 	at  uint64
 	seq uint64
 }
 type compHeap []compEvent
 
-func (h compHeap) Len() int { return len(h) }
-func (h compHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func compLess(a, b compEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h compHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *compHeap) Push(x any)   { *h = append(*h, x.(compEvent)) }
-func (h *compHeap) Pop() any     { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
 
-// ready heap ordered by seq (oldest first).
+func (h *compHeap) push(e compEvent) {
+	s := append(*h, e)
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !compLess(s[i], s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+	*h = s
+}
+
+func (h *compHeap) pop() compEvent {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && compLess(s[l], s[min]) {
+			min = l
+		}
+		if r < n && compLess(s[r], s[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	*h = s
+	return top
+}
+
+// ready heap ordered by seq (oldest first); hand-rolled for the same
+// zero-allocation reason as compHeap.
 type readyHeap []uint64
 
-func (h readyHeap) Len() int           { return len(h) }
-func (h readyHeap) Less(i, j int) bool { return h[i] < h[j] }
-func (h readyHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *readyHeap) Push(x any)        { *h = append(*h, x.(uint64)) }
-func (h *readyHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+func (h *readyHeap) push(v uint64) {
+	s := append(*h, v)
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[i] >= s[parent] {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+	*h = s
+}
+
+func (h *readyHeap) pop() uint64 {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s[l] < s[min] {
+			min = l
+		}
+		if r < n && s[r] < s[min] {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	*h = s
+	return top
+}
 
 // Core is one out-of-order processor.
 type Core struct {
@@ -211,9 +296,14 @@ type Core struct {
 	mem  MemPort
 	priv PrivatePort // non-nil when mem implements PrivatePort
 
-	window  map[uint64]*uop // seq -> uop, the RUU
-	head    uint64          // oldest seq in window (commit pointer)
-	nextSeq uint64          // next seq to dispatch
+	// ruu is the RUU as a ring buffer: the window always holds the
+	// contiguous seq range [head, nextSeq), so uop seq lives at slot
+	// seq % RUUSize and slot reuse preallocates every uop (and its wakeup
+	// slice) exactly once — the map of pointers this replaces allocated
+	// per dispatched instruction.
+	ruu     []uop
+	head    uint64 // oldest seq in window (commit pointer)
+	nextSeq uint64 // next seq to dispatch
 	lsqUsed int
 
 	lastWriter [isa.NumIntRegs + isa.NumFPRegs]struct {
@@ -229,7 +319,8 @@ type Core struct {
 	err     error
 	// skid holds one instruction fetched past a full LSQ or a fetch
 	// miss, redelivered before the next stream pull.
-	skid *emu.Dyn
+	skid    emu.Dyn
+	hasSkid bool
 	// icache models the fetch path when configured.
 	icache          *cache.Cache
 	fetchStallUntil uint64
@@ -238,6 +329,20 @@ type Core struct {
 	lastCommitAt   uint64
 	regRefsScratch []isa.RegRef
 }
+
+// lookup returns the in-window uop with the given seq, or nil when seq
+// has already committed (or was never dispatched). The window is the
+// contiguous range [head, nextSeq), so a range check replaces the map
+// probe.
+func (c *Core) lookup(seq uint64) *uop {
+	if seq < c.head || seq >= c.nextSeq {
+		return nil
+	}
+	return &c.ruu[seq%uint64(len(c.ruu))]
+}
+
+// windowLen returns the current RUU occupancy.
+func (c *Core) windowLen() int { return int(c.nextSeq - c.head) }
 
 type storeRef struct {
 	seq  uint64
@@ -261,8 +366,15 @@ func New(cfg Config, src Source, mem MemPort) *Core {
 		cfg:       cfg,
 		src:       src,
 		mem:       mem,
-		window:    make(map[uint64]*uop, cfg.RUUSize),
+		ruu:       make([]uop, cfg.RUUSize),
 		lastStore: make(map[uint64]storeRef),
+	}
+	// Carve every slot's wakeup list out of one backing array so the
+	// common dependence fan-outs never grow a slice mid-run; the rare
+	// wider fan-out grows its own slot once and the capacity is recycled.
+	wake := make([]uint64, len(c.ruu)*8)
+	for i := range c.ruu {
+		c.ruu[i].wakeup = wake[i*8 : i*8 : (i+1)*8]
 	}
 	if p, ok := mem.(PrivatePort); ok {
 		c.priv = p
@@ -287,7 +399,7 @@ func (c *Core) Err() error { return c.err }
 
 // Done reports whether the program has fully committed.
 func (c *Core) Done() bool {
-	return c.srcDone && len(c.window) == 0
+	return c.srcDone && c.head == c.nextSeq
 }
 
 // Committed returns the number of committed instructions.
@@ -300,14 +412,14 @@ func (c *Core) LastCommitCycle() uint64 { return c.lastCommitAt }
 // CompleteLoad finishes a pending load. The machine calls this when the
 // operand arrives (e.g. by broadcast); at must be >= the current cycle.
 func (c *Core) CompleteLoad(tok LoadToken, at uint64) {
-	u, ok := c.window[uint64(tok)]
-	if !ok || u.state != stIssued {
+	u := c.lookup(uint64(tok))
+	if u == nil || u.state != stIssued {
 		// The load may have been satisfied already (e.g. duplicate
 		// completion); ignore.
 		return
 	}
 	u.doneAt = at
-	heap.Push(&c.comp, compEvent{at: at, seq: u.seq})
+	c.comp.push(compEvent{at: at, seq: u.seq})
 }
 
 // Cycle advances the core one clock. Stage order within a cycle:
@@ -322,32 +434,107 @@ func (c *Core) Cycle(now uint64) {
 	c.dispatch(now)
 }
 
+// NextEventCycle reports when the core can next change state. It returns
+// (next, true) when Cycle(t) is provably a no-op for every t in
+// [now, next) — apart from the deterministic per-cycle stall counters,
+// which SkipCycles replays in bulk — so a scheduler may jump straight to
+// next. It returns (_, false) when the core might act at now itself, in
+// which case the caller must run the cycle normally. next == NoEvent
+// means the core has no self-scheduled event and can only be woken
+// externally (CompleteLoad from a broadcast or bus response).
+//
+// The stage-by-stage argument, mirroring Cycle's order:
+//
+//   - complete: acts only when the completion heap's head is due
+//     (comp[0].at <= t); the earliest such t is comp[0].at.
+//   - commit: acts only when the window head is completed — a state that
+//     can only be produced by an earlier complete, which is an event.
+//   - issue: acts only when the ready heap is non-empty; entries are only
+//     added by admit (dispatch) or complete, both events.
+//   - dispatch: with the source drained it is a pure no-op. With a full
+//     RUU it increments WindowFullC and returns; with the skid buffer
+//     holding a memory op against a full LSQ it increments LSQFullC and
+//     returns — both replayed exactly by SkipCycles. A fetch-stalled skid
+//     (I-cache miss in flight) is a pure no-op until fetchStallUntil.
+//     In every other state dispatch would pull the source or admit the
+//     skid, which is progress, so the core is not skippable.
+func (c *Core) NextEventCycle(now uint64) (uint64, bool) {
+	// Commit possible this cycle?
+	if u := c.lookup(c.head); u != nil && u.state == stCompleted {
+		return now, false
+	}
+	if len(c.ready) > 0 {
+		return now, false
+	}
+	next := uint64(NoEvent)
+	if len(c.comp) > 0 {
+		if c.comp[0].at <= now {
+			return now, false
+		}
+		next = c.comp[0].at
+	}
+	if !c.srcDone {
+		switch {
+		case c.windowLen() >= c.cfg.RUUSize:
+			// Window-full stall: counted by SkipCycles, freed only by a
+			// completion or external wakeup (already folded into next).
+		case c.hasSkid && c.skid.Instr.Op.IsMem() && c.lsqUsed >= c.cfg.LSQSize:
+			// LSQ-full stall: likewise.
+		case c.hasSkid && c.icache != nil && now < c.fetchStallUntil:
+			if c.fetchStallUntil < next {
+				next = c.fetchStallUntil
+			}
+		default:
+			// Dispatch would fetch or admit: the core can act now.
+			return now, false
+		}
+	}
+	return next, true
+}
+
+// SkipCycles advances the core's per-cycle accounting over delta cycles
+// that a scheduler proved (via NextEventCycle) to be no-ops: the active
+// cycle count, and whichever dispatch stall counter the frozen state
+// would have incremented each cycle. Calling it with the core in any
+// other state breaks bit-identity with the polled loop.
+func (c *Core) SkipCycles(delta uint64) {
+	c.stats.Cycles += delta
+	if c.srcDone {
+		return
+	}
+	if c.windowLen() >= c.cfg.RUUSize {
+		c.stats.WindowFullC += delta
+	} else if c.hasSkid && c.skid.Instr.Op.IsMem() && c.lsqUsed >= c.cfg.LSQSize {
+		c.stats.LSQFullC += delta
+	}
+}
+
 func (c *Core) complete(now uint64) {
 	for len(c.comp) > 0 && c.comp[0].at <= now {
-		ev := heap.Pop(&c.comp).(compEvent)
-		u, ok := c.window[ev.seq]
-		if !ok || u.state == stCompleted || u.doneAt != ev.at {
+		ev := c.comp.pop()
+		u := c.lookup(ev.seq)
+		if u == nil || u.state == stCompleted || u.doneAt != ev.at {
 			continue // stale event
 		}
 		u.state = stCompleted
 		for _, dep := range u.wakeup {
-			d, ok := c.window[dep]
-			if !ok {
+			d := c.lookup(dep)
+			if d == nil {
 				continue
 			}
 			d.waiting--
 			if d.waiting == 0 && d.state == stDispatched {
-				heap.Push(&c.ready, d.seq)
+				c.ready.push(d.seq)
 			}
 		}
-		u.wakeup = nil
+		u.wakeup = u.wakeup[:0]
 	}
 }
 
 func (c *Core) commit(now uint64) {
 	for n := 0; n < c.cfg.CommitWidth; n++ {
-		u, ok := c.window[c.head]
-		if !ok || u.state != stCompleted {
+		u := c.lookup(c.head)
+		if u == nil || u.state != stCompleted {
 			return
 		}
 		op := u.dyn.Instr.Op
@@ -369,7 +556,6 @@ func (c *Core) commit(now uint64) {
 		if u.inLSQ {
 			c.lsqUsed--
 		}
-		delete(c.window, c.head)
 		c.head++
 		c.stats.Committed++
 		c.lastCommitAt = now
@@ -378,9 +564,9 @@ func (c *Core) commit(now uint64) {
 
 func (c *Core) issue(now uint64) {
 	for n := 0; n < c.cfg.IssueWidth && len(c.ready) > 0; n++ {
-		seq := heap.Pop(&c.ready).(uint64)
-		u, ok := c.window[seq]
-		if !ok || u.state != stDispatched || u.waiting != 0 {
+		seq := c.ready.pop()
+		u := c.lookup(seq)
+		if u == nil || u.state != stDispatched || u.waiting != 0 {
 			n-- // stale entry does not consume issue bandwidth
 			continue
 		}
@@ -408,7 +594,7 @@ func (c *Core) issue(now uint64) {
 		default:
 			u.doneAt = now + c.cfg.Latency[op.Class()]
 		}
-		heap.Push(&c.comp, compEvent{at: u.doneAt, seq: seq})
+		c.comp.push(compEvent{at: u.doneAt, seq: seq})
 	}
 }
 
@@ -417,7 +603,7 @@ func (c *Core) dispatch(now uint64) {
 		if c.srcDone {
 			return
 		}
-		if len(c.window) >= c.cfg.RUUSize {
+		if c.windowLen() >= c.cfg.RUUSize {
 			c.stats.WindowFullC++
 			return
 		}
@@ -459,24 +645,23 @@ func (c *Core) dispatch(now uint64) {
 }
 
 func (c *Core) pushback(d emu.Dyn) {
-	c.skid = &d
+	c.skid = d
+	c.hasSkid = true
 }
 
 func (c *Core) nextDyn() (emu.Dyn, bool, error) {
-	if c.skid != nil {
-		d := *c.skid
-		c.skid = nil
-		return d, true, nil
+	if c.hasSkid {
+		c.hasSkid = false
+		return c.skid, true, nil
 	}
 	return c.src.Next()
 }
 
 func (c *Core) admit(now uint64, d emu.Dyn) {
-	u := &uop{seq: c.nextSeq, dyn: d}
+	// Claim the next ring slot, recycling its wakeup slice capacity.
+	u := &c.ruu[c.nextSeq%uint64(len(c.ruu))]
+	*u = uop{seq: c.nextSeq, dyn: d, wakeup: u.wakeup[:0]}
 	c.nextSeq++
-	if len(c.window) == 0 {
-		c.head = u.seq
-	}
 
 	// Register dependences.
 	c.regRefsScratch = d.Instr.SrcRegs(c.regRefsScratch[:0])
@@ -485,7 +670,7 @@ func (c *Core) admit(now uint64, d emu.Dyn) {
 		if !lw.valid {
 			continue
 		}
-		if p, ok := c.window[lw.seq]; ok && p.state != stCompleted {
+		if p := c.lookup(lw.seq); p != nil && p.state != stCompleted {
 			p.wakeup = append(p.wakeup, u.seq)
 			u.waiting++
 		}
@@ -503,7 +688,7 @@ func (c *Core) admit(now uint64, d emu.Dyn) {
 		// still dispatch its markers, so the barrier falls at the same
 		// program position everywhere and forwarding decisions stay
 		// identical across nodes (see internal/core/resultcomm.go).
-		c.lastStore = make(map[uint64]storeRef)
+		clear(c.lastStore)
 	}
 
 	// Record destination writer after reading sources (handles rd==rs).
@@ -514,9 +699,26 @@ func (c *Core) admit(now uint64, d emu.Dyn) {
 		}{u.seq, true}
 	}
 
-	c.window[u.seq] = u
 	if u.waiting == 0 {
-		heap.Push(&c.ready, u.seq)
+		c.ready.push(u.seq)
+	}
+}
+
+// pruneStores bounds lastStore. A ref more than FwdDist seqs old can
+// never influence a forwarding decision (memDeps requires
+// u.seq-ref.seq <= FwdDist and every future load has u.seq >= nextSeq),
+// so stale entries are dead weight; on streaming stores they would grow
+// the map — and its allocations — without bound. Sweeping only when the
+// map is well past its live-entry bound (each store covers at most two
+// chunks) keeps the amortized cost O(1) per store.
+func (c *Core) pruneStores() {
+	if uint64(len(c.lastStore)) < 4*c.cfg.FwdDist+64 {
+		return
+	}
+	for chunk, ref := range c.lastStore {
+		if ref.seq+c.cfg.FwdDist < c.nextSeq {
+			delete(c.lastStore, chunk)
+		}
 	}
 }
 
@@ -538,6 +740,7 @@ func (c *Core) memDeps(u *uop) {
 				break
 			}
 		}
+		c.pruneStores()
 		return
 	}
 	// Load: find the youngest older store overlapping any chunk.
@@ -560,7 +763,7 @@ func (c *Core) memDeps(u *uop) {
 	}
 	contains := best.addr <= u.dyn.EA &&
 		best.addr+uint64(best.size) >= u.dyn.EA+uint64(op.MemBytes())
-	if p, ok := c.window[best.seq]; ok && p.state != stCompleted {
+	if p := c.lookup(best.seq); p != nil && p.state != stCompleted {
 		p.wakeup = append(p.wakeup, u.seq)
 		u.waiting++
 	}

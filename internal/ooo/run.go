@@ -15,6 +15,18 @@ func Run(c *Core, watchdog uint64) (cycles uint64, err error) {
 	lastCommitted := uint64(0)
 	lastProgress := uint64(0)
 	for !c.Done() {
+		// Jump over provably idle stretches (see NextEventCycle). The
+		// target is capped so a wedged core still trips the watchdog at
+		// the exact cycle the polled loop would have.
+		if !c.cfg.NoCycleSkip {
+			if next, ok := c.NextEventCycle(now); ok && next > now {
+				if limit := lastProgress + watchdog + 1; next > limit {
+					next = limit
+				}
+				c.SkipCycles(next - now)
+				now = next
+			}
+		}
 		c.Cycle(now)
 		if c.Err() != nil {
 			return now, c.Err()

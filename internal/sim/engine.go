@@ -87,6 +87,9 @@ type Job struct {
 	// installs. Per-job observers keep tracing coherent under
 	// concurrency: each job's events go to its own sink.
 	Observer obs.Observer
+	// NoCycleSkip disables the next-event scheduler for this job's
+	// machine (stamped from Options.NoCycleSkip by runJobs).
+	NoCycleSkip bool
 }
 
 // JobResult is one Job's outcome. Kind mirrors the job; DS is set for
@@ -152,6 +155,7 @@ func (j Job) runDS(pr prepared) (core.Result, error) {
 	cfg := core.DefaultConfig(j.Nodes)
 	cfg.MaxInstr = j.MaxInstr
 	cfg.FastForwardPC = pr.ff
+	cfg.NoCycleSkip = j.NoCycleSkip
 	if j.DSMut != nil {
 		j.DSMut(&cfg)
 	}
@@ -179,6 +183,7 @@ func (j Job) runTrad(pr prepared) (traditional.Result, error) {
 	cfg := traditional.DefaultConfig(j.Nodes)
 	cfg.MaxInstr = j.MaxInstr
 	cfg.FastForwardPC = pr.ff
+	cfg.NoCycleSkip = j.NoCycleSkip
 	if j.TradMut != nil {
 		j.TradMut(&cfg)
 	}
@@ -197,6 +202,7 @@ func (j Job) runTrad(pr prepared) (traditional.Result, error) {
 // runPerfect runs the perfect-data-cache baseline.
 func (j Job) runPerfect(pr prepared) (traditional.Result, error) {
 	cfg := traditional.DefaultConfig(2)
+	cfg.Core.NoCycleSkip = j.NoCycleSkip
 	if j.TradMut != nil {
 		j.TradMut(&cfg)
 	}
@@ -221,7 +227,9 @@ func defaultPartition(p *prog.Program, nodes int) (*mem.PageTable, error) {
 // bit-identical to a serial run.
 func runJobs(ctx context.Context, opts Options, jobs []Job) ([]JobResult, error) {
 	return runIndexed(ctx, opts.Parallel, len(jobs), func(i int) (JobResult, error) {
-		return jobs[i].run()
+		j := jobs[i]
+		j.NoCycleSkip = opts.NoCycleSkip
+		return j.run()
 	})
 }
 

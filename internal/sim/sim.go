@@ -34,6 +34,12 @@ type Options struct {
 	// Results are bit-identical at every setting — each simulation is
 	// deterministic and the engine assembles results in job order.
 	Parallel int
+	// NoCycleSkip runs every timing simulation with the next-event
+	// scheduler disabled (pure cycle-by-cycle polling). Results are
+	// bit-identical either way — the differential suite in engine_test.go
+	// enforces it — so the flag exists only to keep that equivalence
+	// testable.
+	NoCycleSkip bool
 }
 
 // DefaultOptions returns the standard experiment sizes.

@@ -51,6 +51,10 @@ type Config struct {
 
 	MaxInstr       uint64
 	WatchdogCycles uint64
+	// NoCycleSkip forces Run back to pure cycle-by-cycle polling,
+	// disabling the next-event scheduler; results are bit-identical
+	// either way (see core.Config.NoCycleSkip).
+	NoCycleSkip bool
 	// FastForwardPC functionally executes the emulator up to this PC
 	// before timing begins (0 = none); see core.Config.FastForwardPC.
 	FastForwardPC uint64
@@ -425,6 +429,9 @@ func (m *Machine) Run() (Result, error) {
 				m.now, lastCommitted, m.net.Pending())
 		}
 		m.now++
+		if !m.cfg.NoCycleSkip {
+			m.skipIdle(lastProgress, watchdog)
+		}
 	}
 	r := Result{
 		Cycles:       m.now,
@@ -437,6 +444,33 @@ func (m *Machine) Run() (Result, error) {
 		r.IPC = float64(r.Instructions) / float64(r.Cycles)
 	}
 	return r, nil
+}
+
+// skipIdle advances m.now past cycles where neither the core nor the
+// interconnect can act, exactly as core.Machine does for the DataScalar
+// machine: the core certifies its no-op stretch via NextEventCycle (stall
+// counters replayed by SkipCycles), the network via NextDeliveryCycle,
+// and the jump is capped at the first cycle the watchdog could fire.
+func (m *Machine) skipIdle(lastProgress, watchdog uint64) {
+	if m.core.Done() {
+		return
+	}
+	target := lastProgress + watchdog + 1
+	if nn := m.net.NextDeliveryCycle(m.now - 1); nn < target {
+		target = nn
+	}
+	next, ok := m.core.NextEventCycle(m.now)
+	if !ok {
+		return
+	}
+	if next < target {
+		target = next
+	}
+	if target <= m.now {
+		return
+	}
+	m.core.SkipCycles(target - m.now)
+	m.now = target
 }
 
 // RunPerfect runs program p on the same core with the paper's perfect

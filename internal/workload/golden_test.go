@@ -80,3 +80,51 @@ func TestWorkloadGoldens(t *testing.T) {
 		})
 	}
 }
+
+// warmupGolden pins the fast-forward (warmup) instruction count from
+// program start to each timing kernel's bench_main label. The warmup
+// runs through emu.Step's predecoded-fetch and page-cache fast paths, so
+// these exact counts double as a functional-equivalence check on those
+// paths: any divergence from the general fetch path would shift them.
+var warmupGolden = map[string]uint64{
+	"applu":    147462,
+	"compress": 442371,
+	"go":       26337,
+	"mgrid":    131715,
+	"turb3d":   98307,
+	"wave5":    122885,
+}
+
+func TestWarmupInstructionGoldens(t *testing.T) {
+	for _, w := range TimingSet() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			want, ok := warmupGolden[w.Name]
+			if !ok {
+				t.Fatalf("no warmup golden; add one")
+			}
+			p, err := w.Program(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ff, ok := p.Labels["bench_main"]
+			if !ok {
+				t.Fatal("no bench_main label")
+			}
+			m, err := emu.New(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n, reached, err := m.RunUntilPC(ff, 200_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reached {
+				t.Fatalf("never reached bench_main after %d instructions", n)
+			}
+			if n != want {
+				t.Errorf("warmup instructions = %d, want %d", n, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/wisc-arch/datascalar/internal/cli"
+)
+
+func run(args ...string) (int, string, string) {
+	var out, errb bytes.Buffer
+	code := realMain(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := run("-no-such-flag"); code != cli.ExitUsage {
+		t.Fatalf("unknown flag: exit %d, want %d", code, cli.ExitUsage)
+	}
+	if code, _, stderr := run("stray"); code != cli.ExitUsage || !strings.Contains(stderr, "unexpected arguments") {
+		t.Fatalf("stray argument: exit %d, stderr %q", code, stderr)
+	}
+}
+
+// TestTinyCampaign runs a one-seed, one-workload campaign and checks the
+// table renders every scenario and the JSON artifact parses.
+func TestTinyCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign run in -short mode")
+	}
+	code, stdout, stderr := run("-workloads", "compress", "-seeds", "1", "-instr", "5000", "-json", "-")
+	if code != cli.ExitOK {
+		t.Fatalf("exit %d\nstderr:\n%s", code, stderr)
+	}
+	for _, s := range []string{"drop-1%", "delay-10%", "flip-fp", "death-recover"} {
+		if !strings.Contains(stdout, s) {
+			t.Errorf("table lacks scenario %q", s)
+		}
+	}
+	i := strings.Index(stdout, "{")
+	if i < 0 {
+		t.Fatalf("no JSON in stdout:\n%s", stdout)
+	}
+	var res struct {
+		Runs []struct {
+			Outcome string `json:"outcome"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(stdout[i:]), &res); err != nil {
+		t.Fatalf("artifact does not parse: %v", err)
+	}
+	if len(res.Runs) == 0 {
+		t.Fatal("artifact has no runs")
+	}
+}

@@ -10,6 +10,20 @@
 //
 // Systems: ds (DataScalar), traditional, perfect, emu.
 //
+// Fault injection (ds only; see docs/ROBUSTNESS.md): the -fault-* flags
+// build a seeded, deterministic fault plan — broadcast drops, delivery
+// delays, payload corruption, a permanent node death — plus the
+// detection machinery (BSHR retry timeouts, the commit-fingerprint
+// exchange) and degraded-mode recovery:
+//
+//	dsrun -workload compress -system ds -nodes 2 -fault-drop 0.01
+//	dsrun -workload compress -system ds -nodes 2 \
+//	      -fault-death-cycle 50000 -fault-dead-node 1 -fault-recover
+//
+// Exit codes: 0 success; 1 generic failure; 2 usage error; 3 the
+// commit-progress watchdog fired (protocol deadlock); 4 the machine
+// detected a fault and halted with a structured report.
+//
 // Observability (see docs/OBSERVABILITY.md):
 //
 //	dsrun -workload compress -system ds -nodes 2 \
@@ -29,12 +43,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"runtime"
 	"runtime/pprof"
 
 	datascalar "github.com/wisc-arch/datascalar"
+	"github.com/wisc-arch/datascalar/internal/cli"
 )
 
 // startProfiles starts CPU profiling and arranges the end-of-run heap
@@ -92,6 +108,7 @@ type observability struct {
 	interval   uint64
 	trace      *datascalar.Trace
 	metrics    *datascalar.Metrics
+	stderr     io.Writer
 }
 
 // observer returns the combined observer (nil when no sink was
@@ -116,23 +133,23 @@ func (o *observability) write(final any) error {
 		if err := o.trace.WriteChromeTraceFile(o.traceOut); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "dsrun: wrote %d trace events, %d samples to %s\n",
+		fmt.Fprintf(o.stderr, "dsrun: wrote %d trace events, %d samples to %s\n",
 			o.trace.NumEvents(), o.trace.NumSamples(), o.traceOut)
 	}
 	if o.metrics != nil {
 		if err := o.metrics.WriteFile(o.metricsOut, final); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "dsrun: wrote %d sampled intervals to %s\n",
+		fmt.Fprintf(o.stderr, "dsrun: wrote %d sampled intervals to %s\n",
 			o.metrics.NumIntervals(), o.metricsOut)
 	}
 	return nil
 }
 
 // writeArtifact emits the -json envelope to stdout ("-") or a file.
-func writeArtifact(path string, a runArtifact) error {
+func writeArtifact(path string, stdout io.Writer, a runArtifact) error {
 	if path == "-" {
-		return datascalar.WriteResultJSON(os.Stdout, a)
+		return datascalar.WriteResultJSON(stdout, a)
 	}
 	f, err := os.Create(path)
 	if err != nil {
@@ -148,26 +165,49 @@ func writeArtifact(path string, a runArtifact) error {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dsrun: ")
-	workloadName := flag.String("workload", "", "bundled workload name (see -list)")
-	asmFile := flag.String("asm", "", "assembly source file to run instead of a workload")
-	system := flag.String("system", "ds", "machine model: ds, traditional, perfect, emu")
-	nodes := flag.Int("nodes", 2, "node/chip count for ds and traditional")
-	scale := flag.Int("scale", 1, "workload scale factor")
-	instr := flag.Uint64("instr", 0, "max measured instructions (0 = run to completion)")
-	list := flag.Bool("list", false, "list bundled workloads and exit")
-	report := flag.Bool("report", false, "print full statistics tables after DataScalar runs")
-	jsonOut := flag.String("json", "", "write the full result as JSON to this file (\"-\" = stdout)")
-	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain is main minus the process boundary, so the CLI tests can run
+// the binary in-process and assert on exit codes (see cli.ExitCode for
+// the convention).
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dsrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	workloadName := fs.String("workload", "", "bundled workload name (see -list)")
+	asmFile := fs.String("asm", "", "assembly source file to run instead of a workload")
+	system := fs.String("system", "ds", "machine model: ds, traditional, perfect, emu")
+	nodes := fs.Int("nodes", 2, "node/chip count for ds and traditional")
+	scale := fs.Int("scale", 1, "workload scale factor")
+	instr := fs.Uint64("instr", 0, "max measured instructions (0 = run to completion)")
+	watchdog := fs.Uint64("watchdog", 0, "cycles without commit progress before the deadlock watchdog fires (0 = default)")
+	list := fs.Bool("list", false, "list bundled workloads and exit")
+	report := fs.Bool("report", false, "print full statistics tables after DataScalar runs")
+	jsonOut := fs.String("json", "", "write the full result as JSON to this file (\"-\" = stdout)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
+	var faults cli.FaultFlags
+	faults.Register(fs)
 	var ob observability
-	flag.StringVar(&ob.traceOut, "trace-out", "", "write a Chrome trace-event file (Perfetto-loadable) to this path")
-	flag.StringVar(&ob.metricsOut, "metrics-out", "", "write an interval metrics JSON time series to this path")
-	flag.Uint64Var(&ob.interval, "interval", 10000, "metrics sampling interval in cycles (ds only)")
-	flag.Parse()
+	ob.stderr = stderr
+	fs.StringVar(&ob.traceOut, "trace-out", "", "write a Chrome trace-event file (Perfetto-loadable) to this path")
+	fs.StringVar(&ob.metricsOut, "metrics-out", "", "write an interval metrics JSON time series to this path")
+	fs.Uint64Var(&ob.interval, "interval", 10000, "metrics sampling interval in cycles (ds only)")
+	if err := fs.Parse(args); err != nil {
+		return cli.ExitUsage
+	}
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "dsrun: %v\n", err)
+		return cli.ExitCode(err)
+	}
+	usage := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "dsrun: "+format+"\n", args...)
+		return cli.ExitUsage
+	}
 
 	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
 	defer stopProfiles()
 
@@ -177,47 +217,49 @@ func main() {
 			if w.Timing {
 				timing = "  [timing set]"
 			}
-			fmt.Printf("%-9s (%s)%s\n  %s\n", w.Name, w.Class, timing, w.Regime)
+			fmt.Fprintf(stdout, "%-9s (%s)%s\n  %s\n", w.Name, w.Class, timing, w.Regime)
 		}
-		return
+		return cli.ExitOK
 	}
 
 	p, ff, err := loadProgram(*workloadName, *asmFile, *scale)
 	if err != nil {
-		log.Fatal(err)
+		return usage("%v", err)
 	}
 	if (ob.traceOut != "" || ob.metricsOut != "") && *system != "ds" && *system != "traditional" {
-		log.Fatalf("-trace-out/-metrics-out require -system ds or traditional (got %q)", *system)
+		return usage("-trace-out/-metrics-out require -system ds or traditional (got %q)", *system)
 	}
 	if ob.metricsOut != "" && ob.interval == 0 {
-		log.Fatal("-metrics-out needs a sampling interval; pass -interval > 0")
+		return usage("-metrics-out needs a sampling interval; pass -interval > 0")
+	}
+	if faults.Active() && *system != "ds" {
+		return usage("-fault-* flags require -system ds (got %q)", *system)
 	}
 
 	artifact := runArtifact{
 		System: *system, Workload: *workloadName, AsmFile: *asmFile,
 		Nodes: *nodes, Scale: *scale,
 	}
+	var artifactErr error
 	emitJSON := func(result any) {
 		if *jsonOut == "" {
 			return
 		}
 		artifact.Result = result
-		if err := writeArtifact(*jsonOut, artifact); err != nil {
-			log.Fatal(err)
-		}
+		artifactErr = writeArtifact(*jsonOut, stdout, artifact)
 	}
 
 	switch *system {
 	case "emu":
 		m, err := datascalar.NewEmulator(p)
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		n, err := m.Run(*instr)
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
-		fmt.Printf("executed %d instructions, halted=%v, pages touched=%d\n",
+		fmt.Fprintf(stdout, "executed %d instructions, halted=%v, pages touched=%d\n",
 			n, m.Halted(), m.Mem().PageCount())
 		emitJSON(map[string]any{
 			"instructions": n, "halted": m.Halted(), "pages_touched": m.Mem().PageCount(),
@@ -226,57 +268,74 @@ func main() {
 	case "perfect":
 		r, err := datascalar.RunPerfectCache(datascalar.DefaultCoreConfig(), p, *instr, ff)
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
-		fmt.Printf("perfect cache: %d instructions in %d cycles, IPC %.2f\n",
+		fmt.Fprintf(stdout, "perfect cache: %d instructions in %d cycles, IPC %.2f\n",
 			r.Instructions, r.Cycles, r.IPC)
 		emitJSON(r)
 
 	case "ds":
 		pt, err := datascalar.Partition{NumNodes: *nodes, BlockPages: 1, ReplicateText: true}.Build(p)
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		cfg := datascalar.DefaultConfig(*nodes)
 		cfg.MaxInstr = *instr
 		cfg.FastForwardPC = ff
+		cfg.WatchdogCycles = *watchdog
+		cfg.Fault = faults.Config()
 		cfg.Observer = ob.observer()
 		if cfg.Observer != nil {
 			cfg.SampleInterval = ob.interval
 		}
 		m, err := datascalar.NewMachine(cfg, p, pt)
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		r, err := m.Run()
 		if err != nil {
-			log.Fatal(err)
+			// A structured halt (exit codes 3 and 4) still reports what
+			// the machine learned before stopping.
+			if fstats := m.FaultStats(); fstats != nil && fstats.Detections > 0 {
+				fmt.Fprintf(stderr, "dsrun: fault detections before halt: %d (mean latency %.0f cycles)\n",
+					fstats.Detections, fstats.MeanDetectLatency())
+			}
+			return fail(err)
 		}
 		if err := ob.write(r); err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		emitJSON(r)
-		fmt.Printf("DataScalar %d nodes: %d instructions in %d cycles, IPC %.2f, correspondence=%v\n",
+		fmt.Fprintf(stdout, "DataScalar %d nodes: %d instructions in %d cycles, IPC %.2f, correspondence=%v\n",
 			*nodes, r.Instructions, r.Cycles, r.IPC, r.CorrespondenceOK)
 		var bcast, late uint64
 		for _, ns := range r.Nodes {
 			bcast += ns.Broadcasts.Value()
 			late += ns.LateBroadcasts.Value()
 		}
-		fmt.Printf("broadcasts=%d (late %d), bus bytes=%d, bus busy %.0f%%\n",
+		fmt.Fprintf(stdout, "broadcasts=%d (late %d), bus bytes=%d, bus busy %.0f%%\n",
 			bcast, late, r.BusStats.Bytes.Value(),
 			100*float64(r.BusStats.BusyCycles.Value())/float64(r.Cycles))
+		if f := r.Fault; f != nil {
+			fmt.Fprintf(stdout, "faults: injected drops=%d delays=%d flips=%d, timeouts=%d retries=%d, detections=%d",
+				f.InjectedDrops, f.InjectedDelays, f.InjectedFlips, f.Timeouts, f.Retries, f.Detections)
+			if f.Degraded {
+				fmt.Fprintf(stdout, ", degraded (node %d dead, %d pages remapped to node %d)",
+					f.DeadNode, f.RemappedPages, f.SuccessorNode)
+			}
+			fmt.Fprintln(stdout)
+		}
 		if *report {
 			for _, table := range r.Report() {
-				fmt.Println()
-				fmt.Print(table.String())
+				fmt.Fprintln(stdout)
+				fmt.Fprint(stdout, table.String())
 			}
 		}
 
 	case "traditional":
 		pt, err := datascalar.Partition{NumNodes: *nodes, BlockPages: 1, ReplicateText: true}.Build(p)
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		cfg := datascalar.DefaultTraditionalConfig(*nodes)
 		cfg.MaxInstr = *instr
@@ -284,25 +343,29 @@ func main() {
 		cfg.Observer = ob.observer()
 		m, err := datascalar.NewTraditional(cfg, p, pt)
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		r, err := m.Run()
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		if err := ob.write(r); err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		emitJSON(r)
-		fmt.Printf("traditional 1/%d on-chip: %d instructions in %d cycles, IPC %.2f\n",
+		fmt.Fprintf(stdout, "traditional 1/%d on-chip: %d instructions in %d cycles, IPC %.2f\n",
 			*nodes, r.Instructions, r.Cycles, r.IPC)
-		fmt.Printf("off-chip loads=%d, off-chip stores=%d, writebacks off-chip=%d, bus bytes=%d\n",
+		fmt.Fprintf(stdout, "off-chip loads=%d, off-chip stores=%d, writebacks off-chip=%d, bus bytes=%d\n",
 			r.Mem.OffChipLoads.Value(), r.Mem.StoresOff.Value(),
 			r.Mem.WritebacksOff.Value(), r.BusStats.Bytes.Value())
 
 	default:
-		log.Fatalf("unknown system %q (want ds, traditional, perfect, emu)", *system)
+		return usage("unknown system %q (want ds, traditional, perfect, emu)", *system)
 	}
+	if artifactErr != nil {
+		return fail(artifactErr)
+	}
+	return cli.ExitOK
 }
 
 func loadProgram(workloadName, asmFile string, scale int) (*datascalar.Program, uint64, error) {

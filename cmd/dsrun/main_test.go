@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/wisc-arch/datascalar/internal/cli"
+)
+
+// run invokes the CLI in-process and returns (exit code, stdout, stderr).
+func run(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := realMain(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestExitCodes(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		code int
+		want string // substring of stdout+stderr
+	}{
+		{"usage/no-program", nil, cli.ExitUsage, "specify -workload"},
+		{"usage/unknown-flag", []string{"-no-such-flag"}, cli.ExitUsage, "flag provided but not defined"},
+		{"usage/unknown-workload", []string{"-workload", "nope"}, cli.ExitUsage, "unknown workload"},
+		{"usage/unknown-system", []string{"-workload", "compress", "-system", "bogus"}, cli.ExitUsage, "unknown system"},
+		{"usage/fault-on-traditional", []string{"-workload", "compress", "-system", "traditional", "-fault-drop", "0.1"},
+			cli.ExitUsage, "-fault-* flags require -system ds"},
+		{"ok/clean-run", []string{"-workload", "compress", "-instr", "5000"},
+			cli.ExitOK, "correspondence=true"},
+		{"ok/faulty-run-recovers", []string{"-workload", "compress", "-instr", "5000",
+			"-fault-drop", "0.02", "-fault-retry-timeout", "1000"},
+			cli.ExitOK, "faults: injected drops="},
+		{"deadlock/watchdog", []string{"-workload", "compress", "-instr", "5000", "-watchdog", "1"},
+			cli.ExitDeadlock, "core: deadlock: no commit progress"},
+		{"fault/death-halt", []string{"-workload", "compress", "-instr", "50000",
+			"-fault-death-cycle", "2000", "-fault-dead-node", "1",
+			"-fault-retry-timeout", "500", "-fault-retries", "2"},
+			cli.ExitFault, "fault: death: node 1"},
+		{"ok/death-recover", []string{"-workload", "compress", "-instr", "50000",
+			"-fault-death-cycle", "2000", "-fault-dead-node", "1", "-fault-recover",
+			"-fault-retry-timeout", "500", "-fault-retries", "2"},
+			cli.ExitOK, "degraded (node 1 dead"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			code, stdout, stderr := run(t, tc.args...)
+			if code != tc.code {
+				t.Fatalf("exit code = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					code, tc.code, stdout, stderr)
+			}
+			if !strings.Contains(stdout+stderr, tc.want) {
+				t.Fatalf("output lacks %q\nstdout:\n%s\nstderr:\n%s", tc.want, stdout, stderr)
+			}
+		})
+	}
+}
+
+// TestJSONArtifactWithFaults: a faulty run's -json artifact embeds the
+// fault counters; a fault-free run's artifact stays byte-identical to
+// one from a build that never heard of faults (no fault keys at all).
+func TestJSONArtifactWithFaults(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	code, _, stderr := run(t, "-workload", "compress", "-instr", "5000",
+		"-fault-drop", "0.02", "-fault-retry-timeout", "1000", "-json", path)
+	if code != cli.ExitOK {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	var artifact struct {
+		Result struct {
+			Fault *struct {
+				InjectedDrops uint64 `json:"injectedDrops"`
+			} `json:"Fault"`
+		} `json:"result"`
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &artifact); err != nil {
+		t.Fatal(err)
+	}
+	if artifact.Result.Fault == nil || artifact.Result.Fault.InjectedDrops == 0 {
+		t.Fatalf("artifact lacks fault stats:\n%s", data)
+	}
+
+	// Zero-rate: no "Fault" key may appear in the artifact.
+	code, _, stderr = run(t, "-workload", "compress", "-instr", "5000", "-json", path)
+	if code != cli.ExitOK {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	data, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data, []byte(`"Fault"`)) {
+		t.Fatalf("fault-free artifact mentions faults:\n%s", data)
+	}
+}

@@ -7,6 +7,15 @@
 //
 //	dstiming [-scale N] [-instr N] [-bshr]
 //
+// Fault injection (see docs/ROBUSTNESS.md): the -fault-* flags apply a
+// seeded deterministic fault plan to every DataScalar run of the sweep,
+// measuring how the timing results degrade under faults:
+//
+//	dstiming -fault-drop 0.01 -instr 50000
+//
+// Exit codes: 0 success; 1 generic failure; 2 usage error; 3 a run hit
+// the deadlock watchdog; 4 a run halted with a structured fault report.
+//
 // Profiling (see docs/PERFORMANCE.md): -cpuprofile and -memprofile write
 // pprof profiles of the run for `go tool pprof`.
 package main
@@ -15,6 +24,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -22,6 +32,7 @@ import (
 	"runtime/pprof"
 
 	datascalar "github.com/wisc-arch/datascalar"
+	"github.com/wisc-arch/datascalar/internal/cli"
 )
 
 // startProfiles starts CPU profiling and arranges the end-of-run heap
@@ -63,56 +74,78 @@ func startProfiles(cpu, mem string) (func(), error) {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dstiming: ")
-	scale := flag.Int("scale", 1, "workload scale factor")
-	instr := flag.Uint64("instr", 0, "measured instructions per run (0 = default)")
-	bshr := flag.Bool("bshr", true, "also print Table 3 (broadcast statistics)")
-	cost := flag.Bool("cost", false, "also print the Wood-Hill cost-effectiveness analysis (paper §4.4)")
-	jsonOut := flag.String("json", "", "also write results as JSON to this file (\"-\" = stdout)")
-	parallel := flag.Int("parallel", 0, "simulation worker count (0 = GOMAXPROCS, 1 = serial)")
-	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
-	flag.Parse()
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain is main minus the process boundary, so the CLI tests can run
+// the binary in-process and assert on exit codes.
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dstiming", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scale := fs.Int("scale", 1, "workload scale factor")
+	instr := fs.Uint64("instr", 0, "measured instructions per run (0 = default)")
+	bshr := fs.Bool("bshr", true, "also print Table 3 (broadcast statistics)")
+	cost := fs.Bool("cost", false, "also print the Wood-Hill cost-effectiveness analysis (paper §4.4)")
+	jsonOut := fs.String("json", "", "also write results as JSON to this file (\"-\" = stdout)")
+	parallel := fs.Int("parallel", 0, "simulation worker count (0 = GOMAXPROCS, 1 = serial)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
+	var faults cli.FaultFlags
+	faults.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return cli.ExitUsage
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "dstiming: unexpected arguments %q\n", fs.Args())
+		return cli.ExitUsage
+	}
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "dstiming: %v\n", err)
+		return cli.ExitCode(err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
 	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
 	defer stopProfiles()
 
 	opts := datascalar.DefaultExperimentOptions()
 	opts.Scale = *scale
 	opts.Parallel = *parallel
+	opts.Fault = faults.Config()
 	if *instr != 0 {
 		opts.TimingInstr = *instr
 	}
 
 	f7, err := datascalar.Figure7(ctx, opts)
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
-	f7.Table().Render(os.Stdout)
+	f7.Table().Render(stdout)
 	if *bshr {
-		fmt.Println()
-		datascalar.Table3(f7).Table().Render(os.Stdout)
+		fmt.Fprintln(stdout)
+		datascalar.Table3(f7).Table().Render(stdout)
 	}
 	if *cost {
-		fmt.Println()
-		datascalar.CostEffectiveness(f7).Table().Render(os.Stdout)
+		fmt.Fprintln(stdout)
+		datascalar.CostEffectiveness(f7).Table().Render(stdout)
 	}
 	if *jsonOut != "" {
 		artifact := map[string]any{"figure7": f7, "table3": datascalar.Table3(f7)}
-		if err := writeJSON(*jsonOut, artifact); err != nil {
-			log.Fatal(err)
+		if err := writeJSON(*jsonOut, stdout, artifact); err != nil {
+			return fail(err)
 		}
 	}
+	return cli.ExitOK
 }
 
-func writeJSON(path string, v any) error {
+func writeJSON(path string, stdout io.Writer, v any) error {
 	if path == "-" {
-		return datascalar.WriteResultJSON(os.Stdout, v)
+		return datascalar.WriteResultJSON(stdout, v)
 	}
 	f, err := os.Create(path)
 	if err != nil {

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/wisc-arch/datascalar/internal/cli"
+)
+
+// The full Figure 7 sweep is too expensive for unit tests; these cover
+// only the CLI surface (flag parsing and usage exit codes).
+func TestUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-no-such-flag"}, &out, &errb); code != cli.ExitUsage {
+		t.Fatalf("unknown flag: exit %d, want %d", code, cli.ExitUsage)
+	}
+	errb.Reset()
+	if code := realMain([]string{"stray"}, &out, &errb); code != cli.ExitUsage {
+		t.Fatalf("stray argument: exit %d, want %d", code, cli.ExitUsage)
+	}
+	if !strings.Contains(errb.String(), "unexpected arguments") {
+		t.Fatalf("stderr %q lacks usage message", errb.String())
+	}
+}

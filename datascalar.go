@@ -35,6 +35,7 @@ import (
 	"github.com/wisc-arch/datascalar/internal/bus"
 	"github.com/wisc-arch/datascalar/internal/core"
 	"github.com/wisc-arch/datascalar/internal/emu"
+	"github.com/wisc-arch/datascalar/internal/fault"
 	"github.com/wisc-arch/datascalar/internal/mem"
 	"github.com/wisc-arch/datascalar/internal/mmm"
 	"github.com/wisc-arch/datascalar/internal/obs"
@@ -374,3 +375,60 @@ type RingConfig = bus.RingConfig
 
 // DefaultRingConfig returns ring links matching the default bus.
 func DefaultRingConfig() RingConfig { return bus.DefaultRingConfig() }
+
+// ---------------------------------------------------------------------------
+// Resilience: deterministic fault injection, divergence detection, and
+// degraded-mode recovery (docs/ROBUSTNESS.md).
+
+// FaultConfig is the seeded fault plan for a DataScalar machine; set it
+// on Config.Fault (or ExperimentOptions.Fault for whole sweeps). The
+// zero value builds no fault layer at all — results are byte-identical
+// to a machine without the resilience subsystem.
+type FaultConfig = fault.Config
+
+// FaultStats counts injections, detections, retries, and recovery
+// actions; completed runs carry a snapshot in Result.Fault.
+type FaultStats = fault.Stats
+
+// FaultReport is the structured error a machine halts with when it
+// detects an unrecoverable fault (a dead owner without recovery enabled,
+// or a commit-fingerprint divergence): which node, which fault class, at
+// which cycle.
+type FaultReport = fault.Report
+
+// FaultClass labels a fault or detection event.
+type FaultClass = fault.Class
+
+// The fault classes a plan can inject and a report can name.
+const (
+	FaultDrop       = fault.ClassDrop
+	FaultDelay      = fault.ClassDelay
+	FaultFlip       = fault.ClassFlip
+	FaultDeath      = fault.ClassDeath
+	FaultDivergence = fault.ClassDivergence
+	FaultLost       = fault.ClassLost
+)
+
+// DeadlockError is the structured watchdog diagnosis: per-node commit
+// progress, pending BSHR tags, and interconnect queue depths at the
+// moment progress stopped.
+type DeadlockError = core.DeadlockError
+
+// FaultScenario is one fault class at one intensity in a campaign grid.
+type FaultScenario = sim.FaultScenario
+
+// FaultCampaignConfig bounds a fault-injection campaign.
+type FaultCampaignConfig = sim.FaultCampaignConfig
+
+// FaultCampaignResult aggregates a campaign: every run's classified
+// outcome plus per-scenario coverage, detection latency, and overhead.
+type FaultCampaignResult = sim.FaultCampaignResult
+
+// DefaultFaultScenarios returns the standard campaign grid.
+func DefaultFaultScenarios() []FaultScenario { return sim.DefaultFaultScenarios() }
+
+// FaultCampaign sweeps (workload x fault scenario x seed), classifying
+// every outcome; campaigns are bit-reproducible at any Parallel setting.
+func FaultCampaign(ctx context.Context, opts ExperimentOptions, cc FaultCampaignConfig) (FaultCampaignResult, error) {
+	return sim.FaultCampaign(ctx, opts, cc)
+}

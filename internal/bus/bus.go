@@ -60,6 +60,24 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
 
+// Ctl sub-classifies control messages the resilience layer puts on the
+// interconnect. Ordinary data traffic carries CtlNone (the zero value),
+// so existing senders are unaffected.
+type Ctl uint8
+
+const (
+	// CtlNone marks ordinary data traffic.
+	CtlNone Ctl = iota
+	// CtlRetryReq is a directed re-request: a node whose BSHR wait timed
+	// out asks the line's owner to resend (header-only message).
+	CtlRetryReq
+	// CtlRetryResp is the owner's directed resend of the requested line.
+	CtlRetryResp
+	// CtlFingerprint is a commit-fingerprint broadcast: Addr carries the
+	// fingerprint interval index and Seq the fingerprint value.
+	CtlFingerprint
+)
+
 // Message is one bus transaction.
 type Message struct {
 	Kind Kind
@@ -79,6 +97,9 @@ type Message struct {
 	// Reparative marks a late (commit-time) broadcast issued to repair a
 	// false hit, for Table 3 accounting.
 	Reparative bool
+	// Ctl sub-classifies resilience-layer control traffic (retry
+	// requests/responses, fingerprint broadcasts); CtlNone for data.
+	Ctl Ctl
 }
 
 // WireBytes is the total size on the wire.
@@ -192,6 +213,35 @@ func (b *Bus) Pending() int {
 	if b.busy {
 		n++
 	}
+	return n
+}
+
+// SourcePending returns the number of undelivered messages node src has
+// on the interconnect (its queue plus any transfer of its in flight) —
+// watchdog and fault diagnostics.
+func (b *Bus) SourcePending(src int) int {
+	if src < 0 || src >= len(b.queues) {
+		return 0
+	}
+	n := len(b.queues[src])
+	if b.busy && b.current.Src == src {
+		n++
+	}
+	return n
+}
+
+// PurgeSource removes every message node src has enqueued but not yet
+// arbitrated onto the bus, returning the count. The fault layer calls it
+// when src dies permanently: a dead chip's network-interface queue dies
+// with it, while a transfer already granted the bus completes (the wire
+// was already driven). Purged messages stay counted in TotalQueued —
+// they were genuinely offered to the interconnect.
+func (b *Bus) PurgeSource(src int) int {
+	if src < 0 || src >= len(b.queues) {
+		return 0
+	}
+	n := len(b.queues[src])
+	b.queues[src] = b.queues[src][:0]
 	return n
 }
 

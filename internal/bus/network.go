@@ -22,6 +22,15 @@ type Network interface {
 	Tick(now uint64) []Arrival
 	// Pending returns the number of undelivered messages.
 	Pending() int
+	// SourcePending returns the number of undelivered messages node src
+	// currently has on the interconnect (diagnostics; never affects
+	// timing).
+	SourcePending(src int) int
+	// PurgeSource drops every message node src has submitted but not yet
+	// begun transferring, returning the count. The fault layer calls it
+	// at permanent node death: the dead chip's unsent traffic dies with
+	// it, while transfers already on the wire complete.
+	PurgeSource(src int) int
 	// NextDeliveryCycle returns the earliest future cycle at which Tick
 	// could deliver a message or otherwise change interconnect state
 	// (NoEvent when empty). Every Tick at a cycle strictly before the

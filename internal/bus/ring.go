@@ -132,6 +132,42 @@ func (r *Ring) Enqueue(m Message) {
 // Pending implements Network.
 func (r *Ring) Pending() int { return len(r.flight) }
 
+// SourcePending implements Network: in-flight messages originated by
+// src, wherever they currently sit on the ring.
+func (r *Ring) SourcePending(src int) int {
+	n := 0
+	for _, f := range r.flight {
+		if f.msg.Src == src {
+			n++
+		}
+	}
+	return n
+}
+
+// PurgeSource implements Network: messages src submitted that have not
+// yet started their first hop die with the node; messages already
+// travelling the ring keep circulating (downstream nodes forward them —
+// the sender-strip removal still works because removal counts hops, not
+// sender liveness).
+func (r *Ring) PurgeSource(src int) int {
+	n := 0
+	kept := r.flight[:0]
+	for _, f := range r.flight {
+		if f.msg.Src == src && !f.injected {
+			n++
+			continue
+		}
+		kept = append(kept, f)
+	}
+	// Clear the tail so dropped *ringMsg pointers do not linger in the
+	// backing array.
+	for i := len(kept); i < len(r.flight); i++ {
+		r.flight[i] = nil
+	}
+	r.flight = kept
+	return n
+}
+
 // NextDeliveryCycle implements Network for the ring: the minimum over all
 // in-flight hops' completion cycles and all sitting messages' earliest
 // possible departures (ready and link free). The value is a safe lower

@@ -1,0 +1,100 @@
+// Package cli holds the small pieces the cmd/ binaries share: the
+// process exit-code convention and the fault-injection flag set. Keeping
+// them here means every binary classifies failures identically, and the
+// in-process CLI tests can assert on the codes.
+package cli
+
+import (
+	"errors"
+	"flag"
+
+	"github.com/wisc-arch/datascalar/internal/core"
+	"github.com/wisc-arch/datascalar/internal/fault"
+)
+
+// Process exit codes (documented in README.md). Scripts drive the
+// simulators, so "the machine detected a fault and halted cleanly" must
+// be distinguishable from "the protocol wedged" and from "you typed the
+// flags wrong" without parsing stderr.
+const (
+	// ExitOK: the run completed.
+	ExitOK = 0
+	// ExitFailure: any error without a more specific class below.
+	ExitFailure = 1
+	// ExitUsage: bad flags or arguments.
+	ExitUsage = 2
+	// ExitDeadlock: the commit-progress watchdog fired (*core.DeadlockError).
+	ExitDeadlock = 3
+	// ExitFault: the machine halted itself with a structured fault
+	// report (*fault.Report) — detected fault, no wrong answer published.
+	ExitFault = 4
+)
+
+// ExitCode classifies err under the convention above.
+func ExitCode(err error) int {
+	if err == nil {
+		return ExitOK
+	}
+	var rep *fault.Report
+	if errors.As(err, &rep) {
+		return ExitFault
+	}
+	var dl *core.DeadlockError
+	if errors.As(err, &dl) {
+		return ExitDeadlock
+	}
+	return ExitFailure
+}
+
+// FaultFlags is the -fault-* flag group shared by dsrun and dstiming.
+// The zero-valued defaults produce a disabled fault.Config, so binaries
+// that register the group but whose users never touch it build no fault
+// layer at all.
+type FaultFlags struct {
+	Seed         uint64
+	Drop         float64
+	Delay        float64
+	DelayMax     uint64
+	Flip         float64
+	DeadNode     int
+	DeathCycle   uint64
+	Recover      bool
+	RetryTimeout uint64
+	MaxRetries   int
+	FPInterval   uint64
+}
+
+// Register installs the flag group on fs.
+func (f *FaultFlags) Register(fs *flag.FlagSet) {
+	fs.Uint64Var(&f.Seed, "fault-seed", 1, "fault plan seed (same seed = same injected faults)")
+	fs.Float64Var(&f.Drop, "fault-drop", 0, "probability a broadcast arrival is dropped")
+	fs.Float64Var(&f.Delay, "fault-delay", 0, "probability a broadcast arrival is delayed")
+	fs.Uint64Var(&f.DelayMax, "fault-delay-max", 0, "maximum extra delivery cycles per delayed arrival (0 = default)")
+	fs.Float64Var(&f.Flip, "fault-flip", 0, "probability a broadcast payload is corrupted in flight")
+	fs.IntVar(&f.DeadNode, "fault-dead-node", 1, "node killed at -fault-death-cycle")
+	fs.Uint64Var(&f.DeathCycle, "fault-death-cycle", 0, "cycle at which -fault-dead-node dies permanently (0 = never)")
+	fs.BoolVar(&f.Recover, "fault-recover", false, "on owner death, remap its pages and continue degraded instead of halting")
+	fs.Uint64Var(&f.RetryTimeout, "fault-retry-timeout", 0, "BSHR wait cycles before a directed retry (0 = default)")
+	fs.IntVar(&f.MaxRetries, "fault-retries", 0, "retries before a wait escalates to a fault report (0 = default)")
+	fs.Uint64Var(&f.FPInterval, "fault-fp-interval", 0, "memory commits between commit-fingerprint broadcasts (0 = off)")
+}
+
+// Config assembles the fault.Config the flags describe.
+func (f *FaultFlags) Config() fault.Config {
+	return fault.Config{
+		Seed:                f.Seed,
+		DropRate:            f.Drop,
+		DelayRate:           f.Delay,
+		DelayMaxCycles:      f.DelayMax,
+		FlipRate:            f.Flip,
+		DeadNode:            f.DeadNode,
+		DeathCycle:          f.DeathCycle,
+		Recover:             f.Recover,
+		RetryTimeoutCycles:  f.RetryTimeout,
+		MaxRetries:          f.MaxRetries,
+		FingerprintInterval: f.FPInterval,
+	}
+}
+
+// Active reports whether the flags request any injection at all.
+func (f *FaultFlags) Active() bool { return f.Config().Enabled() }

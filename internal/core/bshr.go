@@ -64,6 +64,12 @@ type bshrEntry struct {
 	hasData   bool
 	arrivedAt uint64
 	seq       uint64 // insertion order, for earliest-first matching
+	// deadline is the cycle this waiting entry's re-request timer fires
+	// (0 when the retry path is disabled); retries counts re-requests
+	// already sent for it. Both belong to the fault-detection layer and
+	// are dead weight on fault-free runs.
+	deadline uint64
+	retries  int
 }
 
 // BSHR implements the broadcast-receiving structure of the paper's
@@ -83,6 +89,15 @@ type BSHR struct {
 	// never starve.
 	owed  map[uint64]int
 	stats BSHRStats
+
+	// retryTimeout arms a deadline on every waiting entry (0 disables the
+	// retry path entirely — the fault-free configuration); retryCap bounds
+	// the exponential backoff between re-requests of the same line.
+	retryTimeout uint64
+	retryCap     uint64
+	// expired is the scratch slice Expired hands back (valid until the
+	// next Expired call).
+	expired []ExpiredWait
 
 	// tokFree recycles the backing arrays of waiting slices whose entry
 	// was matched; released is the scratch slice Arrive hands back (valid
@@ -129,11 +144,19 @@ func NewBSHR(bufferCap int) *BSHR {
 // Stats returns the BSHR counters.
 func (b *BSHR) Stats() *BSHRStats { return &b.stats }
 
-// Request records that load tok needs line's data. It returns
-// (dataReady=true, arrivedAt) when a buffered broadcast already holds the
-// data (consumed by this call); otherwise the token waits and is released
-// by a future Arrive.
-func (b *BSHR) Request(line uint64, tok ooo.LoadToken) (dataReady bool, arrivedAt uint64) {
+// SetRetry arms the fault-detection timeout path: every waiting entry
+// allocated afterwards gets a deadline now+timeout, re-armed with
+// capped exponential backoff by Expired. timeout 0 disables the path
+// (the default; fault-free machines never pay for it).
+func (b *BSHR) SetRetry(timeout, backoffCap uint64) {
+	b.retryTimeout, b.retryCap = timeout, backoffCap
+}
+
+// Request records that load tok needs line's data at cycle now. It
+// returns (dataReady=true, arrivedAt) when a buffered broadcast already
+// holds the data (consumed by this call); otherwise the token waits and
+// is released by a future Arrive.
+func (b *BSHR) Request(line uint64, tok ooo.LoadToken, now uint64) (dataReady bool, arrivedAt uint64) {
 	// Earliest buffered entry for the line, if any.
 	if i := b.find(line, true); i >= 0 {
 		at := b.entries[i].arrivedAt
@@ -149,7 +172,11 @@ func (b *BSHR) Request(line uint64, tok ooo.LoadToken) (dataReady bool, arrivedA
 		b.obsEvent(obs.EvBSHRJoin, line, uint64(len(b.entries[i].waiting)))
 		return false, 0
 	}
-	b.entries = append(b.entries, bshrEntry{line: line, waiting: b.newWaiting(tok), seq: b.nextSeq})
+	e := bshrEntry{line: line, waiting: b.newWaiting(tok), seq: b.nextSeq}
+	if b.retryTimeout != 0 {
+		e.deadline = now + b.retryTimeout
+	}
+	b.entries = append(b.entries, e)
 	b.nextSeq++
 	b.stats.Allocs.Inc()
 	if n := b.numWaiting(); n > b.stats.MaxWaiting {
@@ -230,6 +257,116 @@ func (b *BSHR) Absorb(line uint64) {
 
 // HasWaiter reports whether any load is waiting on line.
 func (b *BSHR) HasWaiter(line uint64) bool { return b.find(line, false) >= 0 }
+
+// ExpiredWait describes one waiting entry whose re-request timer fired.
+type ExpiredWait struct {
+	Line uint64
+	// Retries counts re-requests sent for this entry *before* this
+	// expiry (0 on the first timeout).
+	Retries int
+}
+
+// Expired collects the waiting entries whose deadlines have passed at
+// cycle now and re-arms each with capped exponential backoff
+// (now + min(timeout<<retries, cap)). The caller turns each into a
+// directed re-request or an escalation. Returns nil when the retry path
+// is disarmed; the returned slice is valid until the next call.
+func (b *BSHR) Expired(now uint64) []ExpiredWait {
+	if b.retryTimeout == 0 {
+		return nil
+	}
+	out := b.expired[:0]
+	for i := range b.entries {
+		e := &b.entries[i]
+		if e.hasData || e.deadline > now {
+			continue
+		}
+		out = append(out, ExpiredWait{Line: e.line, Retries: e.retries})
+		e.retries++
+		back := b.retryTimeout << uint(e.retries)
+		if back > b.retryCap || back < b.retryTimeout { // cap, and guard shift overflow
+			back = b.retryCap
+		}
+		e.deadline = now + back
+	}
+	b.expired = out
+	return out
+}
+
+// NextDeadline returns the earliest waiting-entry deadline, or NoDeadline
+// when the retry path is disarmed or nothing waits. The cycle-skipping
+// scheduler caps its jumps here so timeouts fire at the exact cycle the
+// polled loop would fire them.
+func (b *BSHR) NextDeadline() uint64 {
+	if b.retryTimeout == 0 {
+		return NoDeadline
+	}
+	next := uint64(NoDeadline)
+	for i := range b.entries {
+		e := &b.entries[i]
+		if !e.hasData && e.deadline < next {
+			next = e.deadline
+		}
+	}
+	return next
+}
+
+// NoDeadline is returned by NextDeadline when no timeout is pending.
+const NoDeadline = ^uint64(0)
+
+// RearmAll resets every waiting entry's retry count and deadline to
+// now+timeout. Called when ownership is remapped after a node death so
+// stalled waits re-request their (new) owner promptly instead of sitting
+// out the remainder of a long backoff.
+func (b *BSHR) RearmAll(now uint64) {
+	if b.retryTimeout == 0 {
+		return
+	}
+	for i := range b.entries {
+		if e := &b.entries[i]; !e.hasData {
+			e.retries = 0
+			e.deadline = now + b.retryTimeout
+		}
+	}
+}
+
+// TakeWaiting removes the earliest waiting entry for line and returns its
+// tokens (nil when none waits). The recovery path uses it to complete
+// stalled loads locally once this node has become the line's owner; the
+// returned slice is valid until the next Arrive or TakeWaiting call.
+func (b *BSHR) TakeWaiting(line uint64) []ooo.LoadToken {
+	i := b.find(line, false)
+	if i < 0 {
+		return nil
+	}
+	toks := b.entries[i].waiting
+	b.released = append(b.released[:0], toks...)
+	b.tokFree = append(b.tokFree, toks)
+	b.remove(i)
+	return b.released
+}
+
+// WaitDetail describes one waiting entry for deadlock diagnostics.
+type WaitDetail struct {
+	Line     uint64
+	Waiters  int
+	Retries  int
+	Deadline uint64
+}
+
+// WaitingDetail returns every waiting entry's line, waiter count, and
+// retry state (diagnostics; allocates, called only on error paths).
+func (b *BSHR) WaitingDetail() []WaitDetail {
+	var out []WaitDetail
+	for i := range b.entries {
+		e := &b.entries[i]
+		if e.hasData {
+			continue
+		}
+		out = append(out, WaitDetail{Line: e.line, Waiters: len(e.waiting), Retries: e.retries, Deadline: e.deadline})
+	}
+	return out
+}
 
 // WaitingLines returns the lines with waiting entries (diagnostics).
 func (b *BSHR) WaitingLines() []uint64 {

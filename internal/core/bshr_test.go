@@ -9,7 +9,7 @@ import (
 
 func TestBSHRWaitThenArrive(t *testing.T) {
 	b := NewBSHR(8)
-	ready, _ := b.Request(0x100, 1)
+	ready, _ := b.Request(0x100, 1, 0)
 	if ready {
 		t.Fatal("request satisfied with empty BSHR")
 	}
@@ -28,9 +28,9 @@ func TestBSHRWaitThenArrive(t *testing.T) {
 
 func TestBSHRJoinSharesOneArrival(t *testing.T) {
 	b := NewBSHR(8)
-	b.Request(0x100, 1)
-	b.Request(0x100, 2)
-	b.Request(0x100, 3)
+	b.Request(0x100, 1, 0)
+	b.Request(0x100, 2, 0)
+	b.Request(0x100, 3, 0)
 	if b.Stats().Joins.Value() != 2 {
 		t.Fatalf("joins = %d", b.Stats().Joins.Value())
 	}
@@ -45,7 +45,7 @@ func TestBSHRBufferedHit(t *testing.T) {
 	if toks := b.Arrive(0x200, 30); len(toks) != 0 {
 		t.Fatal("unsolicited arrival released tokens")
 	}
-	ready, at := b.Request(0x200, 7)
+	ready, at := b.Request(0x200, 7, 0)
 	if !ready || at != 30 {
 		t.Fatalf("buffered hit = %v, %d", ready, at)
 	}
@@ -53,16 +53,16 @@ func TestBSHRBufferedHit(t *testing.T) {
 		t.Fatal("buffered hit not counted")
 	}
 	// Entry consumed: second request waits.
-	if ready, _ := b.Request(0x200, 8); ready {
+	if ready, _ := b.Request(0x200, 8, 0); ready {
 		t.Fatal("buffered entry not consumed")
 	}
 }
 
 func TestBSHREarliestFirstMatching(t *testing.T) {
 	b := NewBSHR(8)
-	b.Request(0x100, 1) // first waiting entry
+	b.Request(0x100, 1, 0) // first waiting entry
 	b.Arrive(0x100, 5)  // matches entry with tok 1
-	b.Request(0x100, 2)
+	b.Request(0x100, 2, 0)
 	toks := b.Arrive(0x100, 9)
 	if len(toks) != 1 || toks[0] != 2 {
 		t.Fatalf("second arrival released %v", toks)
@@ -73,7 +73,7 @@ func TestBSHRAbsorbBuffered(t *testing.T) {
 	b := NewBSHR(8)
 	b.Arrive(0x300, 1) // buffered
 	b.Absorb(0x300)    // removes the buffered copy
-	if ready, _ := b.Request(0x300, 1); ready {
+	if ready, _ := b.Request(0x300, 1, 0); ready {
 		t.Fatal("absorbed buffered entry still served data")
 	}
 	if b.Stats().Squashes.Value() != 1 {
@@ -92,7 +92,7 @@ func TestBSHRAbsorbDefersToNextArrival(t *testing.T) {
 	}
 	// Owed count consumed: the next arrival buffers normally.
 	b.Arrive(0x300, 6)
-	if ready, _ := b.Request(0x300, 9); !ready {
+	if ready, _ := b.Request(0x300, 9, 0); !ready {
 		t.Fatal("post-absorb arrival lost")
 	}
 }
@@ -101,7 +101,7 @@ func TestBSHRWaiterNeverStarvedByAbsorb(t *testing.T) {
 	// An owed absorption must never consume an arrival a waiter needs.
 	b := NewBSHR(8)
 	b.Absorb(0x400)
-	b.Request(0x400, 11)
+	b.Request(0x400, 11, 0)
 	toks := b.Arrive(0x400, 3)
 	if len(toks) != 1 || toks[0] != 11 {
 		t.Fatalf("waiter starved: %v", toks)
@@ -119,7 +119,7 @@ func TestBSHRBufferOverflowNeverDrops(t *testing.T) {
 	// ESP has no re-request path: every buffered broadcast must remain
 	// consumable or a future load would wait forever.
 	for i, line := range []uint64{0x100, 0x200, 0x300} {
-		if ready, _ := b.Request(line, ooo.LoadToken(i)); !ready {
+		if ready, _ := b.Request(line, ooo.LoadToken(i), 0); !ready {
 			t.Fatalf("buffered broadcast 0x%x lost", line)
 		}
 	}
@@ -131,7 +131,7 @@ func TestBSHRBufferOverflowNeverDrops(t *testing.T) {
 func TestBSHRWaitingNeverDropped(t *testing.T) {
 	b := NewBSHR(1)
 	for i := 0; i < 10; i++ {
-		b.Request(uint64(0x1000+i*64), ooo.LoadToken(i))
+		b.Request(uint64(0x1000+i*64), ooo.LoadToken(i), 0)
 	}
 	if b.Waiting() != 10 {
 		t.Fatalf("waiting = %d, want 10 (capacity applies to buffered only)", b.Waiting())
@@ -148,7 +148,7 @@ func TestBSHRHasWaiter(t *testing.T) {
 	if b.HasWaiter(0x100) {
 		t.Fatal("phantom waiter")
 	}
-	b.Request(0x100, 1)
+	b.Request(0x100, 1, 0)
 	if !b.HasWaiter(0x100) {
 		t.Fatal("waiter not visible")
 	}
@@ -170,7 +170,7 @@ func TestBSHRTokenConservationQuick(t *testing.T) {
 			line := uint64(o.Line%8) * 64
 			switch o.Kind % 3 {
 			case 0:
-				ready, _ := b.Request(line, tok)
+				ready, _ := b.Request(line, tok, 0)
 				requested[line]++
 				if ready {
 					released[line]++

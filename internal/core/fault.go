@@ -1,0 +1,491 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/wisc-arch/datascalar/internal/bus"
+	"github.com/wisc-arch/datascalar/internal/fault"
+	"github.com/wisc-arch/datascalar/internal/obs"
+)
+
+// faultState is the per-machine instance of the fault-injection and
+// resilience layer (package fault holds the configuration, plan, and
+// report types; this file threads them through the machine). It exists
+// only when Config.Fault.Enabled() — a machine without one pays nothing
+// on any hot path beyond a nil check.
+type faultState struct {
+	cfg  fault.Config // defaults applied
+	plan *fault.Plan
+	stats fault.Stats
+	// report, once set, halts the run with a structured error at the end
+	// of the current cycle's fault pass.
+	report *fault.Report
+
+	// dropped records, per victim node, the cycle each line's delivery
+	// was first dropped — the ground truth that lets a later timeout be
+	// credited as a *detected* drop. Bookkeeping only: injection
+	// decisions never read it.
+	dropped []map[uint64]uint64
+	// flippedAt records, per victim node, 1 + the earliest uncredited
+	// flip-injection cycle (0 = no flip) and the number of uncredited
+	// flips, for detection-latency and coverage attribution.
+	flippedAt []uint64
+	flipCount []uint64
+	// ledger collects commit fingerprints per interval index until every
+	// live node has reported, then cross-checks them.
+	ledger map[uint64]map[int]uint64
+}
+
+func newFaultState(cfg fault.Config, nodes int) *faultState {
+	fs := &faultState{
+		cfg:       cfg,
+		plan:      fault.NewPlan(cfg),
+		dropped:   make([]map[uint64]uint64, nodes),
+		flippedAt: make([]uint64, nodes),
+		flipCount: make([]uint64, nodes),
+	}
+	for i := range fs.dropped {
+		fs.dropped[i] = make(map[uint64]uint64)
+	}
+	if cfg.FingerprintInterval != 0 {
+		fs.ledger = make(map[uint64]map[int]uint64)
+	}
+	return fs
+}
+
+// FaultStats exposes the fault layer's counters (nil when the layer is
+// disabled). The campaign harness reads it even from runs that halted
+// with an error, where no Result is produced.
+func (m *Machine) FaultStats() *fault.Stats {
+	if m.fault == nil {
+		return nil
+	}
+	return &m.fault.stats
+}
+
+// deadNode returns the failed node's id, or -1 while every node is live.
+func (m *Machine) deadNode() int {
+	if m.fault != nil && m.fault.stats.NodeDied {
+		return m.fault.cfg.DeadNode
+	}
+	return -1
+}
+
+// nodeDead reports whether node id has failed permanently.
+func (m *Machine) nodeDead(id int) bool { return m.deadNode() == id }
+
+// maybeKill executes the configured permanent node death once the clock
+// reaches the death cycle: the node's core freezes (never cycled again),
+// its unsent interconnect traffic is purged, and all future arrivals to
+// it are discarded.
+func (m *Machine) maybeKill() {
+	fs := m.fault
+	if fs.cfg.DeathCycle == 0 || fs.stats.NodeDied || m.now < fs.cfg.DeathCycle {
+		return
+	}
+	dead := fs.cfg.DeadNode
+	fs.stats.NodeDied = true
+	fs.stats.DeadNode = dead
+	fs.stats.DeathCycle = m.now
+	fs.stats.SuccessorNode = -1
+	fs.stats.PurgedMessages = m.net.PurgeSource(dead)
+	if m.obs != nil {
+		m.obs.Event(obs.Event{Cycle: m.now, Node: dead, Kind: obs.EvFaultDeath, Arg: uint64(fs.stats.PurgedMessages)})
+	}
+	m.traceEvent(dead, "fault: permanent death, purged %d unsent messages", fs.stats.PurgedMessages)
+	// Fingerprint intervals that were only waiting on the dead node can
+	// now be cross-checked among the survivors.
+	fs.flushFingerprints(m)
+}
+
+// handleFaultArrival applies the fault layer to one delivery. It returns
+// true when the arrival was consumed (resilience control traffic) or
+// suppressed (dead receiver, injected drop); false hands the arrival to
+// the ordinary broadcast path.
+func (m *Machine) handleFaultArrival(arr bus.Arrival) bool {
+	fs := m.fault
+	if fs.stats.NodeDied && arr.Node == fs.cfg.DeadNode {
+		return true // a dead chip neither receives nor responds
+	}
+	msg := arr.Msg
+	switch msg.Ctl {
+	case bus.CtlRetryReq:
+		m.serveRetry(arr.Node, msg)
+		return true
+	case bus.CtlRetryResp:
+		// A directed resend satisfies the waiting BSHR entry exactly like
+		// the lost broadcast would have.
+		m.traceEvent(arr.Node, "fault: retry response line=0x%x from node %d", msg.Addr, msg.Src)
+		m.nodes[arr.Node].onBroadcast(msg.Addr, m.now)
+		return true
+	case bus.CtlFingerprint:
+		fs.recordFingerprint(m, msg.Src, msg.Addr, msg.Seq)
+		return true
+	}
+	if msg.Kind != bus.Broadcast {
+		return false
+	}
+	// Injection on ordinary data broadcasts. Control traffic above is
+	// assumed reliable (docs/ROBUSTNESS.md): with a capped retry budget,
+	// reliable control is what bounds detection time.
+	if fs.plan.DropArrival(msg.Src, arr.Node, msg.Addr, msg.Seq) {
+		fs.stats.InjectedDrops++
+		if _, seen := fs.dropped[arr.Node][msg.Addr]; !seen {
+			fs.dropped[arr.Node][msg.Addr] = m.now
+		}
+		if m.obs != nil {
+			m.obs.Event(obs.Event{Cycle: m.now, Node: arr.Node, Kind: obs.EvFaultDrop, Addr: msg.Addr, Arg: uint64(msg.Src)})
+		}
+		m.traceEvent(arr.Node, "fault: dropped delivery line=0x%x from node %d", msg.Addr, msg.Src)
+		return true
+	}
+	if taint, ok := fs.plan.FlipArrival(msg.Src, arr.Node, msg.Addr, msg.Seq); ok {
+		// The timing model carries no payload (each node's emulator
+		// computes every value), so the corruption is modeled as a taint
+		// on the victim's commit fingerprint: visible to the fingerprint
+		// exchange, invisible otherwise — exactly a silent data error.
+		fs.stats.InjectedFlips++
+		m.nodes[arr.Node].fpAccum ^= taint
+		if fs.flippedAt[arr.Node] == 0 {
+			fs.flippedAt[arr.Node] = m.now + 1
+		}
+		fs.flipCount[arr.Node]++
+		if m.obs != nil {
+			m.obs.Event(obs.Event{Cycle: m.now, Node: arr.Node, Kind: obs.EvFaultFlip, Addr: msg.Addr, Arg: uint64(msg.Src)})
+		}
+		// Delivery itself proceeds: a flip corrupts data, not arrival.
+	}
+	return false
+}
+
+// serveRetry answers a directed re-request: the addressed node reads the
+// line from its local memory (in this timing model every node's local
+// memory can source any line — the machine assumes a backing copy, which
+// the redundant-execution substrate guarantees functionally) and sends a
+// point-to-point resend to the requester.
+func (m *Machine) serveRetry(at int, msg bus.Message) {
+	fs := m.fault
+	fs.stats.RetriesServed++
+	nd := m.nodes[at]
+	dataAt := nd.dram.Access(m.now, msg.Addr)
+	nd.obsEvent(obs.EvFaultRetryServed, msg.Addr, uint64(msg.Src))
+	m.traceEvent(at, "fault: serving retry line=0x%x for node %d", msg.Addr, msg.Src)
+	m.net.Enqueue(bus.Message{
+		Kind:         bus.Response,
+		Ctl:          bus.CtlRetryResp,
+		Src:          at,
+		Dst:          msg.Src,
+		Addr:         msg.Addr,
+		PayloadBytes: m.cfg.L1.LineBytes,
+		ReadyAt:      dataAt + m.cfg.BcastQueueCycles,
+	})
+}
+
+// checkTimeouts runs the BSHR deadline pass for every live node: expired
+// waits become re-requests, and exhausted ones escalate to death
+// detection (dead owner) or a lost-line report (live owner).
+func (m *Machine) checkTimeouts() {
+	fs := m.fault
+	for _, nd := range m.nodes {
+		if m.nodeDead(nd.id) {
+			continue
+		}
+		for _, ex := range nd.bshr.Expired(m.now) {
+			m.onTimeout(nd, ex)
+			if fs.report != nil {
+				return
+			}
+		}
+	}
+}
+
+// onTimeout handles one expired BSHR wait at node nd.
+func (m *Machine) onTimeout(nd *node, ex ExpiredWait) {
+	fs := m.fault
+	fs.stats.Timeouts++
+	nd.obsEvent(obs.EvFaultTimeout, ex.Line, uint64(ex.Retries))
+	// Ground truth: credit the timeout as a detected drop when this very
+	// line's delivery to this node was injected away.
+	if at, seen := fs.dropped[nd.id][ex.Line]; seen {
+		delete(fs.dropped[nd.id], ex.Line)
+		fs.stats.DetectedDrops++
+		fs.stats.Detections++
+		fs.stats.DetectLatencySum += m.now - at
+	}
+	owner := m.pt.OwnerOf(ex.Line)
+	if owner == nd.id {
+		// This node became the line's owner (post-remap successor): the
+		// stalled loads complete from local memory.
+		m.selfServe(nd, ex.Line)
+		return
+	}
+	if ex.Retries >= fs.cfg.MaxRetries {
+		if owner >= 0 && fs.stats.NodeDied && owner == fs.cfg.DeadNode {
+			m.onDeathDetected(nd, ex.Line)
+			return
+		}
+		fs.report = &fault.Report{
+			Class: fault.ClassLost, Node: owner, Cycle: m.now, Line: ex.Line,
+			Detail: fmt.Sprintf("node %d exhausted %d retries against a live owner", nd.id, ex.Retries),
+		}
+		return
+	}
+	// Directed re-request. To a dead owner it simply vanishes with the
+	// other arrivals — the requester learns of the death only through
+	// retry exhaustion, modelling timeout-based failure detection.
+	m.sendRetry(nd, ex.Line, owner)
+}
+
+// sendRetry enqueues a directed re-request for line to owner.
+func (m *Machine) sendRetry(nd *node, line uint64, owner int) {
+	m.fault.stats.Retries++
+	nd.obsEvent(obs.EvFaultRetry, line, uint64(owner))
+	m.traceEvent(nd.id, "fault: retry line=0x%x -> owner %d", line, owner)
+	m.net.Enqueue(bus.Message{
+		Kind:    bus.Request,
+		Ctl:     bus.CtlRetryReq,
+		Src:     nd.id,
+		Dst:     owner,
+		Addr:    line,
+		ReadyAt: m.now + m.cfg.BcastQueueCycles,
+	})
+}
+
+// onDeathDetected escalates a retry-exhausted wait against the dead
+// owner: record the detection, then either remap the dead node's pages
+// to a live successor and continue degraded, or halt with a structured
+// report — never a silent wrong answer, never an unexplained watchdog.
+func (m *Machine) onDeathDetected(nd *node, line uint64) {
+	fs := m.fault
+	dead := fs.cfg.DeadNode
+	if !fs.stats.DeathDetected {
+		fs.stats.DeathDetected = true
+		fs.stats.DeathDetectedAt = m.now
+		fs.stats.Detections++
+		fs.stats.DetectLatencySum += m.now - fs.stats.DeathCycle
+	}
+	if !fs.cfg.Recover {
+		fs.report = &fault.Report{
+			Class: fault.ClassDeath, Node: dead, Cycle: m.now, Line: line,
+			Detail: fmt.Sprintf("owner unresponsive after %d retries", fs.cfg.MaxRetries),
+		}
+		return
+	}
+	if !fs.stats.Degraded {
+		// Remap once: the dead node's communicated pages move to the next
+		// live node (the machine's page table is a private clone, so the
+		// mutation is invisible outside this run). Every live node's
+		// stalled waits are re-armed so they re-request the new owner
+		// promptly instead of sitting out long backoffs — the act of
+		// disseminating the failure verdict.
+		succ := m.successorOf(dead)
+		fs.stats.RemappedPages = m.pt.ReassignOwner(dead, succ)
+		fs.stats.SuccessorNode = succ
+		fs.stats.Degraded = true
+		if m.obs != nil {
+			m.obs.Event(obs.Event{Cycle: m.now, Node: succ, Kind: obs.EvFaultRemap, Arg: uint64(fs.stats.RemappedPages)})
+		}
+		m.traceEvent(succ, "fault: remapped %d pages from dead node %d", fs.stats.RemappedPages, dead)
+		for _, other := range m.nodes {
+			if !m.nodeDead(other.id) {
+				other.bshr.RearmAll(m.now)
+			}
+		}
+	}
+	// Serve this wait immediately under the new mapping.
+	if owner := m.pt.OwnerOf(line); owner == nd.id {
+		m.selfServe(nd, line)
+	} else {
+		m.sendRetry(nd, line, owner)
+	}
+}
+
+// successorOf picks the dead node's page inheritor: the next live node
+// in ring order.
+func (m *Machine) successorOf(dead int) int {
+	return (dead + 1) % m.cfg.Nodes
+}
+
+// selfServe completes the stalled loads waiting on line from nd's own
+// local memory — nd owns the line now (it is the post-remap successor).
+func (m *Machine) selfServe(nd *node, line uint64) {
+	toks := nd.bshr.TakeWaiting(line)
+	if len(toks) == 0 {
+		return
+	}
+	m.fault.stats.SelfServes++
+	dataAt := nd.dram.Access(m.now, line)
+	for _, tok := range toks {
+		nd.core.CompleteLoad(tok, dataAt)
+	}
+	if e, ok := nd.outstanding[line]; ok && e.pending {
+		e.pending = false
+		e.dataAt = dataAt
+	}
+	m.traceEvent(nd.id, "fault: self-served line=0x%x as new owner", line)
+}
+
+// emitFingerprint broadcasts node n's commit fingerprint at an interval
+// boundary and records n's own value in the machine ledger.
+func (fs *faultState) emitFingerprint(n *node, now uint64) {
+	idx := n.memCommits / fs.cfg.FingerprintInterval
+	fs.stats.FPBroadcasts++
+	n.obsEvent(obs.EvFaultFingerprint, idx, n.fpAccum)
+	n.net.Enqueue(bus.Message{
+		Kind:         bus.Broadcast,
+		Ctl:          bus.CtlFingerprint,
+		Src:          n.id,
+		Addr:         idx,
+		Seq:          n.fpAccum,
+		PayloadBytes: 8,
+		ReadyAt:      now + n.cfg.BcastQueueCycles,
+	})
+	fs.recordFingerprint(n.m, n.id, idx, n.fpAccum)
+}
+
+// recordFingerprint stores one node's fingerprint for interval idx and
+// cross-checks the interval once every live node has reported. A node's
+// own value enters at compute time; other nodes' values enter when their
+// broadcast first arrives, so detection latency includes the exchange's
+// real interconnect delay.
+func (fs *faultState) recordFingerprint(m *Machine, src int, idx, fp uint64) {
+	if fs.report != nil {
+		return
+	}
+	vals := fs.ledger[idx]
+	if vals == nil {
+		vals = make(map[int]uint64, len(m.nodes))
+		fs.ledger[idx] = vals
+	}
+	if _, dup := vals[src]; dup {
+		return // a ring delivers the same broadcast at several nodes
+	}
+	vals[src] = fp
+	fs.resolveFingerprint(m, idx, vals)
+}
+
+// resolveFingerprint cross-checks interval idx once complete: pairwise
+// comparison, majority-vote attribution (impossible with two voters),
+// and a divergence report on any mismatch.
+func (fs *faultState) resolveFingerprint(m *Machine, idx uint64, vals map[int]uint64) {
+	for _, nd := range m.nodes {
+		if m.nodeDead(nd.id) {
+			continue
+		}
+		if _, ok := vals[nd.id]; !ok {
+			return // incomplete: some live node has not reported yet
+		}
+	}
+	delete(fs.ledger, idx)
+	// Deterministic node order (never map order).
+	var reported []int
+	for _, nd := range m.nodes {
+		if _, ok := vals[nd.id]; ok {
+			reported = append(reported, nd.id)
+		}
+	}
+	n := len(reported)
+	fs.stats.FPChecks += uint64(n*(n-1)) / 2
+	allEqual := true
+	for _, id := range reported[1:] {
+		if vals[id] != vals[reported[0]] {
+			allEqual = false
+			break
+		}
+	}
+	if allEqual {
+		return
+	}
+	fs.stats.FPMismatches++
+	// Majority vote: nodes disagreeing with a strict-majority value are
+	// the culprits (report the lowest); with no majority — e.g. two
+	// nodes — attribution is impossible.
+	culprit := -1
+	var majority uint64
+	best := 0
+	for _, id := range reported {
+		count := 0
+		for _, other := range reported {
+			if vals[other] == vals[id] {
+				count++
+			}
+		}
+		if count > best {
+			best, majority = count, vals[id]
+		}
+	}
+	if 2*best > n {
+		for _, id := range reported {
+			if vals[id] != majority {
+				culprit = id
+				break
+			}
+		}
+	}
+	// Ground-truth credit: the divergence was caught regardless of
+	// whether a majority could name the culprit, so every uncredited
+	// injected flip at a reporting victim counts as detected, with
+	// latency measured from its victim's earliest uncredited flip.
+	for _, id := range reported {
+		if fs.flippedAt[id] != 0 {
+			fs.stats.DetectedFlips += fs.flipCount[id]
+			fs.stats.Detections += fs.flipCount[id]
+			fs.stats.DetectLatencySum += fs.flipCount[id] * (m.now - (fs.flippedAt[id] - 1))
+			fs.flippedAt[id], fs.flipCount[id] = 0, 0
+		}
+	}
+	if m.obs != nil {
+		m.obs.Event(obs.Event{Cycle: m.now, Node: culprit, Kind: obs.EvFaultDivergence, Addr: idx})
+	}
+	fs.report = &fault.Report{
+		Class: fault.ClassDivergence, Node: culprit, Cycle: m.now,
+		Detail: fmt.Sprintf("commit fingerprints disagree at interval %d (%d nodes reporting)", idx, n),
+	}
+}
+
+// flushFingerprints re-evaluates pending intervals after a death: ones
+// that were only waiting on the dead node resolve among the survivors.
+func (fs *faultState) flushFingerprints(m *Machine) {
+	if fs.ledger == nil || len(fs.ledger) == 0 {
+		return
+	}
+	idxs := make([]uint64, 0, len(fs.ledger))
+	for k := range fs.ledger {
+		idxs = append(idxs, k)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	for _, k := range idxs {
+		if vals, ok := fs.ledger[k]; ok {
+			fs.resolveFingerprint(m, k, vals)
+			if fs.report != nil {
+				return
+			}
+		}
+	}
+}
+
+// faultNextEvent returns the earliest future cycle at which the fault
+// layer must act — the pending death, or a live node's earliest BSHR
+// deadline — so the cycle-skipping scheduler never jumps past a timeout
+// or the death event. Clamped to m.now so an already-due event blocks
+// skipping rather than producing a bogus jump target.
+func (m *Machine) faultNextEvent() uint64 {
+	fs := m.fault
+	next := uint64(NoDeadline)
+	if fs.cfg.DeathCycle != 0 && !fs.stats.NodeDied {
+		next = fs.cfg.DeathCycle
+	}
+	for _, nd := range m.nodes {
+		if m.nodeDead(nd.id) {
+			continue
+		}
+		if d := nd.bshr.NextDeadline(); d < next {
+			next = d
+		}
+	}
+	if next < m.now {
+		next = m.now
+	}
+	return next
+}

@@ -1,12 +1,15 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 
 	"github.com/wisc-arch/datascalar/internal/asm"
 	"github.com/wisc-arch/datascalar/internal/bus"
+	"github.com/wisc-arch/datascalar/internal/fault"
 	"github.com/wisc-arch/datascalar/internal/mem"
 	"github.com/wisc-arch/datascalar/internal/stats"
 )
@@ -214,6 +217,114 @@ func TestProtocolFuzzOnRing(t *testing.T) {
 		}
 		if !r.CorrespondenceOK {
 			t.Fatalf("seed %d: correspondence violated on ring: %s", seed, m.CorrespondenceReport())
+		}
+	}
+}
+
+// fuzzFaultConfig derives a random-but-valid fault plan from the fuzzer
+// RNG: any mix of drops, delays, flips (with or without the fingerprint
+// exchange that could catch them), and a mid-run node death.
+func fuzzFaultConfig(rng *stats.RNG, nodes int) fault.Config {
+	fc := fault.Config{
+		Seed:               rng.Uint64(),
+		RetryTimeoutCycles: 500 + uint64(rng.Intn(1500)),
+		MaxRetries:         2 + rng.Intn(3),
+	}
+	if rng.Intn(2) == 0 {
+		fc.DropRate = float64(rng.Intn(8)) / 100
+	}
+	if rng.Intn(2) == 0 {
+		fc.DelayRate = float64(rng.Intn(20)) / 100
+		fc.DelayMaxCycles = uint64(1 + rng.Intn(400))
+	}
+	if rng.Intn(3) == 0 {
+		fc.FlipRate = float64(rng.Intn(3)) / 100
+	}
+	if rng.Intn(2) == 0 {
+		fc.FingerprintInterval = uint64(64 << rng.Intn(4))
+	}
+	if rng.Intn(3) == 0 {
+		fc.DeadNode = rng.Intn(nodes)
+		fc.DeathCycle = uint64(1_000 + rng.Intn(20_000))
+		fc.Recover = rng.Intn(2) == 0
+	}
+	return fc
+}
+
+// TestProtocolFuzzWithFaults runs random programs under random fault
+// plans. Every run must terminate with one of exactly three outcomes —
+// clean completion, a structured *fault.Report, or a *DeadlockError —
+// never a panic or livelock, and the same seed must reproduce the same
+// outcome bit-for-bit. On clean completion the caches must stay
+// correspondent and all live nodes must agree architecturally (injected
+// faults may cost cycles and retries, never answers).
+func TestProtocolFuzzWithFaults(t *testing.T) {
+	for seed := uint64(600); seed <= 640; seed++ {
+		rng := stats.NewRNG(seed)
+		nodes := 2 + rng.Intn(2)
+		src := randomProgram(rng, 100, 4, false)
+		fc := fuzzFaultConfig(rng, nodes)
+		p, err := asm.Assemble("fuzz-fault", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt, err := mem.Partition{NumNodes: nodes, BlockPages: 1, ReplicateText: true}.Build(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func() (*Machine, Result, error) {
+			cfg := DefaultConfig(nodes)
+			cfg.L1.SizeBytes = 512
+			cfg.WatchdogCycles = 2_000_000
+			cfg.DigestInterval = 8
+			cfg.Fault = fc
+			m, err := NewMachine(cfg, p, pt)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			r, err := m.Run()
+			return m, r, err
+		}
+		m, r, err := run()
+		if err != nil {
+			var rep *fault.Report
+			var dl *DeadlockError
+			if !errors.As(err, &rep) && !errors.As(err, &dl) {
+				t.Fatalf("seed %d: unstructured failure %T: %v\nfault plan: %+v", seed, err, err, fc)
+			}
+		} else {
+			if !r.CorrespondenceOK {
+				t.Fatalf("seed %d: correspondence violated under faults: %s\nfault plan: %+v",
+					seed, m.CorrespondenceReport(), fc)
+			}
+			ref := -1
+			for i := 0; i < nodes; i++ {
+				if m.nodeDead(i) {
+					continue
+				}
+				if ref < 0 {
+					ref = i
+					continue
+				}
+				for reg := uint8(1); reg < 32; reg++ {
+					if m.NodeEmu(i).Reg(reg) != m.NodeEmu(ref).Reg(reg) {
+						t.Fatalf("seed %d: live nodes diverged: node %d r%d = %d, node %d has %d\nfault plan: %+v",
+							seed, i, reg, m.NodeEmu(i).Reg(reg), ref, m.NodeEmu(ref).Reg(reg), fc)
+					}
+				}
+			}
+		}
+		// Same seed, same outcome — the plan must be deterministic.
+		_, r2, err2 := run()
+		if (err == nil) != (err2 == nil) {
+			t.Fatalf("seed %d: outcome flipped between runs: %v vs %v", seed, err, err2)
+		}
+		if err != nil {
+			if err.Error() != err2.Error() {
+				t.Fatalf("seed %d: failure not reproducible:\n%v\n%v", seed, err, err2)
+			}
+		} else if !reflect.DeepEqual(r, r2) {
+			t.Fatalf("seed %d: result not reproducible:\n%+v\n%+v", seed, r, r2)
 		}
 	}
 }

@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"github.com/wisc-arch/datascalar/internal/bus"
 	"github.com/wisc-arch/datascalar/internal/cache"
 	"github.com/wisc-arch/datascalar/internal/emu"
+	"github.com/wisc-arch/datascalar/internal/fault"
 	"github.com/wisc-arch/datascalar/internal/mem"
 	"github.com/wisc-arch/datascalar/internal/obs"
 	"github.com/wisc-arch/datascalar/internal/ooo"
@@ -77,6 +79,14 @@ type Config struct {
 	// either way (enforced by the differential suite in internal/sim);
 	// the flag exists so that equivalence stays testable.
 	NoCycleSkip bool
+	// Fault configures the deterministic fault-injection and resilience
+	// layer (broadcast drops/delays/bit-flips, permanent node death with
+	// optional degraded-mode recovery, BSHR timeout/retry detection, and
+	// the commit-fingerprint divergence exchange). The zero value is
+	// treated exactly like no fault layer at all: the machine builds no
+	// fault state and every hot path stays untouched, which the zero-rate
+	// differential suite in internal/sim enforces byte-for-byte.
+	Fault fault.Config
 	// ResultComm enables result communication (paper Section 5.1):
 	// PRIVB/PRIVE regions execute only at the node owning their data,
 	// with uncached local accesses and no operand broadcasts; other
@@ -129,6 +139,17 @@ func (c Config) Validate() error {
 	if c.L1HitCycles == 0 {
 		return fmt.Errorf("core: L1 hit latency must be positive")
 	}
+	if err := c.Fault.Validate(); err != nil {
+		return err
+	}
+	if c.Fault.DeathCycle != 0 {
+		if c.Nodes < 2 {
+			return fmt.Errorf("core: node death needs at least two nodes")
+		}
+		if c.Fault.DeadNode >= c.Nodes {
+			return fmt.Errorf("core: dead node %d out of range [0,%d)", c.Fault.DeadNode, c.Nodes)
+		}
+	}
 	if c.L1.Alloc != cache.WriteNoAllocate {
 		// The correspondence protocol implemented here commits stores
 		// without a fill path; write-allocate would need store-miss
@@ -149,8 +170,13 @@ type Result struct {
 	Core         []ooo.Stats
 	BusStats     bus.Stats
 	// CorrespondenceOK reports whether every sampled tag-state digest
-	// matched across nodes (and the final states matched).
+	// matched across nodes (and the final states matched). A permanently
+	// dead node is excluded: its state froze mid-run.
 	CorrespondenceOK bool
+	// Fault carries the fault layer's injection/detection/recovery
+	// counters; nil when the layer is disabled, so fault-free results
+	// marshal byte-identically to builds that predate the layer.
+	Fault *fault.Stats `json:",omitempty"`
 }
 
 // Machine is an N-node DataScalar system.
@@ -166,6 +192,10 @@ type Machine struct {
 	// holds the interval-delta state when sampling is enabled.
 	obs     obs.Observer
 	sampler *samplerState
+
+	// fault is the resilience layer's state; nil when Config.Fault is
+	// disabled, and every hook guards on that nil.
+	fault *faultState
 }
 
 // samplerState tracks previous-interval counter values so samples report
@@ -204,6 +234,15 @@ func NewMachine(cfg Config, p *prog.Program, pt *mem.PageTable) (*Machine, error
 	if pt.NumNodes() != cfg.Nodes {
 		return nil, fmt.Errorf("core: page table built for %d nodes, machine has %d", pt.NumNodes(), cfg.Nodes)
 	}
+	var fs *faultState
+	if cfg.Fault.Enabled() {
+		fs = newFaultState(cfg.Fault.WithDefaults(), cfg.Nodes)
+		if cfg.Fault.DeathCycle != 0 {
+			// Recovery remaps ownership; page tables are shared read-only
+			// across jobs, so this run works on a private clone.
+			pt = pt.Clone()
+		}
+	}
 	var net bus.Network
 	if cfg.Ring != nil {
 		net = bus.NewRing(*cfg.Ring, cfg.Nodes)
@@ -211,10 +250,11 @@ func NewMachine(cfg Config, p *prog.Program, pt *mem.PageTable) (*Machine, error
 		net = bus.NewNetwork(cfg.Bus, cfg.Nodes)
 	}
 	m := &Machine{
-		cfg: cfg,
-		pt:  pt,
-		net: net,
-		obs: cfg.Observer,
+		cfg:   cfg,
+		pt:    pt,
+		net:   net,
+		obs:   cfg.Observer,
+		fault: fs,
 	}
 	if m.obs != nil {
 		net.SetObserver(m.obs)
@@ -248,6 +288,9 @@ func NewMachine(cfg Config, p *prog.Program, pt *mem.PageTable) (*Machine, error
 			digests:     make(map[uint64]uint64),
 		}
 		nd.m = m
+		if fs != nil {
+			nd.bshr.SetRetry(fs.cfg.RetryTimeoutCycles, fs.cfg.RetryBackoffCapCycles)
+		}
 		if m.obs != nil {
 			nd.obs = m.obs
 			nd.bshr.SetObserver(m.obs, id, &m.now)
@@ -287,9 +330,12 @@ func (m *Machine) Run() (Result, error) {
 	lastTotal := uint64(0)
 
 	for {
+		if m.fault != nil {
+			m.maybeKill()
+		}
 		done := true
 		for _, nd := range m.nodes {
-			if !nd.core.Done() {
+			if !nd.core.Done() && !m.nodeDead(nd.id) {
 				done = false
 				break
 			}
@@ -301,6 +347,9 @@ func (m *Machine) Run() (Result, error) {
 		// Interconnect first: deliveries at cycle t are visible to the
 		// cores at t.
 		for _, arr := range m.net.Tick(m.now) {
+			if m.fault != nil && m.handleFaultArrival(arr) {
+				continue
+			}
 			if arr.Msg.Kind == bus.Broadcast {
 				if m.obs != nil {
 					m.obs.Event(obs.Event{
@@ -313,13 +362,19 @@ func (m *Machine) Run() (Result, error) {
 		}
 		var total uint64
 		for _, nd := range m.nodes {
-			if !nd.core.Done() {
+			if !nd.core.Done() && !m.nodeDead(nd.id) {
 				nd.core.Cycle(m.now)
 				if err := nd.core.Err(); err != nil {
 					return Result{}, fmt.Errorf("core: node %d: %w", nd.id, err)
 				}
 			}
 			total += nd.core.Committed()
+		}
+		if m.fault != nil {
+			m.checkTimeouts()
+			if r := m.fault.report; r != nil {
+				return Result{}, r
+			}
 		}
 		if total != lastTotal {
 			lastTotal = total
@@ -365,12 +420,19 @@ func (m *Machine) skipIdle(lastProgress, watchdog uint64) {
 	if nn := m.net.NextDeliveryCycle(m.now - 1); nn < target {
 		target = nn
 	}
+	if m.fault != nil {
+		// Never jump past the pending death cycle or a BSHR timeout; both
+		// must fire at the same cycle the polled loop would fire them.
+		if fc := m.faultNextEvent(); fc < target {
+			target = fc
+		}
+	}
 	if target <= m.now {
 		return
 	}
 	live := false
 	for _, nd := range m.nodes {
-		if nd.core.Done() {
+		if nd.core.Done() || m.nodeDead(nd.id) {
 			continue
 		}
 		live = true
@@ -389,7 +451,7 @@ func (m *Machine) skipIdle(lastProgress, watchdog uint64) {
 	}
 	delta := target - m.now
 	for _, nd := range m.nodes {
-		if !nd.core.Done() {
+		if !nd.core.Done() && !m.nodeDead(nd.id) {
 			nd.core.SkipCycles(delta)
 		}
 	}
@@ -449,33 +511,99 @@ func boolArg(b bool) uint64 {
 	return 0
 }
 
-func (m *Machine) deadlockError() error {
-	detail := ""
-	for _, nd := range m.nodes {
-		detail += fmt.Sprintf("\n node%d{committed=%d memCommits=%d outstanding=%d busPending=%d",
-			nd.id, nd.core.Committed(), nd.memCommits, len(nd.outstanding), m.net.Pending())
-		for _, line := range nd.bshr.WaitingLines() {
-			detail += fmt.Sprintf(" wait[0x%x owner=%d repl=%v]",
-				line, m.pt.OwnerOf(line), m.pt.IsReplicated(line))
+// DeadlockError is the typed watchdog abort: full per-node protocol
+// state at the moment progress stopped — what each node was waiting on
+// (with retry counts when the fault layer is armed), how many messages
+// each still had on the interconnect, and when each last committed. The
+// CLI maps it to its own exit code, distinct from fault halts.
+type DeadlockError struct {
+	// Cycle is the cycle the watchdog fired.
+	Cycle uint64
+	// NetPending is the total undelivered message count.
+	NetPending int
+	// Nodes is the per-node snapshot, in node order.
+	Nodes []DeadlockNode
+	// Events is the TraceLine event tail, when tracing was on.
+	Events []string
+}
+
+// DeadlockNode is one node's state inside a DeadlockError.
+type DeadlockNode struct {
+	ID          int
+	Committed   uint64
+	MemCommits  uint64
+	LastCommit  uint64 // cycle of the node's most recent commit
+	Outstanding int    // open miss episodes (DCUB entries)
+	SrcPending  int    // messages this node still has on the interconnect
+	Buffered    int    // early-data BSHR entries
+	Waiting     []DeadlockWait
+}
+
+// DeadlockWait is one pending BSHR tag inside a DeadlockNode.
+type DeadlockWait struct {
+	Line       uint64
+	Owner      int
+	Replicated bool
+	Waiters    int
+	Retries    int
+}
+
+// Error implements error.
+func (e *DeadlockError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "core: deadlock: no commit progress at cycle %d: netPending=%d", e.Cycle, e.NetPending)
+	for _, n := range e.Nodes {
+		fmt.Fprintf(&b, "\n node%d{committed=%d memCommits=%d lastCommit=%d outstanding=%d srcPending=%d",
+			n.ID, n.Committed, n.MemCommits, n.LastCommit, n.Outstanding, n.SrcPending)
+		for _, w := range n.Waiting {
+			fmt.Fprintf(&b, " wait[0x%x owner=%d repl=%v waiters=%d retries=%d]",
+				w.Line, w.Owner, w.Replicated, w.Waiters, w.Retries)
 		}
-		detail += fmt.Sprintf(" buffered=%d}", len(nd.bshr.BufferedLines()))
+		fmt.Fprintf(&b, " buffered=%d}", n.Buffered)
+	}
+	for _, ev := range e.Events {
+		b.WriteString("\n  " + ev)
+	}
+	return b.String()
+}
+
+func (m *Machine) deadlockError() error {
+	e := &DeadlockError{Cycle: m.now, NetPending: m.net.Pending()}
+	for _, nd := range m.nodes {
+		dn := DeadlockNode{
+			ID:          nd.id,
+			Committed:   nd.core.Committed(),
+			MemCommits:  nd.memCommits,
+			LastCommit:  nd.core.LastCommitCycle(),
+			Outstanding: len(nd.outstanding),
+			SrcPending:  m.net.SourcePending(nd.id),
+			Buffered:    nd.bshr.Buffered(),
+		}
+		for _, w := range nd.bshr.WaitingDetail() {
+			dn.Waiting = append(dn.Waiting, DeadlockWait{
+				Line:       w.Line,
+				Owner:      m.pt.OwnerOf(w.Line),
+				Replicated: m.pt.IsReplicated(w.Line),
+				Waiters:    w.Waiters,
+				Retries:    w.Retries,
+			})
+		}
+		e.Nodes = append(e.Nodes, dn)
 	}
 	if n := len(m.events); n > 0 {
 		start := 0
 		if n > 80 {
 			start = n - 80
 		}
-		for _, ev := range m.events[start:] {
-			detail += "\n  " + ev
-		}
+		e.Events = append(e.Events, m.events[start:]...)
 	}
-	return fmt.Errorf("core: deadlock: no commit progress at cycle %d:%s", m.now, detail)
+	return e
 }
 
 func (m *Machine) collect() Result {
 	r := Result{
 		Cycles:           m.now,
-		Instructions:     m.nodes[0].core.Committed(),
+		Instructions:     m.nodes[m.firstLive()].core.Committed(),
 		BusStats:         *m.net.NetStats(),
 		CorrespondenceOK: m.checkCorrespondence(),
 	}
@@ -487,7 +615,22 @@ func (m *Machine) collect() Result {
 	if r.Cycles > 0 {
 		r.IPC = float64(r.Instructions) / float64(r.Cycles)
 	}
+	if m.fault != nil {
+		snap := m.fault.stats
+		r.Fault = &snap
+	}
 	return r
+}
+
+// firstLive returns the lowest-numbered node that has not died (node 0
+// on every fault-free machine).
+func (m *Machine) firstLive() int {
+	for i := range m.nodes {
+		if !m.nodeDead(i) {
+			return i
+		}
+	}
+	return 0
 }
 
 // CorrespondenceReport explains a correspondence failure: per-node
@@ -521,15 +664,22 @@ func (m *Machine) CorrespondenceReport() string {
 }
 
 // checkCorrespondence verifies the protocol invariant: every node's tag
-// state is identical at equal committed-memory-op counts.
+// state is identical at equal committed-memory-op counts. A permanently
+// dead node is excluded — its state froze mid-run, but the sampled
+// digests it produced while alive must still match.
 func (m *Machine) checkCorrespondence() bool {
-	ref := m.nodes[0]
-	for _, nd := range m.nodes[1:] {
-		if nd.memCommits != ref.memCommits {
-			return false
+	ref := m.nodes[m.firstLive()]
+	for _, nd := range m.nodes {
+		if nd == ref {
+			continue
 		}
-		if nd.l1.StateDigest() != ref.l1.StateDigest() {
-			return false
+		if !m.nodeDead(nd.id) {
+			if nd.memCommits != ref.memCommits {
+				return false
+			}
+			if nd.l1.StateDigest() != ref.l1.StateDigest() {
+				return false
+			}
 		}
 		for k, v := range ref.digests {
 			if ov, ok := nd.digests[k]; ok && ov != v {

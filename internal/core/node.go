@@ -6,6 +6,7 @@ import (
 	"github.com/wisc-arch/datascalar/internal/bus"
 	"github.com/wisc-arch/datascalar/internal/cache"
 	"github.com/wisc-arch/datascalar/internal/emu"
+	"github.com/wisc-arch/datascalar/internal/fault"
 	"github.com/wisc-arch/datascalar/internal/mem"
 	"github.com/wisc-arch/datascalar/internal/obs"
 	"github.com/wisc-arch/datascalar/internal/ooo"
@@ -108,6 +109,15 @@ type node struct {
 	missFree []*missEntry
 	inflight map[ooo.LoadToken]issueInfo
 
+	// bcastSeq numbers this node's broadcasts; the fault plan keys its
+	// injection decisions on (src, dst, line, seq), a stable identity
+	// independent of delivery cycles or scheduling.
+	bcastSeq uint64
+	// fpAccum is the running commit fingerprint (a mix over the committed
+	// memory-operation address stream), maintained only when the
+	// fingerprint exchange is enabled.
+	fpAccum uint64
+
 	stats NodeStats
 
 	// Correspondence-invariant sampling: tag state is a pure function of
@@ -144,7 +154,7 @@ func (n *node) IssueLoad(now uint64, tok ooo.LoadToken, addr uint64, size int) (
 		e.refs++
 		if e.pending {
 			// Join the BSHR wait for the episode's broadcast.
-			if ready, at := n.bshr.Request(line, tok); ready {
+			if ready, at := n.bshr.Request(line, tok, now); ready {
 				e.pending = false
 				e.dataAt = at + n.cfg.BSHRCycles
 				return maxU64(now+1, e.dataAt), false
@@ -194,7 +204,7 @@ func (n *node) IssueLoad(now uint64, tok ooo.LoadToken, addr uint64, size int) (
 	n.stats.RemoteMisses.Inc()
 	e.pending = true
 	e.claimed = true
-	if ready, at := n.bshr.Request(line, tok); ready {
+	if ready, at := n.bshr.Request(line, tok, now); ready {
 		// Another node ran ahead and its broadcast is already here: an
 		// on-chip hit in the BSHR.
 		e.pending = false
@@ -229,7 +239,7 @@ func (n *node) CommitLoad(now uint64, tok ooo.LoadToken, addr uint64, size int) 
 			n.obsEvent(obs.EvFalseMiss, line, 0)
 		}
 		n.release(e, line, info)
-		n.afterMemCommit()
+		n.afterMemCommit(now, addr)
 		return
 	}
 
@@ -277,7 +287,7 @@ func (n *node) CommitLoad(now uint64, tok ooo.LoadToken, addr uint64, size int) 
 		n.disposeWriteback(now, res.WritebackAddr)
 	}
 	n.release(e, line, info)
-	n.afterMemCommit()
+	n.afterMemCommit(now, addr)
 }
 
 // release drops the committing load's reference on its DCUB entry,
@@ -295,11 +305,19 @@ func (n *node) release(e *missEntry, line uint64, info issueInfo) {
 }
 
 // afterMemCommit samples the correspondence digest at fixed memory-commit
-// milestones.
-func (n *node) afterMemCommit() {
+// milestones and, when the fingerprint exchange is enabled, folds the
+// committed access into the node's commit fingerprint (the address
+// stream is identical at every node, so the fingerprints must agree).
+func (n *node) afterMemCommit(now, addr uint64) {
 	n.memCommits++
 	if iv := n.cfg.DigestInterval; iv != 0 && n.memCommits%iv == 0 {
 		n.digests[n.memCommits] = n.l1.StateDigest()
+	}
+	if fs := n.m.fault; fs != nil && fs.cfg.FingerprintInterval != 0 {
+		n.fpAccum = fault.Mix64(n.fpAccum ^ addr)
+		if n.memCommits%fs.cfg.FingerprintInterval == 0 {
+			fs.emitFingerprint(n, now)
+		}
 	}
 }
 
@@ -308,16 +326,15 @@ func (n *node) afterMemCommit() {
 // write-no-allocate policy a store miss completes in the owner's local
 // memory and is dropped everywhere else, generating no traffic.
 func (n *node) CommitStore(now uint64, addr uint64, size int) {
-	defer n.afterMemCommit()
-	if n.l1.Touch(addr, true) {
-		return // store hit: line dirtied in every node's cache
+	if !n.l1.Touch(addr, true) { // store hit dirties the line in every node's cache
+		if n.pt.Owns(addr, n.id) {
+			n.stats.StoresLocal.Inc()
+			n.dram.Access(now, n.l1.LineAddr(addr)) // bank occupancy; fire and forget
+		} else {
+			n.stats.StoresDropped.Inc()
+		}
 	}
-	if n.pt.Owns(addr, n.id) {
-		n.stats.StoresLocal.Inc()
-		n.dram.Access(now, n.l1.LineAddr(addr)) // bank occupancy; fire and forget
-	} else {
-		n.stats.StoresDropped.Inc()
-	}
+	n.afterMemCommit(now, addr)
 }
 
 // UsePrivate implements ooo.PrivatePort: the private path is active only
@@ -362,12 +379,24 @@ func (n *node) broadcast(line uint64, readyAt uint64, reparative bool) {
 		n.stats.LateBroadcasts.Inc()
 	}
 	n.obsEvent(obs.EvBroadcastSent, line, boolArg(reparative))
+	seq := n.bcastSeq
+	n.bcastSeq++
+	ready := readyAt + n.cfg.BcastQueueCycles
+	if fs := n.m.fault; fs != nil {
+		if extra := fs.plan.DelayExtra(n.id, line, seq); extra != 0 {
+			fs.stats.InjectedDelays++
+			fs.stats.DelayCycles += extra
+			n.obsEvent(obs.EvFaultDelay, line, extra)
+			ready += extra
+		}
+	}
 	n.net.Enqueue(bus.Message{
 		Kind:         bus.Broadcast,
 		Src:          n.id,
 		Addr:         line,
 		PayloadBytes: n.cfg.L1.LineBytes,
-		ReadyAt:      readyAt + n.cfg.BcastQueueCycles,
+		ReadyAt:      ready,
+		Seq:          seq,
 		Reparative:   reparative,
 	})
 }

@@ -1,0 +1,355 @@
+// Package fault is the deterministic fault-injection and resilience
+// layer of the DataScalar machine. DataScalar's defining property —
+// every node redundantly executes the whole program — is the classic
+// substrate for fault tolerance, and this package supplies the three
+// pieces the machine needs to exploit it:
+//
+//   - Injection: a seeded Plan decides, as a pure function of stable
+//     message identity (never of wall-clock or iteration order), which
+//     broadcasts are dropped, delayed, or bit-flipped at which receivers,
+//     and when a node dies permanently. Two runs with the same seed make
+//     identical decisions regardless of worker count, so fault campaigns
+//     are bit-reproducible serial or parallel.
+//   - Detection: Config carries the retry/backoff parameters of the BSHR
+//     timeout → re-request path and the commit-fingerprint exchange
+//     interval; Stats accumulates what detection observed.
+//   - Reporting: Report is the structured, typed error a machine halts
+//     with when it detects a fault it cannot (or is configured not to)
+//     recover from — never a silent wrong answer, never an unexplained
+//     watchdog.
+//
+// The determinism contract (docs/ROBUSTNESS.md): every decision is
+// derived by mixing the seed with a fault-class constant and the
+// message's stable identity (source, destination, line address, per-node
+// broadcast sequence number). Nothing depends on delivery cycles, map
+// iteration order, or scheduling, so the same faults hit the same
+// messages in every run of the same configuration.
+package fault
+
+import "fmt"
+
+// Class enumerates the injected fault classes.
+type Class uint8
+
+const (
+	// ClassNone marks the absence of a fault (zero value).
+	ClassNone Class = iota
+	// ClassDrop is a transient broadcast-delivery loss at one receiver.
+	ClassDrop
+	// ClassDelay is a bounded extra delivery delay on one message.
+	ClassDelay
+	// ClassFlip is a payload bit-flip observed by one receiver.
+	ClassFlip
+	// ClassDeath is a permanent node failure at a configured cycle.
+	ClassDeath
+	// ClassDivergence is a detected cross-node commit-fingerprint
+	// mismatch (the detection-side view of ClassFlip, or of a genuine
+	// redundant-execution divergence bug).
+	ClassDivergence
+	// ClassLost marks a line whose retries exhausted against a live
+	// owner — delivery could not be repaired within the retry budget.
+	ClassLost
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassNone:
+		return "none"
+	case ClassDrop:
+		return "drop"
+	case ClassDelay:
+		return "delay"
+	case ClassFlip:
+		return "flip"
+	case ClassDeath:
+		return "death"
+	case ClassDivergence:
+		return "divergence"
+	case ClassLost:
+		return "lost"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// MarshalJSON renders the class by name.
+func (c Class) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + c.String() + `"`), nil
+}
+
+// Config parameterizes the fault layer of one machine. The zero value
+// injects nothing and enables nothing: a machine treats a zero Config
+// exactly like a nil one (Enabled reports false), which is what makes
+// the rate-0 differential suite meaningful.
+type Config struct {
+	// Seed keys every injection decision. The same seed reproduces the
+	// same faults bit-for-bit, serial or parallel.
+	Seed uint64
+
+	// DropRate is the probability, per broadcast delivery at each
+	// receiving node, that the delivery is silently lost.
+	DropRate float64
+	// DelayRate is the probability, per broadcast send, that the message
+	// is held back an extra 1..DelayMaxCycles cycles before it may
+	// arbitrate for the interconnect.
+	DelayRate float64
+	// DelayMaxCycles bounds the injected extra delay (default 200).
+	DelayMaxCycles uint64
+	// FlipRate is the probability, per broadcast delivery at each
+	// receiving node, that the receiver observes a corrupted payload.
+	// The timing model carries no payload data (every node's emulator
+	// computes all values itself), so a flip perturbs the victim's
+	// commit-fingerprint stream instead — detected, when the fingerprint
+	// exchange is enabled, as cross-node divergence.
+	FlipRate float64
+
+	// DeadNode, when DeathCycle is non-zero, is the node that fails
+	// permanently at DeathCycle: its core freezes, its unsent messages
+	// are purged from the interconnect, and it neither sends nor
+	// receives anything afterwards.
+	DeadNode int
+	// DeathCycle is the cycle of the permanent failure (0 = no death).
+	DeathCycle uint64
+	// Recover selects the response to a detected owner death: true
+	// remaps the dead node's owned pages onto a surviving successor (a
+	// configurable backing copy is assumed, as every node's local memory
+	// model can serve any line) and continues degraded; false halts with
+	// a structured Report.
+	Recover bool
+
+	// RetryTimeoutCycles is how long a BSHR entry waits for its
+	// broadcast before the node sends a directed re-request to the
+	// line's owner (default 20 000 — far beyond any fault-free wait, so
+	// detection never perturbs a healthy run).
+	RetryTimeoutCycles uint64
+	// RetryBackoffCapCycles caps the exponential backoff between
+	// retries of the same line (default 8× RetryTimeoutCycles).
+	RetryBackoffCapCycles uint64
+	// MaxRetries bounds re-requests per line before the machine
+	// escalates: a dead owner triggers recovery or a death Report, a
+	// live one a lost-line Report (default 8).
+	MaxRetries int
+
+	// FingerprintInterval, when non-zero, makes every node broadcast a
+	// fingerprint of its committed memory-operation stream every that
+	// many commits; receivers cross-check it against their own stream,
+	// turning redundant execution into N-modular divergence detection.
+	FingerprintInterval uint64
+}
+
+// Enabled reports whether the configuration injects or detects
+// anything. A disabled configuration is treated exactly like a nil one:
+// the machine builds no fault state and touches no fault hook.
+func (c Config) Enabled() bool {
+	return c.DropRate > 0 || c.DelayRate > 0 || c.FlipRate > 0 ||
+		c.DeathCycle != 0 || c.FingerprintInterval != 0
+}
+
+// Validate checks structural soundness.
+func (c Config) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"drop", c.DropRate}, {"delay", c.DelayRate}, {"flip", c.FlipRate}} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("fault: %s rate %v outside [0,1]", r.name, r.v)
+		}
+	}
+	if c.DeathCycle != 0 && c.DeadNode < 0 {
+		return fmt.Errorf("fault: death cycle set with negative dead node %d", c.DeadNode)
+	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("fault: negative retry budget %d", c.MaxRetries)
+	}
+	return nil
+}
+
+// WithDefaults fills the detection parameters left at zero.
+func (c Config) WithDefaults() Config {
+	if c.DelayMaxCycles == 0 {
+		c.DelayMaxCycles = 200
+	}
+	if c.RetryTimeoutCycles == 0 {
+		c.RetryTimeoutCycles = 20_000
+	}
+	if c.RetryBackoffCapCycles == 0 {
+		c.RetryBackoffCapCycles = 8 * c.RetryTimeoutCycles
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 8
+	}
+	return c
+}
+
+// Plan makes injection decisions for one machine. It is stateless: every
+// method is a pure function of the configuration and its arguments, so a
+// Plan may be consulted from any number of concurrently running machines
+// (the engine runs jobs in parallel) without coordination.
+type Plan struct {
+	cfg        Config
+	dropThresh uint64
+	delayThresh uint64
+	flipThresh uint64
+}
+
+// NewPlan builds a plan for cfg (defaults already applied by the
+// caller). It panics on an invalid configuration: fault plans are
+// experiment setup, and a bad one is a harness bug.
+func NewPlan(cfg Config) *Plan {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Plan{
+		cfg:         cfg,
+		dropThresh:  rateThreshold(cfg.DropRate),
+		delayThresh: rateThreshold(cfg.DelayRate),
+		flipThresh:  rateThreshold(cfg.FlipRate),
+	}
+}
+
+// Config returns the plan's configuration.
+func (p *Plan) Config() Config { return p.cfg }
+
+// rateThreshold converts a probability to a 64-bit comparison threshold:
+// a uniformly mixed hash below the threshold means "inject".
+func rateThreshold(rate float64) uint64 {
+	switch {
+	case rate <= 0:
+		return 0
+	case rate >= 1:
+		return ^uint64(0)
+	default:
+		return uint64(rate * float64(1<<63) * 2)
+	}
+}
+
+// Mix64 exposes the decision-mixing function so the machine can fold
+// committed-operation identities into its commit fingerprint with the
+// same well-distributed construction.
+func Mix64(x uint64) uint64 { return mix64(x) }
+
+// mix64 is the SplitMix64 finalizer: a fast, well-distributed 64-bit
+// mixing function (the same construction internal/stats.RNG uses).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// key mixes the seed, a class constant, and a message's stable identity
+// into one decision hash.
+func (p *Plan) key(class Class, src, dst int, addr, seq uint64) uint64 {
+	h := p.cfg.Seed ^ (uint64(class) * 0x9e3779b97f4a7c15)
+	h = mix64(h ^ uint64(src)*0xff51afd7ed558ccd)
+	h = mix64(h ^ uint64(dst)*0xc4ceb9fe1a85ec53)
+	h = mix64(h ^ addr)
+	return mix64(h ^ seq)
+}
+
+// DropArrival reports whether the delivery of broadcast (src, addr, seq)
+// at receiver dst is lost.
+func (p *Plan) DropArrival(src, dst int, addr, seq uint64) bool {
+	return p.dropThresh != 0 && p.key(ClassDrop, src, dst, addr, seq) < p.dropThresh
+}
+
+// DelayExtra returns the extra cycles (0 = none) message (src, addr,
+// seq) is held before it may arbitrate for the interconnect.
+func (p *Plan) DelayExtra(src int, addr, seq uint64) uint64 {
+	if p.delayThresh == 0 || p.key(ClassDelay, src, -1, addr, seq) >= p.delayThresh {
+		return 0
+	}
+	// A second independent mix picks the magnitude in [1, DelayMaxCycles].
+	h := mix64(p.key(ClassDelay, src, -2, addr, seq))
+	return 1 + h%p.cfg.DelayMaxCycles
+}
+
+// FlipArrival returns (taint, true) when receiver dst observes a
+// corrupted payload for broadcast (src, addr, seq); taint is the
+// deterministic non-zero corruption signature folded into the victim's
+// commit fingerprint.
+func (p *Plan) FlipArrival(src, dst int, addr, seq uint64) (uint64, bool) {
+	if p.flipThresh == 0 || p.key(ClassFlip, src, dst, addr, seq) >= p.flipThresh {
+		return 0, false
+	}
+	taint := p.key(ClassFlip, src, dst, addr, seq^0xdeadbeef)
+	if taint == 0 {
+		taint = 1
+	}
+	return taint, true
+}
+
+// Stats accumulates the fault layer's injection and detection counters
+// for one run; the machine surfaces it as Result.Fault. Plain integers
+// (not stats.Counter) keep it trivially JSON-comparable.
+type Stats struct {
+	// Injection side.
+	InjectedDrops  uint64 `json:"injectedDrops"`
+	InjectedDelays uint64 `json:"injectedDelays"`
+	InjectedFlips  uint64 `json:"injectedFlips"`
+	DelayCycles    uint64 `json:"delayCycles"` // total extra cycles injected
+	NodeDied       bool   `json:"nodeDied"`
+	DeadNode       int    `json:"deadNode"`
+	DeathCycle     uint64 `json:"deathCycle"`
+	PurgedMessages int    `json:"purgedMessages"` // unsent messages lost with the dead node
+
+	// Detection side.
+	Timeouts       uint64 `json:"timeouts"`       // BSHR deadlines that fired
+	Retries        uint64 `json:"retries"`        // re-requests sent
+	RetriesServed  uint64 `json:"retriesServed"`  // re-requests answered by an owner
+	SelfServes     uint64 `json:"selfServes"`     // retries satisfied from local memory (post-remap owner)
+	DetectedDrops  uint64 `json:"detectedDrops"`  // timeouts matching an injected drop
+	FPBroadcasts   uint64 `json:"fpBroadcasts"`   // fingerprints sent
+	FPChecks       uint64 `json:"fpChecks"`       // pairwise fingerprint comparisons
+	FPMismatches   uint64 `json:"fpMismatches"`   // comparisons that disagreed
+	DetectedFlips  uint64 `json:"detectedFlips"`  // divergences matching an injected flip
+	Detections     uint64 `json:"detections"`     // faults detected (drops + flips + death)
+	DetectLatencySum uint64 `json:"detectLatencySum"` // cycles from injection to detection, summed
+
+	// Recovery side.
+	DeathDetected   bool   `json:"deathDetected"`
+	DeathDetectedAt uint64 `json:"deathDetectedAt"`
+	RemappedPages   int    `json:"remappedPages"`
+	SuccessorNode   int    `json:"successorNode"`
+	Degraded        bool   `json:"degraded"` // run finished without the dead node
+}
+
+// MeanDetectLatency returns the mean injection-to-detection latency in
+// cycles (0 when nothing was detected).
+func (s *Stats) MeanDetectLatency() float64 {
+	if s.Detections == 0 {
+		return 0
+	}
+	return float64(s.DetectLatencySum) / float64(s.Detections)
+}
+
+// Report is the structured error a machine halts with on an
+// unrecoverable (or unrecovered-by-configuration) fault. It names the
+// faulting node, the fault class, and the detection cycle, so a halted
+// run is debuggable from the error alone.
+type Report struct {
+	// Class is the detected fault class (death, divergence, lost).
+	Class Class `json:"class"`
+	// Node is the faulting node (-1 when attribution is impossible,
+	// e.g. a two-node fingerprint mismatch).
+	Node int `json:"node"`
+	// Cycle is the detection cycle.
+	Cycle uint64 `json:"cycle"`
+	// Line is the line address involved, when one is (death and lost).
+	Line uint64 `json:"line,omitempty"`
+	// Detail is a human-readable elaboration.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Error implements error.
+func (r *Report) Error() string {
+	s := fmt.Sprintf("fault: %s: node %d at cycle %d", r.Class, r.Node, r.Cycle)
+	if r.Line != 0 {
+		s += fmt.Sprintf(" line 0x%x", r.Line)
+	}
+	if r.Detail != "" {
+		s += ": " + r.Detail
+	}
+	return s
+}

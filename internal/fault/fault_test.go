@@ -1,0 +1,131 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZeroConfigDisabled(t *testing.T) {
+	var c Config
+	if c.Enabled() {
+		t.Fatal("zero Config must be disabled")
+	}
+	c.RetryTimeoutCycles = 5 // detection knobs alone do not enable injection
+	if c.Enabled() {
+		t.Fatal("retry tuning alone must not enable the fault layer")
+	}
+	c.FingerprintInterval = 64
+	if !c.Enabled() {
+		t.Fatal("fingerprint exchange enables the layer")
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, DropRate: 0.3, DelayRate: 0.2, FlipRate: 0.1}.WithDefaults()
+	a, b := NewPlan(cfg), NewPlan(cfg)
+	for seq := uint64(0); seq < 2000; seq++ {
+		addr := seq * 32
+		if a.DropArrival(0, 1, addr, seq) != b.DropArrival(0, 1, addr, seq) {
+			t.Fatalf("drop decision diverged at seq %d", seq)
+		}
+		if da, db := a.DelayExtra(0, addr, seq), b.DelayExtra(0, addr, seq); da != db {
+			t.Fatalf("delay diverged at seq %d: %d vs %d", seq, da, db)
+		}
+		ta, oka := a.FlipArrival(0, 1, addr, seq)
+		tb, okb := b.FlipArrival(0, 1, addr, seq)
+		if oka != okb || ta != tb {
+			t.Fatalf("flip diverged at seq %d", seq)
+		}
+	}
+}
+
+func TestPlanRates(t *testing.T) {
+	// Empirical rates over many trials should be near the configured
+	// probability: the mixing function is the only randomness source.
+	cfg := Config{Seed: 7, DropRate: 0.25}.WithDefaults()
+	p := NewPlan(cfg)
+	const n = 50_000
+	drops := 0
+	for seq := uint64(0); seq < n; seq++ {
+		if p.DropArrival(2, 3, seq*64, seq) {
+			drops++
+		}
+	}
+	got := float64(drops) / n
+	if math.Abs(got-0.25) > 0.02 {
+		t.Fatalf("empirical drop rate %.4f, want ~0.25", got)
+	}
+}
+
+func TestPlanZeroRatesNeverFire(t *testing.T) {
+	p := NewPlan(Config{Seed: 9, FingerprintInterval: 32}.WithDefaults())
+	for seq := uint64(0); seq < 5000; seq++ {
+		if p.DropArrival(0, 1, seq, seq) {
+			t.Fatal("rate-0 drop fired")
+		}
+		if p.DelayExtra(0, seq, seq) != 0 {
+			t.Fatal("rate-0 delay fired")
+		}
+		if _, ok := p.FlipArrival(0, 1, seq, seq); ok {
+			t.Fatal("rate-0 flip fired")
+		}
+	}
+}
+
+func TestDelayBounded(t *testing.T) {
+	cfg := Config{Seed: 3, DelayRate: 1, DelayMaxCycles: 17}.WithDefaults()
+	p := NewPlan(cfg)
+	for seq := uint64(0); seq < 5000; seq++ {
+		d := p.DelayExtra(1, seq*32, seq)
+		if d < 1 || d > 17 {
+			t.Fatalf("delay %d outside [1,17]", d)
+		}
+	}
+}
+
+func TestSeedsIndependent(t *testing.T) {
+	a := NewPlan(Config{Seed: 1, DropRate: 0.5}.WithDefaults())
+	b := NewPlan(Config{Seed: 2, DropRate: 0.5}.WithDefaults())
+	same := 0
+	const n = 4096
+	for seq := uint64(0); seq < n; seq++ {
+		if a.DropArrival(0, 1, seq*32, seq) == b.DropArrival(0, 1, seq*32, seq) {
+			same++
+		}
+	}
+	// Two independent seeds agree on roughly half the decisions.
+	if same < n/3 || same > 2*n/3 {
+		t.Fatalf("seeds look correlated: %d/%d identical decisions", same, n)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Config{DropRate: 1.5}).Validate(); err == nil {
+		t.Fatal("rate > 1 must fail validation")
+	}
+	if err := (Config{DeadNode: -1, DeathCycle: 5}).Validate(); err == nil {
+		t.Fatal("negative dead node with a death cycle must fail")
+	}
+	if err := (Config{Seed: 1, DropRate: 0.5}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReportError(t *testing.T) {
+	r := &Report{Class: ClassDeath, Node: 2, Cycle: 1234, Line: 0x8000, Detail: "owner unresponsive after 4 retries"}
+	msg := r.Error()
+	for _, want := range []string{"death", "node 2", "cycle 1234", "0x8000", "4 retries"} {
+		if !contains(msg, want) {
+			t.Fatalf("report %q lacks %q", msg, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

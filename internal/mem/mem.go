@@ -111,6 +111,36 @@ func (pt *PageTable) Owns(addr uint64, node int) bool {
 	return e.Kind == Replicated || e.Owner == node
 }
 
+// Clone returns a deep copy of the table. The fault layer clones the
+// (otherwise shared, read-only) table before a run that may remap
+// ownership, so recovery never mutates state other machines see.
+func (pt *PageTable) Clone() *PageTable {
+	out := NewPageTable(pt.numNodes)
+	for pg, e := range pt.entries {
+		out.entries[pg] = e
+	}
+	return out
+}
+
+// ReassignOwner transfers every communicated page owned by from to node
+// to, returning the number of pages moved. This is the degraded-mode
+// recovery step after a permanent node failure: the successor's backing
+// copy serves the dead node's share from then on.
+func (pt *PageTable) ReassignOwner(from, to int) int {
+	if to < 0 || to >= pt.numNodes {
+		panic(fmt.Sprintf("mem: successor %d out of range [0,%d)", to, pt.numNodes))
+	}
+	n := 0
+	for pg, e := range pt.entries {
+		if e.Kind == Communicated && e.Owner == from {
+			e.Owner = to
+			pt.entries[pg] = e
+			n++
+		}
+	}
+	return n
+}
+
 // Pages returns all mapped page numbers, ascending.
 func (pt *PageTable) Pages() []uint64 {
 	out := make([]uint64, 0, len(pt.entries))

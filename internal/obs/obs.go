@@ -63,6 +63,35 @@ const (
 	// EvBusDeliver: a point-to-point message arrived at its destination
 	// (traditional machine request/response traffic; Arg = message kind).
 	EvBusDeliver
+	// EvFaultDrop: the fault layer dropped a broadcast delivery at this
+	// node (Addr = line; Arg = source node).
+	EvFaultDrop
+	// EvFaultDelay: the fault layer held a broadcast back before it could
+	// arbitrate (Addr = line; Arg = extra cycles).
+	EvFaultDelay
+	// EvFaultFlip: the fault layer corrupted a delivery's payload as seen
+	// by this node (Addr = line; Arg = source node).
+	EvFaultFlip
+	// EvFaultDeath: a node failed permanently (Arg = messages purged).
+	EvFaultDeath
+	// EvFaultTimeout: a BSHR wait exceeded its deadline (Addr = line;
+	// Arg = retries already spent).
+	EvFaultTimeout
+	// EvFaultRetry: a node re-requested a timed-out line from its owner
+	// (Addr = line; Arg = owner node).
+	EvFaultRetry
+	// EvFaultRetryServed: an owner answered a re-request with a directed
+	// resend (Addr = line; Arg = requesting node).
+	EvFaultRetryServed
+	// EvFaultFingerprint: a node broadcast its commit fingerprint
+	// (Addr = interval index; Arg = fingerprint value).
+	EvFaultFingerprint
+	// EvFaultDivergence: the fingerprint exchange detected a cross-node
+	// divergence (Addr = interval index; Node = attributed culprit or -1).
+	EvFaultDivergence
+	// EvFaultRemap: a dead owner's pages were remapped to a successor
+	// (Node = successor; Arg = pages moved).
+	EvFaultRemap
 
 	numEventKinds
 )
@@ -85,6 +114,16 @@ var eventNames = [numEventKinds]string{
 	EvCacheInvalidate:   "cache.invalidate",
 	EvBusGrant:          "bus.grant",
 	EvBusDeliver:        "bus.deliver",
+	EvFaultDrop:         "fault.drop",
+	EvFaultDelay:        "fault.delay",
+	EvFaultFlip:         "fault.flip",
+	EvFaultDeath:        "fault.death",
+	EvFaultTimeout:      "fault.timeout",
+	EvFaultRetry:        "fault.retry",
+	EvFaultRetryServed:  "fault.retry-served",
+	EvFaultFingerprint:  "fault.fingerprint",
+	EvFaultDivergence:   "fault.divergence",
+	EvFaultRemap:        "fault.remap",
 }
 
 // String names the event kind (the dotted taxonomy used in traces).

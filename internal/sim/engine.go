@@ -2,12 +2,14 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"github.com/wisc-arch/datascalar/internal/core"
+	"github.com/wisc-arch/datascalar/internal/fault"
 	"github.com/wisc-arch/datascalar/internal/mem"
 	"github.com/wisc-arch/datascalar/internal/obs"
 	"github.com/wisc-arch/datascalar/internal/prog"
@@ -90,6 +92,17 @@ type Job struct {
 	// NoCycleSkip disables the next-event scheduler for this job's
 	// machine (stamped from Options.NoCycleSkip by runJobs).
 	NoCycleSkip bool
+
+	// Fault is the deterministic fault plan injected into a KindDS
+	// machine (see internal/fault). The zero value builds no fault layer
+	// at all, so ordinary jobs are untouched. Jobs that leave it zero
+	// inherit Options.Fault from runJobs.
+	Fault fault.Config
+	// CaptureFailure embeds a structured failure (*fault.Report or
+	// *core.DeadlockError) in the JobResult instead of failing the whole
+	// sweep — campaign harnesses treat those as outcomes, not errors.
+	// Unstructured errors still abort the sweep.
+	CaptureFailure bool
 }
 
 // JobResult is one Job's outcome. Kind mirrors the job; DS is set for
@@ -98,6 +111,14 @@ type JobResult struct {
 	Kind MachineKind
 	DS   core.Result
 	Trad traditional.Result
+
+	// Failure is the structured failure of a CaptureFailure job whose
+	// machine halted (*fault.Report on a detected fault, or
+	// *core.DeadlockError from the watchdog); nil when the run completed.
+	Failure error `json:"-"`
+	// FaultStats carries the DS fault counters even when the run halted
+	// (DS.Fault covers only completed runs); nil without a fault layer.
+	FaultStats *fault.Stats `json:",omitempty"`
 }
 
 // IPC returns the run's IPC regardless of machine kind.
@@ -126,7 +147,10 @@ func (j Job) run() (JobResult, error) {
 	out := JobResult{Kind: j.Kind}
 	switch j.Kind {
 	case KindDS:
-		out.DS, err = j.runDS(pr)
+		out.DS, out.FaultStats, err = j.runDS(pr)
+		if err != nil && j.CaptureFailure && isStructuredFailure(err) {
+			out.Failure, err = err, nil
+		}
 	case KindTraditional:
 		out.Trad, err = j.runTrad(pr)
 	case KindPerfect:
@@ -140,38 +164,48 @@ func (j Job) run() (JobResult, error) {
 	return out, nil
 }
 
+// isStructuredFailure reports whether err is a resilience outcome a
+// campaign can classify rather than a harness defect.
+func isStructuredFailure(err error) bool {
+	var rep *fault.Report
+	var dl *core.DeadlockError
+	return errors.As(err, &rep) || errors.As(err, &dl)
+}
+
 // runDS runs an n-node DataScalar machine; without an explicit PageTable
 // it uses the paper's default partition (round-robin single-page
-// distribution, replicated text).
-func (j Job) runDS(pr prepared) (core.Result, error) {
+// distribution, replicated text). The fault stats pointer is returned
+// separately from the Result so halted runs still expose their counters.
+func (j Job) runDS(pr prepared) (core.Result, *fault.Stats, error) {
 	pt := j.PageTable
 	if pt == nil {
 		var err error
 		pt, err = defaultPartition(pr.p, j.Nodes)
 		if err != nil {
-			return core.Result{}, err
+			return core.Result{}, nil, err
 		}
 	}
 	cfg := core.DefaultConfig(j.Nodes)
 	cfg.MaxInstr = j.MaxInstr
 	cfg.FastForwardPC = pr.ff
 	cfg.NoCycleSkip = j.NoCycleSkip
+	cfg.Fault = j.Fault
 	if j.DSMut != nil {
 		j.DSMut(&cfg)
 	}
 	cfg.Observer = obs.Multi(cfg.Observer, j.Observer)
 	m, err := core.NewMachine(cfg, pr.p, pt)
 	if err != nil {
-		return core.Result{}, err
+		return core.Result{}, nil, err
 	}
 	r, err := m.Run()
 	if err != nil {
-		return core.Result{}, fmt.Errorf("sim: %s DS%d: %w", pr.w.Name, j.Nodes, err)
+		return core.Result{}, m.FaultStats(), fmt.Errorf("sim: %s DS%d: %w", pr.w.Name, j.Nodes, err)
 	}
 	if !r.CorrespondenceOK {
-		return core.Result{}, fmt.Errorf("sim: %s DS%d: cache correspondence violated", pr.w.Name, j.Nodes)
+		return core.Result{}, m.FaultStats(), fmt.Errorf("sim: %s DS%d: cache correspondence violated", pr.w.Name, j.Nodes)
 	}
-	return r, nil
+	return r, m.FaultStats(), nil
 }
 
 // runTrad runs the traditional baseline with 1/Nodes of memory on-chip.
@@ -229,6 +263,9 @@ func runJobs(ctx context.Context, opts Options, jobs []Job) ([]JobResult, error)
 	return runIndexed(ctx, opts.Parallel, len(jobs), func(i int) (JobResult, error) {
 		j := jobs[i]
 		j.NoCycleSkip = opts.NoCycleSkip
+		if j.Fault == (fault.Config{}) {
+			j.Fault = opts.Fault
+		}
 		return j.run()
 	})
 }

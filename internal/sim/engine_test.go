@@ -45,6 +45,9 @@ var harnesses = []struct {
 	{"AblationLatencies", false, func(ctx context.Context, o Options) (any, error) { return AblationLatencies(ctx, o) }},
 	{"AblationPlacement", false, func(ctx context.Context, o Options) (any, error) { return AblationPlacement(ctx, o) }},
 	{"AblationReplication", false, func(ctx context.Context, o Options) (any, error) { return AblationReplication(ctx, o) }},
+	{"FaultCampaign", false, func(ctx context.Context, o Options) (any, error) {
+		return FaultCampaign(ctx, o, FaultCampaignConfig{Workloads: []string{"compress"}, Seeds: 1})
+	}},
 }
 
 // TestHarnessesDeterministicUnderParallelism is the engine's ordering

@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"github.com/wisc-arch/datascalar/internal/fault"
+)
+
+// TestFaultZeroRateDifferential is the sim-level half of the zero-rate
+// guarantee: an Options.Fault whose injection knobs are all zero (here
+// with retry tuning set, so the struct is non-zero but Enabled() is
+// false) must leave every harness's structured result — and its JSON
+// artifact — byte-identical to a run with no fault configuration at
+// all, serially and on a 4-way pool. The fault layer may not perturb a
+// healthy machine by existing.
+func TestFaultZeroRateDifferential(t *testing.T) {
+	variants := []struct {
+		name  string
+		fault fault.Config
+		par   int
+	}{
+		{"none/serial", fault.Config{}, 1},
+		{"none/parallel4", fault.Config{}, 4},
+		{"zero-rate/serial", fault.Config{RetryTimeoutCycles: 777, MaxRetries: 3}, 1},
+		{"zero-rate/parallel4", fault.Config{RetryTimeoutCycles: 777, MaxRetries: 3}, 4},
+	}
+	for _, h := range harnesses {
+		h := h
+		if h.name == "FaultCampaign" {
+			continue // injects by design; covered by its own determinism test
+		}
+		t.Run(h.name, func(t *testing.T) {
+			if testing.Short() && !h.cheap {
+				t.Skip("heavy timing sweep skipped in short mode")
+			}
+			t.Parallel()
+			var ref any
+			var refJSON []byte
+			for _, v := range variants {
+				opts := detOpts(v.par)
+				opts.Fault = v.fault
+				res, err := h.run(context.Background(), opts)
+				if err != nil {
+					t.Fatalf("%s: %v", v.name, err)
+				}
+				var buf bytes.Buffer
+				if err := WriteJSON(&buf, res); err != nil {
+					t.Fatalf("%s: %v", v.name, err)
+				}
+				if ref == nil {
+					ref, refJSON = res, buf.Bytes()
+					continue
+				}
+				if !reflect.DeepEqual(ref, res) {
+					t.Fatalf("results differ between %s and %s", variants[0].name, v.name)
+				}
+				if !bytes.Equal(refJSON, buf.Bytes()) {
+					t.Fatalf("JSON artifacts differ between %s and %s", variants[0].name, v.name)
+				}
+			}
+		})
+	}
+}

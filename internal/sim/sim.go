@@ -13,7 +13,11 @@
 // the next job boundary.
 package sim
 
-import "runtime"
+import (
+	"runtime"
+
+	"github.com/wisc-arch/datascalar/internal/fault"
+)
 
 // Options bound experiment cost. The defaults reproduce the shipped
 // EXPERIMENTS.md numbers in a few minutes on a laptop; the paper ran
@@ -40,6 +44,12 @@ type Options struct {
 	// enforces it — so the flag exists only to keep that equivalence
 	// testable.
 	NoCycleSkip bool
+	// Fault is a deterministic fault plan applied to every DataScalar
+	// job whose own Fault field is zero (see internal/fault). The zero
+	// value injects nothing and builds no fault layer, so every harness
+	// output stays byte-identical to a build without the fault subsystem
+	// (enforced by the zero-rate differential in faultdiff_test.go).
+	Fault fault.Config
 }
 
 // DefaultOptions returns the standard experiment sizes.

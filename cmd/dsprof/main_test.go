@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	datascalar "github.com/wisc-arch/datascalar"
+	"github.com/wisc-arch/datascalar/internal/cli"
+	"github.com/wisc-arch/datascalar/internal/obs"
+)
+
+// run invokes the CLI in-process and returns (exit code, stdout, stderr).
+func run(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := realMain(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestUsageErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown-flag", []string{"-no-such-flag"}, "flag provided but not defined"},
+		{"stray-args", []string{"stray"}, "unexpected arguments"},
+		{"diff-too-few", []string{"-diff", "only-one.json"}, "exactly two artifacts"},
+		{"diff-too-many", []string{"-diff", "a.json", "b.json", "c.json"}, "exactly two artifacts"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			code, stdout, stderr := run(t, tc.args...)
+			if code != cli.ExitUsage {
+				t.Fatalf("exit = %d, want %d\n%s%s", code, cli.ExitUsage, stdout, stderr)
+			}
+			if !strings.Contains(stdout+stderr, tc.want) {
+				t.Fatalf("output lacks %q\n%s%s", tc.want, stdout, stderr)
+			}
+		})
+	}
+	if code, _, stderr := run(t, "-workloads", "nope"); code != cli.ExitFailure ||
+		!strings.Contains(stderr, "unknown workload") {
+		t.Fatalf("unknown workload: exit %d, stderr %q", code, stderr)
+	}
+}
+
+// TestProfileAndDiff is the end-to-end gate: profile a workload, self-diff
+// (must pass), tamper with a bucket (must fail with exit 1).
+func TestProfileAndDiff(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	code, stdout, stderr := run(t, "-workloads", "compress", "-instr", "5000", "-json", base)
+	if code != cli.ExitOK {
+		t.Fatalf("profile: exit %d\n%s%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "CPI stack: compress") {
+		t.Fatalf("profile output lacks the CPI table:\n%s", stdout)
+	}
+
+	code, stdout, _ = run(t, "-diff", base, base)
+	if code != cli.ExitOK || !strings.Contains(stdout, "profiles identical") {
+		t.Fatalf("self-diff: exit %d\n%s", code, stdout)
+	}
+
+	// Inflate one material bucket well past the 10% threshold.
+	var prof datascalar.CPIProfileResult
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &prof); err != nil {
+		t.Fatal(err)
+	}
+	tampered := false
+	for i := range prof.Rows {
+		row := &prof.Rows[i]
+		if row.System != "DS2" {
+			continue
+		}
+		for j := range row.Stacks {
+			row.Stacks[j][obs.StallESPSerial] += row.Cycles / 2
+		}
+		row.Cycles += row.Cycles / 2
+		tampered = true
+	}
+	if !tampered {
+		t.Fatal("no DS2 row to tamper with")
+	}
+	cur := filepath.Join(dir, "cur.json")
+	out, err := json.Marshal(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cur, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, _ = run(t, "-diff", base, cur)
+	if code != cli.ExitFailure {
+		t.Fatalf("tampered diff: exit %d, want %d\n%s", code, cli.ExitFailure, stdout)
+	}
+	if !strings.Contains(stdout, "REGRESSED") || !strings.Contains(stdout, "FAIL") {
+		t.Fatalf("tampered diff output lacks verdicts:\n%s", stdout)
+	}
+	// The reverse direction is an improvement, not a regression.
+	if code, stdout, _ = run(t, "-diff", cur, base); code != cli.ExitOK {
+		t.Fatalf("improvement flagged as regression: exit %d\n%s", code, stdout)
+	}
+}
+
+func TestDiffMissingArtifact(t *testing.T) {
+	code, _, stderr := run(t, "-diff", "no-such-old.json", "no-such-new.json")
+	if code != cli.ExitFailure || !strings.Contains(stderr, "no-such-old.json") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+}

@@ -32,9 +32,11 @@
 //
 // -trace-out writes a Chrome trace-event file (load it at
 // ui.perfetto.dev), -metrics-out a JSON interval time series plus the
-// final counters, and -json the full Result as JSON ("-" = stdout,
-// anything else = file path). Observation never changes the simulation:
-// cycle counts and counters are identical with or without these flags.
+// final counters and the run's cpiStack section, and -json the full
+// Result as JSON ("-" = stdout, anything else = file path). Observation
+// never changes the simulation: cycle counts and counters are identical
+// with or without these flags. -cpi prints the per-node CPI-stack table
+// (exhaustive cycle attribution; see cmd/dsprof for cross-run diffing).
 //
 // Profiling (see docs/PERFORMANCE.md): -cpuprofile and -memprofile write
 // pprof profiles of the run for `go tool pprof`.
@@ -126,6 +128,14 @@ func (o *observability) observer() datascalar.Observer {
 	return datascalar.MultiObserver(obs...)
 }
 
+// setCPI attaches the run's cycle-attribution stacks to the metrics
+// sink so the artifact carries a cpiStack section.
+func (o *observability) setCPI(stacks []datascalar.CPIStack, instructions uint64) {
+	if o.metrics != nil {
+		o.metrics.SetCPIStacks(stacks, instructions)
+	}
+}
+
 // write flushes the requested sink files; final is embedded in the
 // metrics file as the end-of-run counter snapshot.
 func (o *observability) write(final any) error {
@@ -183,6 +193,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	watchdog := fs.Uint64("watchdog", 0, "cycles without commit progress before the deadlock watchdog fires (0 = default)")
 	list := fs.Bool("list", false, "list bundled workloads and exit")
 	report := fs.Bool("report", false, "print full statistics tables after DataScalar runs")
+	cpi := fs.Bool("cpi", false, "print the CPI-stack table (per-node cycle attribution) after the run")
 	jsonOut := fs.String("json", "", "write the full result as JSON to this file (\"-\" = stdout)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
@@ -235,6 +246,9 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	if faults.Active() && *system != "ds" {
 		return usage("-fault-* flags require -system ds (got %q)", *system)
 	}
+	if *cpi && *system == "emu" {
+		return usage("-cpi needs a timing model (got -system emu)")
+	}
 
 	artifact := runArtifact{
 		System: *system, Workload: *workloadName, AsmFile: *asmFile,
@@ -273,6 +287,11 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "perfect cache: %d instructions in %d cycles, IPC %.2f\n",
 			r.Instructions, r.Cycles, r.IPC)
 		emitJSON(r)
+		if *cpi {
+			fmt.Fprintln(stdout)
+			datascalar.CPIStackTable("CPI stack (perfect cache)",
+				[]datascalar.CPIStack{r.CPIStack}, r.Instructions).Render(stdout)
+		}
 
 	case "ds":
 		pt, err := datascalar.Partition{NumNodes: *nodes, BlockPages: 1, ReplicateText: true}.Build(p)
@@ -302,6 +321,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 			}
 			return fail(err)
 		}
+		ob.setCPI(r.CPIStacks, r.Instructions)
 		if err := ob.write(r); err != nil {
 			return fail(err)
 		}
@@ -324,6 +344,11 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 					f.DeadNode, f.RemappedPages, f.SuccessorNode)
 			}
 			fmt.Fprintln(stdout)
+		}
+		if *cpi {
+			fmt.Fprintln(stdout)
+			datascalar.CPIStackTable(fmt.Sprintf("CPI stack (DataScalar %d nodes)", *nodes),
+				r.CPIStacks, r.Instructions).Render(stdout)
 		}
 		if *report {
 			for _, table := range r.Report() {
@@ -349,6 +374,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(err)
 		}
+		ob.setCPI([]datascalar.CPIStack{r.CPIStack}, r.Instructions)
 		if err := ob.write(r); err != nil {
 			return fail(err)
 		}
@@ -358,6 +384,11 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "off-chip loads=%d, off-chip stores=%d, writebacks off-chip=%d, bus bytes=%d\n",
 			r.Mem.OffChipLoads.Value(), r.Mem.StoresOff.Value(),
 			r.Mem.WritebacksOff.Value(), r.BusStats.Bytes.Value())
+		if *cpi {
+			fmt.Fprintln(stdout)
+			datascalar.CPIStackTable(fmt.Sprintf("CPI stack (traditional 1/%d on-chip)", *nodes),
+				[]datascalar.CPIStack{r.CPIStack}, r.Instructions).Render(stdout)
+		}
 
 	default:
 		return usage("unknown system %q (want ds, traditional, perfect, emu)", *system)

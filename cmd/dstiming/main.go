@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	dstiming [-scale N] [-instr N] [-bshr]
+//	dstiming [-scale N] [-instr N] [-bshr] [-cpi]
 //
 // Fault injection (see docs/ROBUSTNESS.md): the -fault-* flags apply a
 // seeded deterministic fault plan to every DataScalar run of the sweep,
@@ -85,6 +85,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	scale := fs.Int("scale", 1, "workload scale factor")
 	instr := fs.Uint64("instr", 0, "measured instructions per run (0 = default)")
 	bshr := fs.Bool("bshr", true, "also print Table 3 (broadcast statistics)")
+	cpi := fs.Bool("cpi", false, "also print per-benchmark CPI-stack tables for the DataScalar runs")
 	cost := fs.Bool("cost", false, "also print the Wood-Hill cost-effectiveness analysis (paper §4.4)")
 	jsonOut := fs.String("json", "", "also write results as JSON to this file (\"-\" = stdout)")
 	parallel := fs.Int("parallel", 0, "simulation worker count (0 = GOMAXPROCS, 1 = serial)")
@@ -133,6 +134,16 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	if *cost {
 		fmt.Fprintln(stdout)
 		datascalar.CostEffectiveness(f7).Table().Render(stdout)
+	}
+	if *cpi {
+		for _, row := range f7.Rows {
+			fmt.Fprintln(stdout)
+			datascalar.CPIStackTable(fmt.Sprintf("CPI stack: %s DS 2-node", row.Benchmark),
+				row.DS2Detail.CPIStacks, row.DS2Detail.Instructions).Render(stdout)
+			fmt.Fprintln(stdout)
+			datascalar.CPIStackTable(fmt.Sprintf("CPI stack: %s DS 4-node", row.Benchmark),
+				row.DS4Detail.CPIStacks, row.DS4Detail.Instructions).Render(stdout)
+		}
 	}
 	if *jsonOut != "" {
 		artifact := map[string]any{"figure7": f7, "table3": datascalar.Table3(f7)}

@@ -198,6 +198,28 @@ func NewMetrics(intervalCycles uint64) *Metrics { return obs.NewMetrics(interval
 // are dropped; the result is nil when none remain).
 func MultiObserver(observers ...Observer) Observer { return obs.Multi(observers...) }
 
+// StallKind is one leaf cause of the cycle-attribution taxonomy: every
+// simulated cycle of every node is charged to exactly one kind (see
+// docs/OBSERVABILITY.md).
+type StallKind = obs.StallKind
+
+// CPIStack is one node's exhaustive cycle attribution; per-node stacks
+// appear on Result.CPIStacks and TraditionalResult.CPIStack, and always
+// sum exactly to the run's cycle count.
+type CPIStack = obs.CPIStack
+
+// StallKindNames returns the taxonomy names in canonical stack order.
+func StallKindNames() []string { return obs.StallKindNames() }
+
+// SumCPIStacks adds per-node stacks into one machine-wide stack.
+func SumCPIStacks(stacks []CPIStack) CPIStack { return obs.SumStacks(stacks) }
+
+// CPIStackTable renders per-node CPI stacks as an aligned text table
+// (the -cpi output of dsrun and dstiming).
+func CPIStackTable(title string, stacks []CPIStack, instructions uint64) *ResultTable {
+	return sim.CPITable(title, stacks, instructions)
+}
+
 // WriteResultJSON serializes any machine or experiment result as
 // indented JSON — the machine-readable counterpart of Result.Report().
 func WriteResultJSON(w io.Writer, v any) error { return sim.WriteJSON(w, v) }
@@ -367,6 +389,29 @@ type ReplicationResult = sim.ReplicationResult
 // capacity paid) as the hottest data pages are statically replicated.
 func AblationReplication(ctx context.Context, opts ExperimentOptions) (ReplicationResult, error) {
 	return sim.AblationReplication(ctx, opts)
+}
+
+// CPIProfileResult is the dsprof artifact: per-(benchmark, system) CPI
+// stacks across the five Figure 7 systems.
+type CPIProfileResult = sim.CPIProfileResult
+
+// CPIDiffOptions bound what `dsprof -diff` counts as a regression.
+type CPIDiffOptions = sim.CPIDiffOptions
+
+// CPIDiffResult is the outcome of comparing two CPI profiles.
+type CPIDiffResult = sim.CPIDiffResult
+
+// CPIProfile measures CPI stacks for the named workloads (empty = the
+// six timing benchmarks) across the five Figure 7 systems.
+func CPIProfile(ctx context.Context, opts ExperimentOptions, workloads []string) (CPIProfileResult, error) {
+	return sim.CPIProfile(ctx, opts, workloads)
+}
+
+// CompareCPIProfiles diffs two CPI-profile artifacts bucket by bucket;
+// the simulator is deterministic, so any difference is a real
+// behavioral change.
+func CompareCPIProfiles(old, cur CPIProfileResult, o CPIDiffOptions) (CPIDiffResult, error) {
+	return sim.CompareCPIProfiles(old, cur, o)
 }
 
 // RingConfig parameterizes the ring interconnect alternative; set it on

@@ -43,6 +43,90 @@ type Network interface {
 	// SetObserver attaches an observability sink for transfer-grant
 	// events (nil detaches; observation never affects timing).
 	SetObserver(o obs.Observer)
+	// DataPhase reports where the data-bearing message that would satisfy
+	// a load of addr at node dst currently sits (PhaseAbsent when no such
+	// message is on the interconnect). Purely observational — stall
+	// attribution uses it to split waits into producer-side latency,
+	// interconnect contention, and wire serialization. Call only after
+	// Tick(now) has run for the current cycle; the result is stable across
+	// any stretch of cycles NextDeliveryCycle certifies as no-ops, which
+	// is what keeps attribution identical under cycle skipping.
+	DataPhase(addr uint64, dst int, now uint64) MsgPhase
+}
+
+// MsgPhase classifies the progress of a pending data message for stall
+// attribution.
+type MsgPhase uint8
+
+const (
+	// PhaseAbsent: no matching message is on the interconnect — the
+	// producer has not pushed (or even been asked for) the data yet.
+	PhaseAbsent MsgPhase = iota
+	// PhaseQueued: the message is submitted but its own network-interface
+	// or broadcast-queue penalty is the binding constraint.
+	PhaseQueued
+	// PhaseBlocked: the message is eligible to move but waits behind
+	// other traffic (bus arbitration, a busy ring link, or deeper in its
+	// source queue).
+	PhaseBlocked
+	// PhaseTransfer: the message occupies the wire right now.
+	PhaseTransfer
+)
+
+// dataMatch reports whether m is a data-bearing message that will
+// satisfy a load of addr at node dst: an ESP broadcast from another
+// node, a point-to-point response to dst, or dst's own outstanding bare
+// read request (the request leg of a traditional miss; payload-carrying
+// requests are writebacks nobody waits on). Resilience-layer control
+// traffic is excluded — retry waits are classified from BSHR state
+// before the interconnect is consulted.
+func dataMatch(m Message, addr uint64, dst int) bool {
+	if m.Ctl != CtlNone || m.Addr != addr {
+		return false
+	}
+	switch m.Kind {
+	case Broadcast:
+		return m.Src != dst
+	case Response:
+		return m.Dst == dst
+	case Request:
+		return m.PayloadBytes == 0 && m.Src == dst
+	}
+	return false
+}
+
+// DataPhase implements Network for the bus. The queued-versus-blocked
+// split uses the binding constraint rather than the current cycle where
+// possible (ReadyAt versus the in-flight transfer's completion), so the
+// answer cannot flip inside a skipped stretch.
+func (b *Bus) DataPhase(addr uint64, dst int, now uint64) MsgPhase {
+	if b.busy && dataMatch(b.current, addr, dst) {
+		return PhaseTransfer
+	}
+	best := PhaseAbsent
+	for _, q := range b.queues {
+		for i, m := range q {
+			if !dataMatch(m, addr, dst) {
+				continue
+			}
+			p := PhaseBlocked
+			if i == 0 {
+				// Head of its source queue: its own ReadyAt penalty binds
+				// when it outlasts whatever currently occupies the bus.
+				horizon := now
+				if b.busy && b.doneAt > horizon {
+					horizon = b.doneAt
+				}
+				if m.ReadyAt > horizon {
+					p = PhaseQueued
+				}
+			}
+			if p > best {
+				best = p
+			}
+		}
+	}
+	return best
 }
 
 // numNodes returns the node count the bus was built for.

@@ -191,6 +191,36 @@ func (r *Ring) NextDeliveryCycle(now uint64) uint64 {
 	return next
 }
 
+// DataPhase implements Network for the ring. The queued-versus-blocked
+// split compares each sitting message's own readiness against its
+// outgoing link's availability — both frozen during any stretch
+// NextDeliveryCycle certifies as no-ops — rather than the current cycle,
+// so attribution cannot flip inside a skipped stretch.
+func (r *Ring) DataPhase(addr uint64, dst int, now uint64) MsgPhase {
+	best := PhaseAbsent
+	for _, f := range r.flight {
+		if !dataMatch(f.msg, addr, dst) {
+			continue
+		}
+		var p MsgPhase
+		switch {
+		case f.inFlight:
+			p = PhaseTransfer
+		case !f.injected && r.linkFree[f.at] <= f.readyAt:
+			// Not yet on the ring and its own injection penalty is the
+			// binding constraint.
+			p = PhaseQueued
+		default:
+			// Waiting for a busy link (mid-journey or at injection).
+			p = PhaseBlocked
+		}
+		if p > best {
+			best = p
+		}
+	}
+	return best
+}
+
 // Tick implements Network. Each message alternates between completing a
 // hop (delivering at the node it reaches, when appropriate) and starting
 // the next one as soon as its outgoing link is free; distinct links

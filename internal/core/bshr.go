@@ -258,6 +258,22 @@ func (b *BSHR) Absorb(line uint64) {
 // HasWaiter reports whether any load is waiting on line.
 func (b *BSHR) HasWaiter(line uint64) bool { return b.find(line, false) >= 0 }
 
+// WaitRetries returns the number of re-requests already sent for line's
+// earliest waiting entry (0 when nothing waits or the retry path is
+// disarmed). Stall attribution uses it to split BSHR waits between the
+// ordinary ESP path and the fault layer's retry/backoff protocol; it
+// reads frozen state only, so the answer is stable across skipped
+// cycles (retry counts change only at deadlines, which cap every skip).
+func (b *BSHR) WaitRetries(line uint64) int {
+	if b.retryTimeout == 0 {
+		return 0
+	}
+	if i := b.find(line, false); i >= 0 {
+		return b.entries[i].retries
+	}
+	return 0
+}
+
 // ExpiredWait describes one waiting entry whose re-request timer fired.
 type ExpiredWait struct {
 	Line uint64

@@ -168,7 +168,13 @@ type Result struct {
 	Nodes        []NodeStats
 	BSHR         []BSHRStats
 	Core         []ooo.Stats
-	BusStats     bus.Stats
+	// CPIStacks is the per-node exhaustive cycle attribution: every one
+	// of the machine's Cycles is charged to exactly one leaf cause, so
+	// each node's stack sums to Cycles (see docs/OBSERVABILITY.md for the
+	// taxonomy). Attribution is always on — it is a pure function of
+	// timing state, so it cannot perturb a run.
+	CPIStacks []obs.CPIStack
+	BusStats  bus.Stats
 	// CorrespondenceOK reports whether every sampled tag-state digest
 	// matched across nodes (and the final states matched). A permanently
 	// dead node is excluded: its state froze mid-run.
@@ -212,6 +218,7 @@ type nodeSampleState struct {
 	broadcasts  uint64
 	issueHits   uint64
 	issueMisses uint64
+	stack       obs.CPIStack
 }
 
 // Events returns the TraceLine event log (debugging).
@@ -362,7 +369,14 @@ func (m *Machine) Run() (Result, error) {
 		}
 		var total uint64
 		for _, nd := range m.nodes {
-			if !nd.core.Done() && !m.nodeDead(nd.id) {
+			switch {
+			case m.nodeDead(nd.id):
+				// The core never runs again; the machine charges its share
+				// of every remaining cycle so stacks stay exhaustive.
+				nd.core.CPIStack().Add(obs.StallDead, 1)
+			case nd.core.Done():
+				nd.core.CPIStack().Add(obs.StallHalted, 1)
+			default:
 				nd.core.Cycle(m.now)
 				if err := nd.core.Err(); err != nil {
 					return Result{}, fmt.Errorf("core: node %d: %w", nd.id, err)
@@ -449,20 +463,42 @@ func (m *Machine) skipIdle(lastProgress, watchdog uint64) {
 	if !live || target <= m.now {
 		return
 	}
-	delta := target - m.now
-	for _, nd := range m.nodes {
-		if !nd.core.Done() && !m.nodeDead(nd.id) {
-			nd.core.SkipCycles(delta)
-		}
-	}
+	// Advance in sample-boundary segments: attribution (the CPI stacks)
+	// moves across skipped cycles even though every other counter a
+	// sample reads is frozen, so each boundary's sample must see exactly
+	// the cycles before it — the same partial stacks the polled loop
+	// would have accumulated.
 	if m.sampler != nil {
 		si := m.cfg.SampleInterval
 		for b := (m.now/si + 1) * si; b <= target; b += si {
+			m.skipAdvance(b - m.now)
 			m.now = b
 			m.emitSamples()
 		}
 	}
+	m.skipAdvance(target - m.now)
 	m.now = target
+}
+
+// skipAdvance replays delta skipped cycles into every node's per-cycle
+// accounting: live cores via SkipCycles (cycle count, stall counters,
+// and the frozen-state CPI bucket), dead and halted nodes via their
+// machine-charged buckets — exactly what the polled loop would have
+// accumulated over the same cycles.
+func (m *Machine) skipAdvance(delta uint64) {
+	if delta == 0 {
+		return
+	}
+	for _, nd := range m.nodes {
+		switch {
+		case m.nodeDead(nd.id):
+			nd.core.CPIStack().Add(obs.StallDead, delta)
+		case nd.core.Done():
+			nd.core.CPIStack().Add(obs.StallHalted, delta)
+		default:
+			nd.core.SkipCycles(m.now, delta)
+		}
+	}
 }
 
 // emitSamples snapshots every node's interval rates and occupancies at
@@ -497,7 +533,11 @@ func (m *Machine) emitSamples() {
 		if da, dm := hits-prev.issueHits, misses-prev.issueMisses; da+dm > 0 {
 			sample.L1MissRate = float64(dm) / float64(da+dm)
 		}
-		*prev = nodeSampleState{committed: committed, broadcasts: bcast, issueHits: hits, issueMisses: misses}
+		stack := *nd.core.CPIStack()
+		for k := range sample.Stack {
+			sample.Stack[k] = stack[k] - prev.stack[k]
+		}
+		*prev = nodeSampleState{committed: committed, broadcasts: bcast, issueHits: hits, issueMisses: misses, stack: stack}
 		m.obs.Sample(sample)
 	}
 	s.lastCycle = m.now
@@ -611,6 +651,7 @@ func (m *Machine) collect() Result {
 		r.Nodes = append(r.Nodes, nd.stats)
 		r.BSHR = append(r.BSHR, *nd.bshr.Stats())
 		r.Core = append(r.Core, *nd.core.Stats())
+		r.CPIStacks = append(r.CPIStacks, *nd.core.CPIStack())
 	}
 	if r.Cycles > 0 {
 		r.IPC = float64(r.Instructions) / float64(r.Cycles)

@@ -62,6 +62,11 @@ type missEntry struct {
 	// when pending is false.
 	dataAt  uint64
 	pending bool // waiting for a broadcast (non-owner)
+	// local marks an episode served by this node's own memory (replicated
+	// or owned page); stall attribution uses it to split known-latency
+	// miss service between the local bank and the BSHR tail of a
+	// broadcast that already arrived.
+	local bool
 	// broadcasted records that this node (as owner) has pushed a
 	// broadcast that the *next* commit-time fill of this line will
 	// consume. The flag is cleared at that fill; if a further fill of the
@@ -128,6 +133,47 @@ type node struct {
 }
 
 var _ ooo.MemPort = (*node)(nil)
+var _ ooo.LoadClassifier = (*node)(nil)
+
+// ClassifyLoad implements ooo.LoadClassifier: it names the leaf cause
+// blocking an in-flight load that heads the window. The answer is a pure
+// function of frozen protocol state (the miss episode, the BSHR's retry
+// counters, and the interconnect's message positions), so it is constant
+// across any stretch the next-event scheduler skips — the property the
+// skip/noskip CPI differential relies on.
+func (n *node) ClassifyLoad(now uint64, tok ooo.LoadToken, addr uint64) obs.StallKind {
+	info, ok := n.inflight[tok]
+	if !ok || info.hit {
+		// An issue-time hit completing its load-to-use latency.
+		return obs.StallExec
+	}
+	e, ok := n.outstanding[n.l1.LineAddr(addr)]
+	if !ok {
+		return obs.StallExec
+	}
+	if !e.pending {
+		// Known completion cycle: either the local bank is serving the
+		// miss, or a broadcast already landed and the load is paying the
+		// BSHR access tail.
+		if e.local {
+			return obs.StallMemLocal
+		}
+		return obs.StallMemRemote
+	}
+	// Still waiting on a remote owner's broadcast.
+	if n.bshr.WaitRetries(e.line) > 0 {
+		return obs.StallMemRetry
+	}
+	switch n.net.DataPhase(e.line, n.id, now) {
+	case bus.PhaseTransfer:
+		return obs.StallESPSerial
+	case bus.PhaseBlocked:
+		return obs.StallNetContention
+	}
+	// Queued behind the owner's broadcast-queue penalty, or the owner has
+	// not even reached the access yet: the remote node is the bottleneck.
+	return obs.StallMemRemote
+}
 
 // obsEvent emits one typed protocol event when an observer is attached.
 func (n *node) obsEvent(kind obs.EventKind, addr, arg uint64) {
@@ -189,6 +235,7 @@ func (n *node) IssueLoad(now uint64, tok ooo.LoadToken, addr uint64, size int) (
 		n.stats.LocalMisses.Inc()
 		dataAt := n.dram.Access(now+n.cfg.L1HitCycles, line)
 		e.dataAt = dataAt
+		e.local = true
 		if !n.pt.IsReplicated(addr) && n.cfg.Nodes > 1 {
 			// ESP: push the line to every other node. The broadcast
 			// leaves after the broadcast-queue penalty; this node's own

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestStallKindNamesCoverEveryKind(t *testing.T) {
+	names := StallKindNames()
+	if len(names) != NumStallKinds {
+		t.Fatalf("got %d names for %d kinds", len(names), NumStallKinds)
+	}
+	seen := make(map[string]bool, len(names))
+	for k := StallKind(0); k < NumStallKinds; k++ {
+		n := k.String()
+		if n == "" || strings.HasPrefix(n, "stall(") {
+			t.Errorf("kind %d has no taxonomy name", k)
+		}
+		if seen[n] {
+			t.Errorf("duplicate taxonomy name %q", n)
+		}
+		seen[n] = true
+		back, ok := StallKindByName(n)
+		if !ok || back != k {
+			t.Errorf("StallKindByName(%q) = %v, %v; want %v, true", n, back, ok, k)
+		}
+	}
+	if _, ok := StallKindByName("no-such-bucket"); ok {
+		t.Error("StallKindByName accepted an unknown name")
+	}
+	if got := StallKind(200).String(); got != "stall(200)" {
+		t.Errorf("out-of-range String() = %q", got)
+	}
+}
+
+func TestCPIStackJSONOrderAndRoundTrip(t *testing.T) {
+	var s CPIStack
+	for k := StallKind(0); k < NumStallKinds; k++ {
+		s[k] = uint64(k) * 7
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keys must appear in canonical stack order, not map order.
+	pos := -1
+	for _, name := range StallKindNames() {
+		i := strings.Index(string(data), `"`+name+`"`)
+		if i < 0 {
+			t.Fatalf("bucket %q missing from %s", name, data)
+		}
+		if i < pos {
+			t.Fatalf("bucket %q out of canonical order in %s", name, data)
+		}
+		pos = i
+	}
+	var back CPIStack
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Fatalf("round trip: got %v, want %v", back, s)
+	}
+}
+
+func TestCPIStackUnmarshalUnknownBucket(t *testing.T) {
+	var s CPIStack
+	err := json.Unmarshal([]byte(`{"commit": 5, "mystery.bucket": 1}`), &s)
+	if err == nil || !strings.Contains(err.Error(), "mystery.bucket") {
+		t.Fatalf("unknown bucket must fail loudly, got err = %v", err)
+	}
+}
+
+func TestCPIStackTotalShareSum(t *testing.T) {
+	var a, b CPIStack
+	a.Add(StallCommit, 75)
+	a.Add(StallMemRemote, 25)
+	b.Add(StallCommit, 50)
+	b.Add(StallESPSerial, 50)
+	if got := a.Total(); got != 100 {
+		t.Fatalf("Total = %d, want 100", got)
+	}
+	if got := a.Share(StallMemRemote); got != 0.25 {
+		t.Fatalf("Share = %v, want 0.25", got)
+	}
+	if got := (CPIStack{}).Share(StallCommit); got != 0 {
+		t.Fatalf("empty stack Share = %v, want 0", got)
+	}
+	m := SumStacks([]CPIStack{a, b})
+	if m[StallCommit] != 125 || m[StallMemRemote] != 25 || m[StallESPSerial] != 50 {
+		t.Fatalf("SumStacks = %v", m)
+	}
+	if m.Total() != a.Total()+b.Total() {
+		t.Fatalf("machine total %d != node totals %d", m.Total(), a.Total()+b.Total())
+	}
+}

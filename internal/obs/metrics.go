@@ -13,6 +13,14 @@ import (
 type Metrics struct {
 	interval uint64
 	samples  []Sample
+	// intervals counts distinct sample cycles incrementally: the sampler
+	// emits every node's sample for one boundary before moving to the
+	// next, so a new interval is exactly a sample whose cycle differs
+	// from the previous one's. Kept at Sample time so NumIntervals never
+	// rescans (or allocates over) the whole series.
+	intervals int
+	lastCycle uint64
+	cpi       *CPISection
 }
 
 // NewMetrics returns a metrics collector; interval is recorded in the
@@ -23,19 +31,27 @@ func NewMetrics(interval uint64) *Metrics { return &Metrics{interval: interval} 
 func (m *Metrics) Event(Event) {}
 
 // Sample implements Observer.
-func (m *Metrics) Sample(s Sample) { m.samples = append(m.samples, s) }
+func (m *Metrics) Sample(s Sample) {
+	if m.intervals == 0 || s.Cycle != m.lastCycle {
+		m.intervals++
+		m.lastCycle = s.Cycle
+	}
+	m.samples = append(m.samples, s)
+}
 
 // Samples returns the collected time series.
 func (m *Metrics) Samples() []Sample { return m.samples }
 
 // NumIntervals returns the number of distinct sampled intervals (sample
 // count divided across nodes).
-func (m *Metrics) NumIntervals() int {
-	seen := make(map[uint64]bool)
-	for _, s := range m.samples {
-		seen[s.Cycle] = true
-	}
-	return len(seen)
+func (m *Metrics) NumIntervals() int { return m.intervals }
+
+// SetCPIStacks attaches the run's final cycle-attribution stacks (one per
+// node) so the artifact carries a cpiStack section; instructions is the
+// run's committed instruction count, the denominator for per-bucket CPI
+// contributions.
+func (m *Metrics) SetCPIStacks(stacks []CPIStack, instructions uint64) {
+	m.cpi = &CPISection{Instructions: instructions, Nodes: stacks}
 }
 
 // MetricsFile is the serialized metrics artifact: the sampling interval,
@@ -44,9 +60,10 @@ func (m *Metrics) NumIntervals() int {
 // MaxBuffered/MaxWaiting high-water marks absent from the text report —
 // all marshal to JSON).
 type MetricsFile struct {
-	IntervalCycles uint64   `json:"intervalCycles"`
-	Samples        []Sample `json:"samples"`
-	Final          any      `json:"final"`
+	IntervalCycles uint64      `json:"intervalCycles"`
+	Samples        []Sample    `json:"samples"`
+	CPIStack       *CPISection `json:"cpiStack,omitempty"`
+	Final          any         `json:"final"`
 }
 
 // WriteTo serializes the collected series plus the final counter
@@ -57,6 +74,7 @@ func (m *Metrics) WriteTo(w io.Writer, final any) error {
 	return enc.Encode(MetricsFile{
 		IntervalCycles: m.interval,
 		Samples:        m.samples,
+		CPIStack:       m.cpi,
 		Final:          final,
 	})
 }

@@ -185,6 +185,10 @@ type Sample struct {
 	// L1MissRate is the interval issue-time miss rate (issue misses /
 	// issue accesses during the interval).
 	L1MissRate float64 `json:"l1MissRate"`
+	// Stack is the node's cycle attribution over this interval (bucket
+	// deltas, not cumulative): by the exhaustiveness invariant its total
+	// equals IntervalCycles.
+	Stack CPIStack `json:"cpiStack"`
 }
 
 // Observer receives protocol events and interval samples. A nil Observer

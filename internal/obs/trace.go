@@ -68,7 +68,7 @@ const tracePid = 0
 // WriteChromeTrace renders the recorded events and samples as
 // trace-event JSON.
 func (t *Trace) WriteChromeTrace(w io.Writer) error {
-	out := chromeFile{TraceEvents: make([]chromeEvent, 0, len(t.events)+4*len(t.samples)+t.maxNode+2)}
+	out := chromeFile{TraceEvents: make([]chromeEvent, 0, len(t.events)+5*len(t.samples)+t.maxNode+2)}
 
 	// Metadata: name the process and one thread per node.
 	out.TraceEvents = append(out.TraceEvents, chromeEvent{
@@ -121,11 +121,26 @@ func (t *Trace) WriteChromeTrace(w io.Writer) error {
 			chromeEvent{
 				Name: fmt.Sprintf("broadcasts/kcycle node%d", s.Node), Ph: "C", Ts: s.Cycle, Pid: tracePid,
 				Args: map[string]any{"rate": s.BroadcastRate},
+			},
+			chromeEvent{
+				Name: fmt.Sprintf("CPI stack node%d", s.Node), Ph: "C", Ts: s.Cycle, Pid: tracePid,
+				Args: cpiCounterArgs(s.Stack),
 			})
 	}
 
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
+}
+
+// cpiCounterArgs renders an interval's bucket deltas as one Perfetto
+// counter series per stall kind; Perfetto stacks the series, so the
+// track reads as a per-interval CPI stack over time.
+func cpiCounterArgs(st CPIStack) map[string]any {
+	args := make(map[string]any, NumStallKinds)
+	for k := StallKind(0); k < NumStallKinds; k++ {
+		args[k.String()] = st[k]
+	}
+	return args
 }
 
 // WriteChromeTraceFile writes the trace to path.

@@ -2,15 +2,14 @@ package ooo
 
 import (
 	"testing"
+
+	"github.com/wisc-arch/datascalar/internal/obs"
 )
 
-// TestCycleZeroAllocs: the per-cycle core path — dispatch, issue,
-// completion, commit, including the ring-buffer RUU and the hand-rolled
-// heaps — must not allocate in steady state. The kernel mixes loads,
-// stores, ALU ops, and branches; FixedLatencyMem keeps the completion
-// heap busy.
-func TestCycleZeroAllocs(t *testing.T) {
-	src := `
+// allocKernel mixes loads, stores, ALU ops, and branches so the
+// steady-state alloc guards exercise dispatch, issue, completion, and
+// commit together; FixedLatencyMem keeps the completion heap busy.
+const allocKernel = `
         .data
 buf:    .space 16384
         .text
@@ -27,7 +26,12 @@ loop:   sd   r2, 0(r1)
         bne  r5, zero, outer
         halt
 `
-	c, _ := coreFor(t, src, FixedLatencyMem{Cycles: 20}, nil)
+
+// TestCycleZeroAllocs: the per-cycle core path — dispatch, issue,
+// completion, commit, including the ring-buffer RUU and the hand-rolled
+// heaps — must not allocate in steady state.
+func TestCycleZeroAllocs(t *testing.T) {
+	c, _ := coreFor(t, allocKernel, FixedLatencyMem{Cycles: 20}, nil)
 	now := uint64(0)
 	for ; now < 50_000; now++ { // warmup: grow heaps, wakeup slices, maps
 		c.Cycle(now)
@@ -40,5 +44,62 @@ loop:   sd   r2, 0(r1)
 		now++
 	}); allocs != 0 {
 		t.Fatalf("ooo.Core.Cycle allocated %.3f times per cycle in steady state", allocs)
+	}
+}
+
+// classifyingMem is FixedLatencyMem plus the LoadClassifier hook the
+// timing machines install, so the alloc guard below proves the cycle
+// attribution path itself adds no allocations.
+type classifyingMem struct{ FixedLatencyMem }
+
+func (classifyingMem) ClassifyLoad(uint64, LoadToken, uint64) obs.StallKind {
+	return obs.StallMemRemote
+}
+
+// TestCycleZeroAllocsWithClassifier mirrors TestCycleZeroAllocs with a
+// memory port that refines load-stall attribution, and checks the hook
+// actually ran and the CPI stack stayed exhaustive. Its loads read a
+// buffer disjoint from the stores: a store-forwarded load never reaches
+// memory, so allocKernel's loads would bypass the classifier entirely.
+func TestCycleZeroAllocsWithClassifier(t *testing.T) {
+	src := `
+        .data
+dst:    .space 16384
+buf:    .space 16384
+        .text
+        li   r5, 100000000    # effectively infinite for the test
+outer:  la   r1, dst
+        la   r6, buf
+        li   r2, 2048
+loop:   sd   r2, 0(r1)
+        ld   r3, 0(r6)
+        add  r4, r4, r3
+        addi r1, r1, 8
+        addi r6, r6, 8
+        addi r2, r2, -1
+        bne  r2, zero, loop
+        addi r5, r5, -1
+        bne  r5, zero, outer
+        halt
+`
+	c, _ := coreFor(t, src, classifyingMem{FixedLatencyMem{Cycles: 20}}, nil)
+	now := uint64(0)
+	for ; now < 50_000; now++ {
+		c.Cycle(now)
+		if c.Err() != nil || c.Done() {
+			t.Fatalf("warmup ended early: err=%v done=%v", c.Err(), c.Done())
+		}
+	}
+	if allocs := testing.AllocsPerRun(20_000, func() {
+		c.Cycle(now)
+		now++
+	}); allocs != 0 {
+		t.Fatalf("ooo.Core.Cycle with LoadClassifier allocated %.3f times per cycle", allocs)
+	}
+	if c.CPIStack()[obs.StallMemRemote] == 0 {
+		t.Fatal("classifier was never consulted: bshr.remote-owner bucket is empty")
+	}
+	if got := c.CPIStack().Total(); got != now {
+		t.Fatalf("CPI stack total = %d, want %d (one bucket per cycle)", got, now)
 	}
 }

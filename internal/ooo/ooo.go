@@ -24,6 +24,7 @@ import (
 
 	"github.com/wisc-arch/datascalar/internal/emu"
 	"github.com/wisc-arch/datascalar/internal/isa"
+	"github.com/wisc-arch/datascalar/internal/obs"
 	"github.com/wisc-arch/datascalar/internal/stats"
 )
 
@@ -57,6 +58,21 @@ type MemPort interface {
 	CommitLoad(now uint64, tok LoadToken, addr uint64, size int)
 	// CommitStore is called, in program order, when a store commits.
 	CommitStore(now uint64, addr uint64, size int)
+}
+
+// LoadClassifier is the optional MemPort extension cycle attribution
+// consults when the oldest instruction in the window is a load inside
+// the memory system: it names the leaf cause currently blocking that
+// load (local-miss service, a remote owner that has not pushed yet, the
+// retry/backoff protocol, interconnect contention, or wire
+// serialization; StallExec for a plain cache hit in flight). The answer
+// must be a pure function of simulator state that stays constant across
+// any stretch of cycles the machine's next-event scheduler certifies as
+// no-ops — that is what keeps CPI stacks bit-identical with cycle
+// skipping on and off. Ports that do not implement it charge in-flight
+// loads to StallExec.
+type LoadClassifier interface {
+	ClassifyLoad(now uint64, tok LoadToken, addr uint64) obs.StallKind
 }
 
 // PrivatePort is the optional MemPort extension for result-communication
@@ -294,7 +310,8 @@ type Core struct {
 	cfg  Config
 	src  Source
 	mem  MemPort
-	priv PrivatePort // non-nil when mem implements PrivatePort
+	priv PrivatePort    // non-nil when mem implements PrivatePort
+	cls  LoadClassifier // non-nil when mem implements LoadClassifier
 
 	// ruu is the RUU as a ring buffer: the window always holds the
 	// contiguous seq range [head, nextSeq), so uop seq lives at slot
@@ -328,6 +345,14 @@ type Core struct {
 	stats          Stats
 	lastCommitAt   uint64
 	regRefsScratch []isa.RegRef
+
+	// stack is the core's exhaustive cycle attribution: Cycle and
+	// SkipCycles charge every counted cycle to exactly one bucket, so
+	// stack.Total() == stats.Cycles at all times (machines top the stack
+	// up for cycles they never hand the core — dead or halted nodes).
+	// Always on: attribution is a pure function of timing state, so it
+	// cannot perturb a run, and the fixed array never allocates.
+	stack obs.CPIStack
 }
 
 // lookup returns the in-window uop with the given seq, or nil when seq
@@ -379,6 +404,9 @@ func New(cfg Config, src Source, mem MemPort) *Core {
 	if p, ok := mem.(PrivatePort); ok {
 		c.priv = p
 	}
+	if lc, ok := mem.(LoadClassifier); ok {
+		c.cls = lc
+	}
 	if cfg.ICache != nil {
 		c.icache = cache.New(*cfg.ICache)
 	}
@@ -425,13 +453,71 @@ func (c *Core) CompleteLoad(tok LoadToken, at uint64) {
 // Cycle advances the core one clock. Stage order within a cycle:
 // completions, commit, issue, dispatch — so a value produced this cycle
 // wakes consumers next cycle, and commit frees window slots for this
-// cycle's dispatch.
+// cycle's dispatch. Every cycle is charged to exactly one CPI bucket:
+// commit when at least one instruction retired, otherwise whatever
+// StallClass names as blocking the oldest instruction.
 func (c *Core) Cycle(now uint64) {
 	c.stats.Cycles++
+	committed0 := c.stats.Committed
 	c.complete(now)
 	c.commit(now)
 	c.issue(now)
 	c.dispatch(now)
+	if c.stats.Committed > committed0 {
+		c.stack[obs.StallCommit]++
+	} else {
+		c.stack[c.StallClass(now)]++
+	}
+}
+
+// CPIStack returns the core's cycle-attribution stack. Machines use the
+// pointer both to read the stack into results and to top it up for
+// machine cycles the core never ran (dead or halted nodes), keeping the
+// exhaustiveness invariant stack.Total() == machine cycles.
+func (c *Core) CPIStack() *obs.CPIStack { return &c.stack }
+
+// StallClass names the leaf cause blocking the core this cycle, for
+// cycles that committed nothing. It is a pure function of core (and,
+// through LoadClassifier, memory-system) state: inside any stretch of
+// cycles NextEventCycle certifies as no-ops the answer is constant,
+// which is what lets SkipCycles attribute a whole stretch in one call
+// and keeps CPI stacks bit-identical with cycle skipping on and off.
+//
+// Precedence when several conditions hold: a halted core is just done;
+// an empty window is the front end's fault (I-cache miss in flight, or
+// fill transient); a memory-bound oldest instruction charges the memory
+// system even when the window has backed up full behind it (the
+// backpressure is a symptom, the miss is the cause); only then do the
+// window-resource stalls (RUU, LSQ) and the fetch stall claim the
+// cycle; everything left is pipeline execution latency.
+func (c *Core) StallClass(now uint64) obs.StallKind {
+	if c.Done() {
+		return obs.StallHalted
+	}
+	if c.windowLen() == 0 {
+		if c.hasSkid && c.icache != nil && now < c.fetchStallUntil {
+			return obs.StallFetch
+		}
+		return obs.StallEmptyWindow
+	}
+	u := c.lookup(c.head)
+	if u.state == stIssued {
+		op := u.dyn.Instr.Op
+		if op.IsLoad() && !u.fwd && !c.isPrivate(u) && c.cls != nil {
+			return c.cls.ClassifyLoad(now, LoadToken(u.seq), u.dyn.EA)
+		}
+	}
+	if !c.srcDone {
+		switch {
+		case c.windowLen() >= c.cfg.RUUSize:
+			return obs.StallRUUFull
+		case c.hasSkid && c.skid.Instr.Op.IsMem() && c.lsqUsed >= c.cfg.LSQSize:
+			return obs.StallLSQFull
+		case c.hasSkid && c.icache != nil && now < c.fetchStallUntil:
+			return obs.StallFetch
+		}
+	}
+	return obs.StallExec
 }
 
 // NextEventCycle reports when the core can next change state. It returns
@@ -493,12 +579,15 @@ func (c *Core) NextEventCycle(now uint64) (uint64, bool) {
 }
 
 // SkipCycles advances the core's per-cycle accounting over delta cycles
-// that a scheduler proved (via NextEventCycle) to be no-ops: the active
-// cycle count, and whichever dispatch stall counter the frozen state
-// would have incremented each cycle. Calling it with the core in any
-// other state breaks bit-identity with the polled loop.
-func (c *Core) SkipCycles(delta uint64) {
+// starting at now that a scheduler proved (via NextEventCycle) to be
+// no-ops: the active cycle count, whichever dispatch stall counter the
+// frozen state would have incremented each cycle, and the CPI bucket
+// StallClass names — constant across the stretch precisely because the
+// state is frozen. Calling it with the core in any other state breaks
+// bit-identity with the polled loop.
+func (c *Core) SkipCycles(now, delta uint64) {
 	c.stats.Cycles += delta
+	c.stack[c.StallClass(now)] += delta
 	if c.srcDone {
 		return
 	}

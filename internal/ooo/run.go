@@ -23,7 +23,7 @@ func Run(c *Core, watchdog uint64) (cycles uint64, err error) {
 				if limit := lastProgress + watchdog + 1; next > limit {
 					next = limit
 				}
-				c.SkipCycles(next - now)
+				c.SkipCycles(now, next-now)
 				now = next
 			}
 		}

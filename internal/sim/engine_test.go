@@ -48,6 +48,9 @@ var harnesses = []struct {
 	{"FaultCampaign", false, func(ctx context.Context, o Options) (any, error) {
 		return FaultCampaign(ctx, o, FaultCampaignConfig{Workloads: []string{"compress"}, Seeds: 1})
 	}},
+	{"CPIProfile", true, func(ctx context.Context, o Options) (any, error) {
+		return CPIProfile(ctx, o, []string{"compress", "mgrid"})
+	}},
 }
 
 // TestHarnessesDeterministicUnderParallelism is the engine's ordering

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/wisc-arch/datascalar/internal/obs"
+	"github.com/wisc-arch/datascalar/internal/stats"
+)
+
+// This file is the CPI-profile comparator behind `dsprof -diff`: it
+// diffs two dsprof artifacts bucket by bucket and flags regressions
+// against configurable thresholds. The simulator is deterministic, so
+// any difference at all is a real behavioral change — the thresholds
+// only decide which changes are large enough to fail a CI gate.
+
+// CPIDiffOptions bound what counts as a regression.
+type CPIDiffOptions struct {
+	// Threshold is the relative per-bucket growth that fails: a bucket
+	// regresses when new > old*(1+Threshold). Zero means the default 10%.
+	Threshold float64
+	// MinShare ignores noise buckets: growth in a bucket holding less
+	// than this share of total cycles in BOTH runs never regresses
+	// (total cycles are always gated regardless). Zero means the
+	// default 2%.
+	MinShare float64
+}
+
+func (o CPIDiffOptions) withDefaults() CPIDiffOptions {
+	if o.Threshold == 0 {
+		o.Threshold = 0.10
+	}
+	if o.MinShare == 0 {
+		o.MinShare = 0.02
+	}
+	return o
+}
+
+// CPIDiffEntry is one changed bucket of one (benchmark, system) row.
+// The pseudo-buckets "total" and "instructions" compare the row's cycle
+// and instruction counts.
+type CPIDiffEntry struct {
+	Benchmark string
+	System    string
+	Bucket    string
+	Old, New  uint64
+	// Delta is the relative change (new-old)/old; +Inf when old is 0.
+	Delta float64
+	// Regressed marks entries that fail the gate.
+	Regressed bool
+}
+
+// CPIDiffResult is the comparison outcome. OK reports whether the gate
+// passes: no regressed entries and no rows missing from the new
+// profile.
+type CPIDiffResult struct {
+	// Entries lists every bucket whose count changed (regressed or
+	// not), in artifact order.
+	Entries []CPIDiffEntry
+	// Missing lists "benchmark/system" rows present in the old profile
+	// but absent from the new one — lost coverage fails the gate.
+	Missing []string
+	// Added lists rows only the new profile has (informational).
+	Added       []string
+	Regressions int
+}
+
+// OK reports whether the comparison passes the regression gate.
+func (r CPIDiffResult) OK() bool { return r.Regressions == 0 && len(r.Missing) == 0 }
+
+// Table renders the changed buckets with their verdicts.
+func (r CPIDiffResult) Table() *stats.Table {
+	t := stats.NewTable("CPI profile diff (old -> new)",
+		"benchmark", "system", "bucket", "old", "new", "delta", "verdict")
+	for _, e := range r.Entries {
+		delta := "new"
+		if !math.IsInf(e.Delta, 1) {
+			delta = fmt.Sprintf("%+.1f%%", e.Delta*100)
+		}
+		verdict := "ok"
+		if e.Regressed {
+			verdict = "REGRESSED"
+		}
+		t.AddRowf(e.Benchmark, e.System, e.Bucket, e.Old, e.New, delta, verdict)
+	}
+	return t
+}
+
+// CompareCPIProfiles diffs two dsprof artifacts. Profiles generated
+// with different parameters (instruction budget, scale) are not
+// comparable and return an error.
+func CompareCPIProfiles(old, cur CPIProfileResult, o CPIDiffOptions) (CPIDiffResult, error) {
+	o = o.withDefaults()
+	var out CPIDiffResult
+	if old.Instr != cur.Instr || old.Scale != cur.Scale {
+		return out, fmt.Errorf("sim: profiles not comparable: old is %d instr at scale %d, new is %d instr at scale %d",
+			old.Instr, old.Scale, cur.Instr, cur.Scale)
+	}
+	type key struct{ bench, system string }
+	newRows := make(map[key]CPIProfileRow, len(cur.Rows))
+	for _, row := range cur.Rows {
+		newRows[key{row.Benchmark, row.System}] = row
+	}
+	matched := make(map[key]bool, len(old.Rows))
+	for _, or := range old.Rows {
+		k := key{or.Benchmark, or.System}
+		nr, ok := newRows[k]
+		if !ok {
+			out.Missing = append(out.Missing, or.Benchmark+"/"+or.System)
+			continue
+		}
+		matched[k] = true
+		om, nm := or.Machine(), nr.Machine()
+		oTotal, nTotal := om.Total(), nm.Total()
+		add := func(bucket string, ov, nv uint64, regressed bool) {
+			if ov == nv {
+				return
+			}
+			delta := math.Inf(1)
+			if ov != 0 {
+				delta = (float64(nv) - float64(ov)) / float64(ov)
+			}
+			if regressed {
+				out.Regressions++
+			}
+			out.Entries = append(out.Entries, CPIDiffEntry{
+				Benchmark: or.Benchmark, System: or.System, Bucket: bucket,
+				Old: ov, New: nv, Delta: delta, Regressed: regressed,
+			})
+		}
+		// Instruction-count drift means the runs did different work;
+		// that is never a tolerable regression, it demands a new
+		// baseline.
+		add("instructions", or.Instructions, nr.Instructions,
+			or.Instructions != nr.Instructions)
+		add("total", oTotal, nTotal,
+			float64(nTotal) > float64(oTotal)*(1+o.Threshold))
+		for k := obs.StallKind(0); k < obs.NumStallKinds; k++ {
+			ov, nv := om[k], nm[k]
+			material := om.Share(k) >= o.MinShare || nm.Share(k) >= o.MinShare
+			add(k.String(), ov, nv,
+				material && float64(nv) > float64(ov)*(1+o.Threshold))
+		}
+	}
+	for _, row := range cur.Rows {
+		if !matched[key{row.Benchmark, row.System}] {
+			out.Added = append(out.Added, row.Benchmark+"/"+row.System)
+		}
+	}
+	return out, nil
+}

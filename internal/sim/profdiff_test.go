@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/wisc-arch/datascalar/internal/obs"
+)
+
+// diffProfile builds a tiny hand-made profile so the comparator tests
+// control every bucket exactly.
+func diffProfile(commit, remote uint64) CPIProfileResult {
+	var st obs.CPIStack
+	st[obs.StallCommit] = commit
+	st[obs.StallMemRemote] = remote
+	return CPIProfileResult{
+		Instr: 1_000, Scale: 1,
+		Rows: []CPIProfileRow{{
+			Benchmark: "compress", System: "DS2", Nodes: 1,
+			Cycles: commit + remote, Instructions: 1_000,
+			Stacks: []obs.CPIStack{st},
+		}},
+	}
+}
+
+func TestCompareCPIProfilesIdentical(t *testing.T) {
+	p := diffProfile(900, 100)
+	d, err := CompareCPIProfiles(p, p, CPIDiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.OK() || len(d.Entries) != 0 || len(d.Missing) != 0 || len(d.Added) != 0 {
+		t.Fatalf("identical profiles: %+v", d)
+	}
+}
+
+func TestCompareCPIProfilesRegression(t *testing.T) {
+	old, cur := diffProfile(900, 100), diffProfile(900, 150)
+	d, err := CompareCPIProfiles(old, cur, CPIDiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.OK() {
+		t.Fatalf("+50%% in a 10%% bucket must regress: %+v", d)
+	}
+	var hit bool
+	for _, e := range d.Entries {
+		if e.Bucket == obs.StallMemRemote.String() {
+			hit = true
+			if !e.Regressed {
+				t.Errorf("bshr.remote-owner entry not marked regressed: %+v", e)
+			}
+			if e.Old != 100 || e.New != 150 || e.Delta != 0.5 {
+				t.Errorf("entry = %+v, want old=100 new=150 delta=0.5", e)
+			}
+		}
+		// Total grew 1050/1000 = +5%, inside the 10% threshold.
+		if e.Bucket == "total" && e.Regressed {
+			t.Errorf("total +5%% regressed under 10%% threshold: %+v", e)
+		}
+	}
+	if !hit {
+		t.Fatal("no entry for the inflated bucket")
+	}
+}
+
+func TestCompareCPIProfilesMinShareFilter(t *testing.T) {
+	// The remote bucket holds 0.5%/0.75% of cycles: below the 2% floor
+	// in both runs, so +50% growth is noise, not a regression.
+	old, cur := diffProfile(9_950, 50), diffProfile(9_950, 75)
+	d, err := CompareCPIProfiles(old, cur, CPIDiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.OK() {
+		t.Fatalf("sub-MinShare bucket growth regressed: %+v", d)
+	}
+	if len(d.Entries) == 0 {
+		t.Fatal("changed bucket must still be listed (informational)")
+	}
+	// Tightening MinShare makes the same change fail.
+	d, err = CompareCPIProfiles(old, cur, CPIDiffOptions{MinShare: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.OK() {
+		t.Fatalf("MinShare 0.1%% must gate the same growth: %+v", d)
+	}
+}
+
+func TestCompareCPIProfilesInstructionDrift(t *testing.T) {
+	old := diffProfile(900, 100)
+	cur := diffProfile(900, 100)
+	cur.Rows[0].Instructions = 999 // fewer instructions, even fewer cycles
+	d, err := CompareCPIProfiles(old, cur, CPIDiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.OK() {
+		t.Fatalf("instruction-count drift must fail the gate: %+v", d)
+	}
+}
+
+func TestCompareCPIProfilesMissingRow(t *testing.T) {
+	old := diffProfile(900, 100)
+	old.Rows = append(old.Rows, CPIProfileRow{
+		Benchmark: "mgrid", System: "DS2", Nodes: 1,
+		Cycles: 100, Instructions: 1_000, Stacks: []obs.CPIStack{{}},
+	})
+	cur := diffProfile(900, 100)
+	cur.Rows[0].System = "DS4" // renames the row: one missing, one added
+	d, err := CompareCPIProfiles(old, cur, CPIDiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.OK() {
+		t.Fatalf("missing rows must fail the gate: %+v", d)
+	}
+	if len(d.Missing) != 2 || len(d.Added) != 1 {
+		t.Fatalf("missing = %v, added = %v; want 2 missing, 1 added", d.Missing, d.Added)
+	}
+}
+
+func TestCompareCPIProfilesIncomparable(t *testing.T) {
+	old, cur := diffProfile(900, 100), diffProfile(900, 100)
+	cur.Instr = 2_000
+	if _, err := CompareCPIProfiles(old, cur, CPIDiffOptions{}); err == nil {
+		t.Fatal("differing instruction budgets must be an error, not a diff")
+	}
+	cur = diffProfile(900, 100)
+	cur.Scale = 2
+	if _, err := CompareCPIProfiles(old, cur, CPIDiffOptions{}); err == nil {
+		t.Fatal("differing scales must be an error, not a diff")
+	}
+}
+
+func TestCPIDiffTableRendersVerdicts(t *testing.T) {
+	d, err := CompareCPIProfiles(diffProfile(900, 100), diffProfile(900, 150), CPIDiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := d.Table().String()
+	if !strings.Contains(out, "REGRESSED") || !strings.Contains(out, "+50.0%") {
+		t.Fatalf("diff table missing verdict or delta:\n%s", out)
+	}
+}

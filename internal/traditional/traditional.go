@@ -133,7 +133,14 @@ type Result struct {
 	IPC          float64
 	Mem          Stats
 	Core         ooo.Stats
-	BusStats     bus.Stats
+	// CPIStack attributes every cycle of the run to exactly one stall
+	// bucket; its Total always equals Cycles (see internal/obs). The
+	// baseline has no ESP protocol, so esp.serialization stays zero;
+	// on-chip DRAM misses charge bshr.local-miss and off-chip round
+	// trips charge bshr.remote-owner, making the stack directly
+	// comparable against the DataScalar machines' stacks.
+	CPIStack obs.CPIStack
+	BusStats bus.Stats
 }
 
 // missEntry mirrors the DataScalar DCUB entry (see internal/core): it is
@@ -144,6 +151,7 @@ type missEntry struct {
 	line    uint64
 	refs    int
 	pending bool
+	local   bool // served by on-chip memory (cycle attribution)
 	dataAt  uint64
 	waiting []ooo.LoadToken
 }
@@ -168,7 +176,10 @@ type Machine struct {
 	stats    Stats
 }
 
-var _ ooo.MemPort = (*Machine)(nil)
+var (
+	_ ooo.MemPort        = (*Machine)(nil)
+	_ ooo.LoadClassifier = (*Machine)(nil)
+)
 
 // NewMachine builds the baseline executing program p with memory placed
 // by pt: pages owned by chip 0 are on-chip; pages owned by chips 1..N-1
@@ -261,6 +272,7 @@ func (m *Machine) IssueLoad(now uint64, tok ooo.LoadToken, addr uint64, size int
 	home := m.homeChip(addr)
 	if home == cpuChip {
 		m.stats.OnChipMisses.Inc()
+		e.local = true
 		e.dataAt = m.dram[cpuChip].Access(now+m.cfg.L1HitCycles, line)
 		return e.dataAt, false
 	}
@@ -313,6 +325,35 @@ func (m *Machine) release(tok ooo.LoadToken, line uint64) {
 			delete(m.outstanding, line)
 		}
 	}
+}
+
+// ClassifyLoad implements ooo.LoadClassifier: it names the stall bucket
+// charged while the oldest instruction in the window is an in-flight
+// load. The answer is a pure function of frozen machine state plus the
+// interconnect's phase query, both of which are constant over any
+// stretch the cycle skipper can jump, so attribution is bit-identical
+// with and without skipping.
+func (m *Machine) ClassifyLoad(now uint64, tok ooo.LoadToken, addr uint64) obs.StallKind {
+	e, ok := m.outstanding[m.l1.LineAddr(addr)]
+	if !ok {
+		// L1 hit still in its load-to-use latency.
+		return obs.StallExec
+	}
+	if !e.pending {
+		// Latency is known: an on-chip DRAM access, or an off-chip line
+		// that already arrived and is crossing the network interface.
+		if e.local {
+			return obs.StallMemLocal
+		}
+		return obs.StallMemRemote
+	}
+	// Round trip in progress. Waiting behind unrelated traffic is
+	// contention; everything else (request/response in flight, memory
+	// chip's DRAM access) is the intrinsic remote-access cost.
+	if m.net.DataPhase(e.line, cpuChip, now) == bus.PhaseBlocked {
+		return obs.StallNetContention
+	}
+	return obs.StallMemRemote
 }
 
 // CommitStore implements ooo.MemPort.
@@ -438,6 +479,7 @@ func (m *Machine) Run() (Result, error) {
 		Instructions: m.core.Committed(),
 		Mem:          m.stats,
 		Core:         *m.core.Stats(),
+		CPIStack:     *m.core.CPIStack(),
 		BusStats:     *m.net.NetStats(),
 	}
 	if r.Cycles > 0 {
@@ -469,7 +511,7 @@ func (m *Machine) skipIdle(lastProgress, watchdog uint64) {
 	if target <= m.now {
 		return
 	}
-	m.core.SkipCycles(target - m.now)
+	m.core.SkipCycles(m.now, target-m.now)
 	m.now = target
 }
 
@@ -493,7 +535,7 @@ func RunPerfect(coreCfg ooo.Config, p *prog.Program, maxInstr, ffPC uint64) (Res
 	if err != nil {
 		return Result{}, err
 	}
-	r := Result{Cycles: cycles, Instructions: c.Committed(), Core: *c.Stats()}
+	r := Result{Cycles: cycles, Instructions: c.Committed(), Core: *c.Stats(), CPIStack: *c.CPIStack()}
 	if cycles > 0 {
 		r.IPC = float64(r.Instructions) / float64(cycles)
 	}

@@ -10,17 +10,21 @@
 //
 //	dslint [-scale N] [-json] [-json-out FILE] [file.s ...]
 //
-// With no arguments every bundled workload kernel is checked. Exit
-// status is 1 when any diagnostic of severity warning or higher is
-// reported, 2 on usage or assembly errors.
+// With no arguments every bundled workload kernel is checked.
+// Diagnostics from all programs are aggregated and printed sorted by
+// (file, line, class) — the same stable-output contract as dsvet — so
+// the text output is byte-identical across runs regardless of argument
+// order. Exit status is 1 when any diagnostic of severity warning or
+// higher is reported, 2 on usage or assembly errors.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
+	"sort"
 
 	"github.com/wisc-arch/datascalar/internal/analysis"
 	"github.com/wisc-arch/datascalar/internal/asm"
@@ -34,55 +38,97 @@ type target struct {
 	p    *prog.Program
 }
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("dslint: ")
-	scale := flag.Int("scale", 1, "workload scale factor for bundled kernels")
-	jsonOut := flag.Bool("json", false, "emit the combined report as JSON on stdout")
-	jsonFile := flag.String("json-out", "", "also write the JSON report to FILE")
-	flag.Parse()
+// lintLine is one diagnostic tagged with the program it came from, the
+// unit of the aggregated (file, line, class) sort.
+type lintLine struct {
+	name string
+	d    analysis.Diagnostic
+}
 
-	targets, err := resolveTargets(flag.Args(), *scale)
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain is the testable body: it parses args, lints every target,
+// and returns the process exit code (0 clean / 1 findings / 2 usage).
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dslint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scale := fs.Int("scale", 1, "workload scale factor for bundled kernels")
+	jsonOut := fs.Bool("json", false, "emit the combined report as JSON on stdout")
+	jsonFile := fs.String("json-out", "", "also write the JSON report to FILE")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	targets, err := resolveTargets(fs.Args(), *scale)
 	if err != nil {
-		log.Print(err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "dslint: %v\n", err)
+		return 2
 	}
 
 	var reports []*analysis.Report
+	var lines []lintLine
 	findings := 0
 	for _, tg := range targets {
 		r := analysis.Analyze(tg.p)
 		r.Program = tg.name
 		reports = append(reports, r)
 		findings += r.Count(analysis.Warning)
-		if !*jsonOut {
-			for _, d := range r.Diags {
-				fmt.Printf("%s:%s\n", tg.name, d)
-			}
+		for _, d := range r.Diags {
+			lines = append(lines, lintLine{name: tg.name, d: d})
+		}
+	}
+	// The JSON report and the text output share one order: programs by
+	// name, diagnostics by (file, line, class), index and message as
+	// tie-breaks for same-line findings.
+	sort.SliceStable(reports, func(i, j int) bool {
+		return reports[i].Program < reports[j].Program
+	})
+	sort.SliceStable(lines, func(i, j int) bool {
+		a, b := lines[i], lines[j]
+		if a.name != b.name {
+			return a.name < b.name
+		}
+		if a.d.Line != b.d.Line {
+			return a.d.Line < b.d.Line
+		}
+		if a.d.Class != b.d.Class {
+			return a.d.Class < b.d.Class
+		}
+		if a.d.Index != b.d.Index {
+			return a.d.Index < b.d.Index
+		}
+		return a.d.Msg < b.d.Msg
+	})
+	if !*jsonOut {
+		for _, ln := range lines {
+			fmt.Fprintf(stdout, "%s:%s\n", ln.name, ln.d)
 		}
 	}
 
 	blob, err := json.MarshalIndent(reports, "", "  ")
 	if err != nil {
-		log.Print(err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "dslint: %v\n", err)
+		return 2
 	}
 	if *jsonOut {
-		fmt.Printf("%s\n", blob)
+		fmt.Fprintf(stdout, "%s\n", blob)
 	}
 	if *jsonFile != "" {
 		if err := os.WriteFile(*jsonFile, append(blob, '\n'), 0o644); err != nil {
-			log.Print(err)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "dslint: %v\n", err)
+			return 2
 		}
 	}
 
 	if !*jsonOut {
-		fmt.Printf("dslint: %d program(s) checked, %d finding(s)\n", len(targets), findings)
+		fmt.Fprintf(stdout, "dslint: %d program(s) checked, %d finding(s)\n", len(targets), findings)
 	}
 	if findings > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // resolveTargets assembles the requested .s files, or every bundled

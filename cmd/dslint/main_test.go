@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestPinnedDiagnosticOrder feeds the seeded fixtures in reverse
+// alphabetical order and pins the exact aggregated output: diagnostics
+// sorted by (file, line, class) regardless of argument order, the
+// stable-output contract shared with dsvet.
+func TestPinnedDiagnosticOrder(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := realMain([]string{"testdata/zeta.s", "testdata/alpha.s"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, errb.String())
+	}
+	want := strings.Join([]string{
+		"testdata/alpha.s:2: warning: value computed into r1 is never read (dead store) [dead-store]",
+		"testdata/alpha.s:2: error: r2 may be read before any write reaches this point [uninit-read]",
+		"testdata/alpha.s:2: error: r3 may be read before any write reaches this point [uninit-read]",
+		"testdata/zeta.s:2: warning: value computed into r1 is never read (dead store) [dead-store]",
+		"testdata/zeta.s:4: warning: unreachable instruction [unreachable]",
+		"dslint: 2 program(s) checked, 5 finding(s)",
+		"",
+	}, "\n")
+	if out.String() != want {
+		t.Errorf("output not pinned:\n got:\n%s\nwant:\n%s", out.String(), want)
+	}
+}
+
+// TestArgumentOrderInvariance: both argument orders produce
+// byte-identical text output.
+func TestArgumentOrderInvariance(t *testing.T) {
+	var a, b, errb bytes.Buffer
+	realMain([]string{"testdata/alpha.s", "testdata/zeta.s"}, &a, &errb)
+	realMain([]string{"testdata/zeta.s", "testdata/alpha.s"}, &b, &errb)
+	if a.String() != b.String() {
+		t.Errorf("output depends on argument order:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+// TestBundledKernelsClean: the committed workload suite must lint
+// clean — the same gate CI applies.
+func TestBundledKernelsClean(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := realMain(nil, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "0 finding(s)") {
+		t.Errorf("summary line missing: %q", out.String())
+	}
+}
+
+// TestUsageErrors: bad flags and unreadable files exit 2.
+func TestUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+	if code := realMain([]string{"no-such-file.s"}, &out, &errb); code != 2 {
+		t.Errorf("missing file: exit %d, want 2", code)
+	}
+}
+
+// TestJSONReportsSorted: -json emits per-program reports ordered by
+// program name even when arguments arrive shuffled.
+func TestJSONReportsSorted(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := realMain([]string{"-json", "testdata/zeta.s", "testdata/alpha.s"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, errb.String())
+	}
+	var reports []struct {
+		Program string `json:"program"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &reports); err != nil {
+		t.Fatalf("stdout is not JSON: %v", err)
+	}
+	if len(reports) != 2 || reports[0].Program != "testdata/alpha.s" || reports[1].Program != "testdata/zeta.s" {
+		t.Errorf("reports not sorted by program: %+v", reports)
+	}
+}

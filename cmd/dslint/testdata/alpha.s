@@ -1,0 +1,3 @@
+        .text
+        add  r1, r2, r3
+        halt

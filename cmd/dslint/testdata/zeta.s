@@ -1,0 +1,5 @@
+        .text
+        li   r1, 1
+        b    done
+        li   r2, 2
+done:   halt

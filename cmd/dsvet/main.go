@@ -1,0 +1,115 @@
+// Command dsvet statically checks the simulator's own Go source for
+// violations of the invariants behind its byte-identical-results
+// guarantee: map-iteration order leaking into output, wall-clock or
+// unseeded randomness in timing paths, allocation-prone constructs in
+// //dsvet:hotpath functions, non-exhaustive switches over //dsvet:enum
+// taxonomies, concurrency outside the allowlisted files, and
+// os.Exit/log.Fatal outside internal/cli. It is the host-side sibling
+// of dslint (which checks guest programs); see docs/ANALYSIS.md for the
+// diagnostic classes and the //dsvet:ok annotation grammar.
+//
+// Usage:
+//
+//	dsvet [-C dir] [-json] [-json-out FILE] [packages ...]
+//
+// Packages default to ./... under the module root (found by walking up
+// from -C, default the working directory). Diagnostics print as
+// "file:line:col: msg [class]", sorted by (file, line, col, class) — the
+// same stable-output contract as dslint. Exit status is 0 when clean, 1
+// when any diagnostic is reported, 2 on usage or load errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/wisc-arch/datascalar/internal/vet"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain is the testable body: it parses args, runs the suite, and
+// returns the process exit code (0 clean / 1 findings / 2 usage).
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dsvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	chdir := fs.String("C", "", "directory to locate the module from (default: working directory)")
+	jsonOut := fs.Bool("json", false, "emit the combined report as JSON on stdout")
+	jsonFile := fs.String("json-out", "", "also write the JSON report to FILE")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	dir := *chdir
+	if dir == "" {
+		dir = "."
+	}
+	modDir, err := findModuleRoot(dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "dsvet: %v\n", err)
+		return 2
+	}
+	loader, err := vet.NewLoader(modDir)
+	if err != nil {
+		fmt.Fprintf(stderr, "dsvet: %v\n", err)
+		return 2
+	}
+	reports, err := vet.Vet(loader, fs.Args(), vet.DefaultConfig())
+	if err != nil {
+		fmt.Fprintf(stderr, "dsvet: %v\n", err)
+		return 2
+	}
+
+	findings := vet.Count(reports)
+	if !*jsonOut {
+		for _, r := range reports {
+			for _, d := range r.Diags {
+				fmt.Fprintf(stdout, "%s\n", d)
+			}
+		}
+		fmt.Fprintf(stdout, "dsvet: %d package(s) checked, %d finding(s)\n",
+			len(reports), findings)
+	}
+	blob, err := json.MarshalIndent(reports, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "dsvet: %v\n", err)
+		return 2
+	}
+	if *jsonOut {
+		fmt.Fprintf(stdout, "%s\n", blob)
+	}
+	if *jsonFile != "" {
+		if err := os.WriteFile(*jsonFile, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "dsvet: %v\n", err)
+			return 2
+		}
+	}
+	if findings > 0 {
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from dir to the nearest go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}

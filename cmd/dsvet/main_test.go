@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureDir is the seeded-violation module under internal/vet.
+func fixtureDir(t *testing.T) string {
+	t.Helper()
+	d, err := filepath.Abs(filepath.Join("..", "..", "internal", "vet", "testdata", "fixture"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	d, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestExitCleanRepo: the committed tree has zero findings → exit 0.
+func TestExitCleanRepo(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := realMain([]string{"-C", repoRoot(t), "./..."}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "0 finding(s)") {
+		t.Errorf("summary line missing: %q", out.String())
+	}
+}
+
+// TestExitSeededViolations: the fixture module is riddled with seeded
+// violations → exit 1, one line per diagnostic plus the summary.
+func TestExitSeededViolations(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := realMain([]string{"-C", fixtureDir(t), "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "[exhaustive-switch]") ||
+		!strings.Contains(out.String(), "[hotpath-alloc]") {
+		t.Errorf("expected diagnostics missing from output:\n%s", out.String())
+	}
+}
+
+// TestExitUsageErrors: bad flags, missing module, and bad patterns all
+// exit 2 — the load-error discipline shared with internal/cli.
+func TestExitUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+	if code := realMain([]string{"-C", t.TempDir()}, &out, &errb); code != 2 {
+		t.Errorf("no go.mod: exit %d, want 2", code)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := realMain([]string{"-C", repoRoot(t), "./no/such/pkg"}, &out, &errb); code != 2 {
+		t.Errorf("missing package dir: exit %d, want 2 (stderr: %s)", code, errb.String())
+	}
+}
+
+// TestJSONOutput: -json emits a machine-readable report array whose
+// totals match the text summary, and -json-out writes the same bytes
+// to a file (the CI artifact path).
+func TestJSONOutput(t *testing.T) {
+	artifact := filepath.Join(t.TempDir(), "dsvet.json")
+	var out, errb bytes.Buffer
+	code := realMain([]string{"-C", fixtureDir(t), "-json", "-json-out", artifact, "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, errb.String())
+	}
+	var reports []struct {
+		Package string `json:"package"`
+		Diags   []struct {
+			Class string `json:"class"`
+			File  string `json:"file"`
+			Line  int    `json:"line"`
+		} `json:"diags"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &reports); err != nil {
+		t.Fatalf("stdout is not JSON: %v\n%s", err, out.String())
+	}
+	if len(reports) != 8 {
+		t.Errorf("got %d package reports, want 8", len(reports))
+	}
+	total := 0
+	for _, r := range reports {
+		if r.Diags == nil {
+			t.Errorf("%s: diags marshalled as null, want []", r.Package)
+		}
+		total += len(r.Diags)
+	}
+	if total == 0 {
+		t.Error("JSON report carries no diagnostics")
+	}
+	disk, err := os.ReadFile(artifact)
+	if err != nil {
+		t.Fatalf("artifact not written: %v", err)
+	}
+	if !bytes.Equal(bytes.TrimSpace(disk), bytes.TrimSpace(out.Bytes())) {
+		t.Error("-json-out file differs from -json stdout")
+	}
+}

@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"sort"
+
 	"github.com/wisc-arch/datascalar/internal/isa"
 	"github.com/wisc-arch/datascalar/internal/prog"
 )
@@ -183,7 +185,16 @@ func checkCallDiscipline(c *CFG) []Diagnostic {
 				st = map[int]bool{tok: true}
 			}
 		}
+		// Walk the provenance tokens in sorted order: several writers can
+		// reach one terminator, and the diagnostics they produce share an
+		// instruction index, so iteration order would otherwise leak into
+		// dslint's output.
+		toks := make([]int, 0, len(st))
 		for tok := range st {
+			toks = append(toks, tok)
+		}
+		sort.Ints(toks)
+		for _, tok := range toks {
 			if tok < 0 {
 				continue // entry-ra is the uninit check's job; unknown is trusted
 			}

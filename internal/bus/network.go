@@ -55,7 +55,10 @@ type Network interface {
 }
 
 // MsgPhase classifies the progress of a pending data message for stall
-// attribution.
+// attribution. The set is closed: dsvet requires every switch over
+// MsgPhase to cover all phases or panic in its default.
+//
+//dsvet:enum
 type MsgPhase uint8
 
 const (
@@ -99,6 +102,11 @@ func dataMatch(m Message, addr uint64, dst int) bool {
 // split uses the binding constraint rather than the current cycle where
 // possible (ReadyAt versus the in-flight transfer's completion), so the
 // answer cannot flip inside a skipped stretch.
+//
+// DataPhase runs on every stall-classification query; it is
+// allocation-free (see the zero-alloc guard in dataphase_test.go).
+//
+//dsvet:hotpath
 func (b *Bus) DataPhase(addr uint64, dst int, now uint64) MsgPhase {
 	if b.busy && dataMatch(b.current, addr, dst) {
 		return PhaseTransfer

@@ -196,6 +196,8 @@ func (r *Ring) NextDeliveryCycle(now uint64) uint64 {
 // outgoing link's availability — both frozen during any stretch
 // NextDeliveryCycle certifies as no-ops — rather than the current cycle,
 // so attribution cannot flip inside a skipped stretch.
+//
+//dsvet:hotpath
 func (r *Ring) DataPhase(addr uint64, dst int, now uint64) MsgPhase {
 	best := PhaseAbsent
 	for _, f := range r.flight {
@@ -226,6 +228,8 @@ func (r *Ring) DataPhase(addr uint64, dst int, now uint64) MsgPhase {
 // the next one as soon as its outgoing link is free; distinct links
 // carry distinct messages concurrently. The returned slice is only valid
 // until the next call.
+//
+//dsvet:hotpath
 func (r *Ring) Tick(now uint64) []Arrival {
 	out := r.arrivals[:0]
 	kept := r.flight[:0]

@@ -169,10 +169,13 @@ func (n *node) ClassifyLoad(now uint64, tok ooo.LoadToken, addr uint64) obs.Stal
 		return obs.StallESPSerial
 	case bus.PhaseBlocked:
 		return obs.StallNetContention
+	case bus.PhaseQueued, bus.PhaseAbsent:
+		// Queued behind the owner's broadcast-queue penalty, or the owner
+		// has not even reached the access yet: the remote node is the
+		// bottleneck.
+		return obs.StallMemRemote
 	}
-	// Queued behind the owner's broadcast-queue penalty, or the owner has
-	// not even reached the access yet: the remote node is the bottleneck.
-	return obs.StallMemRemote
+	return obs.StallMemRemote // unreachable: the switch is exhaustive
 }
 
 // obsEvent emits one typed protocol event when an observer is attached.

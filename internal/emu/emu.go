@@ -103,6 +103,11 @@ func (m *Machine) SetFReg(n uint8, v float64) { m.f[n] = v }
 
 // Step executes one instruction and returns its dynamic record.
 // Calling Step on a halted machine returns ErrHalted.
+//
+// Step is allocation-free in steady state (TestStepZeroAllocs);
+// dsvet:hotpath keeps it that way statically.
+//
+//dsvet:hotpath
 func (m *Machine) Step() (Dyn, error) {
 	if m.halted {
 		return Dyn{}, ErrHalted
@@ -118,6 +123,7 @@ func (m *Machine) Step() (Dyn, error) {
 	} else {
 		idx, err := m.prog.PCToIndex(m.pc)
 		if err != nil {
+			//dsvet:ok hotpath-alloc fetch fault ends the run; allocates at most once
 			return Dyn{}, fmt.Errorf("emu: fetch: %w", err)
 		}
 		in = m.prog.Text[idx]
@@ -126,6 +132,7 @@ func (m *Machine) Step() (Dyn, error) {
 		Private: m.privDepth > 0 && in.Op != isa.OpPRIVE}
 
 	if err := m.execute(in, &d); err != nil {
+		//dsvet:ok hotpath-alloc execution fault ends the run; allocates at most once
 		return Dyn{}, fmt.Errorf("emu: pc 0x%x (%s): %w", m.pc, in, err)
 	}
 	m.pc = d.NextPC

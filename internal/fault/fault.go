@@ -28,7 +28,11 @@ package fault
 
 import "fmt"
 
-// Class enumerates the injected fault classes.
+// Class enumerates the injected fault classes. The set is closed: dsvet
+// requires every switch over Class to cover all classes or panic in its
+// default.
+//
+//dsvet:enum
 type Class uint8
 
 const (

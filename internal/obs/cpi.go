@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"sort"
 )
 
 // StallKind is one leaf cause in the cycle-attribution taxonomy: every
@@ -16,6 +17,12 @@ import (
 // instruction counts as useful work; otherwise the cycle is charged to
 // whatever is blocking the oldest instruction (or, with an empty window,
 // to the front end). See docs/OBSERVABILITY.md for the full taxonomy.
+//
+// The taxonomy is closed: dsvet requires every switch over StallKind to
+// cover all kinds or panic in its default, so adding a bucket fails
+// lint until every consumer is updated.
+//
+//dsvet:enum
 type StallKind uint8
 
 const (
@@ -168,12 +175,19 @@ func (s *CPIStack) UnmarshalJSON(data []byte) error {
 		return err
 	}
 	*s = CPIStack{}
-	for name, v := range raw {
+	// Walk the keys in sorted order so the error for version skew names
+	// the same bucket on every run regardless of map iteration order.
+	names := make([]string, 0, len(raw))
+	for name := range raw {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		k, ok := StallKindByName(name)
 		if !ok {
 			return fmt.Errorf("obs: unknown CPI bucket %q", name)
 		}
-		s[k] = v
+		s[k] = raw[name]
 	}
 	return nil
 }

@@ -16,6 +16,10 @@ import (
 )
 
 // EventKind enumerates the typed protocol events the simulator emits.
+// The set is closed: dsvet requires every switch over EventKind to
+// cover all kinds or panic in its default.
+//
+//dsvet:enum
 type EventKind uint8
 
 const (
@@ -93,7 +97,9 @@ const (
 	// (Node = successor; Arg = pages moved).
 	EvFaultRemap
 
-	numEventKinds
+	// numEventKinds stays untyped (explicit iota) so it never reads as
+	// a 28th enumerator to dsvet's exhaustive-switch check.
+	numEventKinds = iota
 )
 
 var eventNames = [numEventKinds]string{

@@ -103,3 +103,23 @@ loop:   sd   r2, 0(r1)
 		t.Fatalf("CPI stack total = %d, want %d (one bucket per cycle)", got, now)
 	}
 }
+
+// TestSkipCyclesZeroAllocs: the event-driven scheduler calls SkipCycles
+// for every certified no-op stretch, so the accounting bump — cycle
+// count, stall counter, CPI bucket — must not allocate. Delta 0
+// exercises the full path without drifting the frozen-state accounting.
+func TestSkipCyclesZeroAllocs(t *testing.T) {
+	c, _ := coreFor(t, allocKernel, FixedLatencyMem{Cycles: 20}, nil)
+	now := uint64(0)
+	for ; now < 1_000; now++ {
+		c.Cycle(now)
+		if c.Err() != nil || c.Done() {
+			t.Fatalf("warmup ended early: err=%v done=%v", c.Err(), c.Done())
+		}
+	}
+	if allocs := testing.AllocsPerRun(10_000, func() {
+		c.SkipCycles(now, 0)
+	}); allocs != 0 {
+		t.Fatalf("ooo.Core.SkipCycles allocated %.3f times per call", allocs)
+	}
+}

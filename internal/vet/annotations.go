@@ -1,0 +1,221 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// Directive grammar (documented in docs/ANALYSIS.md):
+//
+//	//dsvet:hotpath               on a function declaration's doc comment
+//	//dsvet:enum                  on a type declaration's doc comment
+//	//dsvet:ok <class> <reason>   on (or directly above) a flagged line
+//
+// Directive comments have no space after the slashes, the same
+// convention as //go:build, so go/ast never folds them into godoc text.
+const directivePrefix = "//dsvet:"
+
+// okDirective is one audited suppression.
+type okDirective struct {
+	class  Class
+	reason string
+}
+
+// knownClasses is the closed class set, for validating ok directives.
+var knownClasses = map[Class]bool{
+	ClassMapOrder:         true,
+	ClassWallClock:        true,
+	ClassHotPathAlloc:     true,
+	ClassExhaustiveSwitch: true,
+	ClassConfinement:      true,
+	ClassExitDiscipline:   true,
+	ClassAnnotation:       true,
+}
+
+// directiveIn reports whether a comment group carries the given
+// directive verb, e.g. verb "hotpath" matches "//dsvet:hotpath ...".
+func directiveIn(g *ast.CommentGroup, verb string) (*ast.Comment, bool) {
+	if g == nil {
+		return nil, false
+	}
+	for _, c := range g.List {
+		rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+		if !ok {
+			continue
+		}
+		word, _, _ := strings.Cut(rest, " ")
+		if word == verb {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// recordEnums notes every //dsvet:enum-annotated type of a module
+// package, keyed "importPath.TypeName". It runs for dependency and
+// target loads alike, so consumer packages always see their imports'
+// markers.
+func (l *Loader) recordEnums(importPath string, syntax []*ast.File) {
+	for _, f := range syntax {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			_, declMarked := directiveIn(gd.Doc, "enum")
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				_, specMarked := directiveIn(ts.Doc, "enum")
+				if declMarked || specMarked {
+					l.enums[importPath+"."+ts.Name.Name] = true
+				}
+			}
+		}
+	}
+}
+
+// scanDirectives walks the package's comments, attaching hotpath marks
+// to their functions, indexing ok suppressions by (file, line), and
+// reporting malformed or misplaced directives as annotation
+// diagnostics.
+func (p *Package) scanDirectives() {
+	p.ok = make(map[string]map[int][]okDirective)
+	// consumed tracks directive comments legitimately attached to a
+	// declaration, so the sweep below can flag strays.
+	consumed := make(map[token.Pos]bool)
+	for _, f := range p.Syntax {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if c, ok := directiveIn(d.Doc, "hotpath"); ok {
+					consumed[c.Pos()] = true
+					p.hotpath = append(p.hotpath, d)
+				}
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE {
+					continue
+				}
+				if c, ok := directiveIn(d.Doc, "enum"); ok {
+					consumed[c.Pos()] = true
+				}
+				for _, spec := range d.Specs {
+					if ts, ok := spec.(*ast.TypeSpec); ok {
+						if c, ok := directiveIn(ts.Doc, "enum"); ok {
+							consumed[c.Pos()] = true
+						}
+					}
+				}
+			}
+		}
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				p.scanDirective(c, consumed)
+			}
+		}
+	}
+}
+
+// scanDirective classifies one raw comment: an ok suppression is
+// indexed, a consumed hotpath/enum marker is fine, anything else
+// spelled //dsvet: is a finding.
+func (p *Package) scanDirective(c *ast.Comment, consumed map[token.Pos]bool) {
+	rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+	if !ok {
+		return
+	}
+	pos := p.Fset.Position(c.Pos())
+	file := p.loader.relFile(pos.Filename)
+	verb, args, _ := strings.Cut(rest, " ")
+	switch verb {
+	case "ok":
+		class, reason, _ := strings.Cut(strings.TrimSpace(args), " ")
+		reason = strings.TrimSpace(reason)
+		switch {
+		case !knownClasses[Class(class)]:
+			p.annDiags = append(p.annDiags, Diagnostic{
+				Class: ClassAnnotation, File: file, Line: pos.Line, Col: pos.Column,
+				Msg: "//dsvet:ok names unknown class " + strconv.Quote(class),
+			})
+		case reason == "":
+			p.annDiags = append(p.annDiags, Diagnostic{
+				Class: ClassAnnotation, File: file, Line: pos.Line, Col: pos.Column,
+				Msg: "//dsvet:ok " + class + " needs an audit reason",
+			})
+		default:
+			if p.ok[file] == nil {
+				p.ok[file] = make(map[int][]okDirective)
+			}
+			p.ok[file][pos.Line] = append(p.ok[file][pos.Line],
+				okDirective{class: Class(class), reason: reason})
+		}
+	case "hotpath":
+		if !consumed[c.Pos()] {
+			p.annDiags = append(p.annDiags, Diagnostic{
+				Class: ClassAnnotation, File: file, Line: pos.Line, Col: pos.Column,
+				Msg: "//dsvet:hotpath must be in a function declaration's doc comment",
+			})
+		}
+	case "enum":
+		if !consumed[c.Pos()] {
+			p.annDiags = append(p.annDiags, Diagnostic{
+				Class: ClassAnnotation, File: file, Line: pos.Line, Col: pos.Column,
+				Msg: "//dsvet:enum must be in a type declaration's doc comment",
+			})
+		}
+	default:
+		p.annDiags = append(p.annDiags, Diagnostic{
+			Class: ClassAnnotation, File: file, Line: pos.Line, Col: pos.Column,
+			Msg: "unknown directive //dsvet:" + verb,
+		})
+	}
+}
+
+// checkAnnotations surfaces the malformed-directive findings collected
+// during the scan.
+func checkAnnotations(p *Package) []Diagnostic { return p.annDiags }
+
+// suppress drops diagnostics covered by an //dsvet:ok of the matching
+// class on the same line or the line directly above.
+func (p *Package) suppress(ds []Diagnostic) []Diagnostic {
+	out := ds[:0]
+	for _, d := range ds {
+		if p.suppressed(d) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func (p *Package) suppressed(d Diagnostic) bool {
+	lines := p.ok[d.File]
+	if lines == nil {
+		return false
+	}
+	for _, ln := range [2]int{d.Line, d.Line - 1} {
+		for _, ok := range lines[ln] {
+			if ok.class == d.Class {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// posOf converts a token.Pos into the (file, line, col) triple used by
+// diagnostics.
+func (p *Package) posOf(pos token.Pos) (string, int, int) {
+	pp := p.Fset.Position(pos)
+	return p.loader.relFile(pp.Filename), pp.Line, pp.Column
+}
+
+// diag builds one diagnostic at pos.
+func (p *Package) diag(class Class, pos token.Pos, msg string) Diagnostic {
+	file, line, col := p.posOf(pos)
+	return Diagnostic{Class: class, File: file, Line: line, Col: col, Msg: msg}
+}

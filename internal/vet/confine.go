@@ -1,0 +1,78 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkConfinement flags go statements and raw concurrency primitives —
+// channel types and operations, select, and anything from sync or
+// sync/atomic — outside the allowlisted files. The simulator's
+// byte-identical guarantee rests on single-goroutine timing loops;
+// concurrency is confined to the experiment engine's worker pool so
+// every review of a determinism bug starts from a known-serial world.
+// This is the guardrail that keeps the planned intra-run parallel DES
+// reviewable: new concurrency sites must be added to the allowlist
+// deliberately, in a diff that says so.
+func checkConfinement(p *Package, cfg Config) []Diagnostic {
+	var out []Diagnostic
+	for i, f := range p.Syntax {
+		if matchesAny(p.Files[i], cfg.ConcurrencyFiles) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				out = append(out, p.diag(ClassConfinement, n.Pos(),
+					"go statement outside the allowlisted concurrency files"))
+			case *ast.SelectStmt:
+				out = append(out, p.diag(ClassConfinement, n.Pos(),
+					"select outside the allowlisted concurrency files"))
+			case *ast.SendStmt:
+				out = append(out, p.diag(ClassConfinement, n.Pos(),
+					"channel send outside the allowlisted concurrency files"))
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					out = append(out, p.diag(ClassConfinement, n.Pos(),
+						"channel receive outside the allowlisted concurrency files"))
+				}
+			case *ast.ChanType:
+				out = append(out, p.diag(ClassConfinement, n.Pos(),
+					"channel type outside the allowlisted concurrency files"))
+			case *ast.Ident:
+				obj := p.Info.Uses[n]
+				if obj == nil || obj.Pkg() == nil {
+					return true
+				}
+				switch path := obj.Pkg().Path(); path {
+				case "sync", "sync/atomic":
+					// Flag the root reference (sync.Mutex, atomic.Int64, …)
+					// once; method calls on an already-flagged field would
+					// double-report, so only type and function names count.
+					if _, isType := obj.(*types.TypeName); isType {
+						out = append(out, p.diag(ClassConfinement, n.Pos(),
+							path+"."+obj.Name()+" outside the allowlisted concurrency files"))
+					} else if _, isFunc := obj.(*types.Func); isFunc && !isMethod(obj) {
+						out = append(out, p.diag(ClassConfinement, n.Pos(),
+							path+"."+obj.Name()+" outside the allowlisted concurrency files"))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isMethod reports whether a *types.Func is a method (has a receiver).
+// Method uses like mu.Lock() are reached through a flagged field type,
+// so flagging them again would only add noise.
+func isMethod(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}

@@ -1,0 +1,143 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// checkExhaustiveSwitch enforces that every switch over a
+// //dsvet:enum-annotated type (obs.StallKind, obs.EventKind,
+// bus.MsgPhase, fault.Class) either covers every enumerator or carries
+// a panicking default. The point is evolution safety: adding a 14th
+// stall bucket must fail lint until every consumer has decided what the
+// new value means — the same discipline the exhaustiveness *tests*
+// enforce dynamically, moved to compile-review time.
+func checkExhaustiveSwitch(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Syntax {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			named := namedOf(p.Info.TypeOf(sw.Tag))
+			if named == nil || named.Obj().Pkg() == nil {
+				return true
+			}
+			key := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+			if !p.loader.enums[key] {
+				return true
+			}
+			if d, bad := p.switchGaps(sw, named); bad {
+				out = append(out, d)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// namedOf unwraps aliases and returns the named type, if any.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	named, _ := types.Unalias(t).(*types.Named)
+	return named
+}
+
+// switchGaps compares the switch's case constants against the
+// enumerators of named and builds the diagnostic for any gap.
+func (p *Package) switchGaps(sw *ast.SwitchStmt, named *types.Named) (Diagnostic, bool) {
+	enumNames, enumVals := enumerators(named)
+	covered := make([]bool, len(enumVals))
+	hasDefault, defaultPanics := false, false
+	opaque := false // a non-constant case expression defeats the analysis
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			defaultPanics = p.bodyPanics(cc.Body)
+			continue
+		}
+		for _, e := range cc.List {
+			tv, ok := p.Info.Types[e]
+			if !ok || tv.Value == nil {
+				opaque = true
+				continue
+			}
+			for i, v := range enumVals {
+				if constant.Compare(tv.Value, token.EQL, v) {
+					covered[i] = true
+				}
+			}
+		}
+	}
+	var missing []string
+	for i, c := range covered {
+		if !c {
+			missing = append(missing, enumNames[i])
+		}
+	}
+	typeName := named.Obj().Pkg().Name() + "." + named.Obj().Name()
+	switch {
+	case hasDefault && defaultPanics:
+		return Diagnostic{}, false
+	case len(missing) == 0 && !opaque:
+		return Diagnostic{}, false
+	case opaque:
+		return p.diag(ClassExhaustiveSwitch, sw.Switch, fmt.Sprintf(
+			"switch over %s has non-constant cases; add a panicking default so new enumerators cannot pass silently", typeName)), true
+	case hasDefault:
+		return p.diag(ClassExhaustiveSwitch, sw.Switch, fmt.Sprintf(
+			"switch over %s misses %s and its default does not panic — a new enumerator would be silently absorbed", typeName, strings.Join(missing, ", "))), true
+	default:
+		return p.diag(ClassExhaustiveSwitch, sw.Switch, fmt.Sprintf(
+			"switch over %s misses %s (cover every enumerator or add a panicking default)", typeName, strings.Join(missing, ", "))), true
+	}
+}
+
+// enumerators lists the constants of the defining package whose type is
+// exactly the named type, in declaration-scope (sorted-name) order.
+func enumerators(named *types.Named) (names []string, vals []constant.Value) {
+	scope := named.Obj().Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		if types.Identical(types.Unalias(c.Type()), named) {
+			names = append(names, name)
+			vals = append(vals, c.Val())
+		}
+	}
+	return names, vals
+}
+
+// bodyPanics reports whether a default clause terminates with intent: a
+// direct panic call anywhere in its body.
+func (p *Package) bodyPanics(body []ast.Stmt) bool {
+	found := false
+	for _, s := range body {
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return !found
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "panic" {
+					found = true
+				}
+			}
+			return !found
+		})
+	}
+	return found
+}

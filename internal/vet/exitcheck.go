@@ -1,0 +1,40 @@
+package vet
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// checkExitDiscipline flags os.Exit and log.Fatal* outside internal/cli
+// and package-main wrappers. Library code must return errors: the
+// structured exit-code convention (0/1/2/3/4 — see internal/cli) lives
+// in exactly one place, and an os.Exit buried in a library both skips
+// deferred cleanup and makes the in-process CLI tests impossible.
+func checkExitDiscipline(p *Package, cfg Config) []Diagnostic {
+	if p.Name == "main" || matchesAny(p.Path, cfg.ExitPackages) {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Syntax {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := p.Info.Uses[id]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch path := obj.Pkg().Path(); {
+			case path == "os" && obj.Name() == "Exit":
+				out = append(out, p.diag(ClassExitDiscipline, id.Pos(),
+					"os.Exit outside internal/cli and main wrappers (return an error; internal/cli classifies it)"))
+			case path == "log" && strings.HasPrefix(obj.Name(), "Fatal"):
+				out = append(out, p.diag(ClassExitDiscipline, id.Pos(),
+					"log."+obj.Name()+" outside internal/cli and main wrappers (return an error; internal/cli classifies it)"))
+			}
+			return true
+		})
+	}
+	return out
+}

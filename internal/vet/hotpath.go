@@ -1,0 +1,229 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkHotPathAlloc rejects allocation-prone constructs inside
+// functions annotated //dsvet:hotpath — the per-cycle and per-step
+// paths the AllocsPerRun==0 benchmark guards protect dynamically. The
+// static rules are deliberately conservative approximations of the
+// escape analyzer:
+//
+//   - &T{...}: an escaping composite literal (address taken).
+//   - []T{...} / map[...]...{...}: slice and map literals allocate.
+//   - make(...) / new(...): direct allocations.
+//   - func literals: closures capture and allocate.
+//   - string concatenation and string<->[]byte/[]rune/rune conversions.
+//   - calls into fmt (which also allocate via boxing).
+//   - interface boxing: a non-pointer-shaped concrete value passed to
+//     an interface parameter or assigned to an interface variable.
+//
+// Cold paths inside a hot function (error returns that end the run,
+// trace slow paths behind a disabled-by-default flag) are silenced with
+// //dsvet:ok hotpath-alloc <reason> — the annotation is the audit trail
+// for why the guard tolerates them.
+func checkHotPathAlloc(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, fd := range p.hotpath {
+		if fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					if _, ok := n.X.(*ast.CompositeLit); ok {
+						out = append(out, p.hotDiag(fd, n.Pos(), "escaping composite literal (&T{...})"))
+					}
+				}
+			case *ast.CompositeLit:
+				switch p.underlyingOf(n).(type) {
+				case *types.Slice:
+					out = append(out, p.hotDiag(fd, n.Pos(), "slice literal allocates"))
+				case *types.Map:
+					out = append(out, p.hotDiag(fd, n.Pos(), "map literal allocates"))
+				}
+			case *ast.FuncLit:
+				out = append(out, p.hotDiag(fd, n.Pos(), "closure allocates"))
+			case *ast.BinaryExpr:
+				if n.Op == token.ADD && p.isNonConstString(n) {
+					out = append(out, p.hotDiag(fd, n.Pos(), "string concatenation allocates"))
+				}
+			case *ast.AssignStmt:
+				out = append(out, p.hotAssign(fd, n)...)
+			case *ast.ValueSpec:
+				if n.Type == nil {
+					break
+				}
+				lt := p.Info.TypeOf(n.Type)
+				for _, val := range n.Values {
+					if boxes(lt, p.Info.TypeOf(val)) {
+						out = append(out, p.hotDiag(fd, val.Pos(), "interface boxing in declaration"))
+					}
+				}
+			case *ast.CallExpr:
+				out = append(out, p.hotCall(fd, n)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func (p *Package) hotDiag(fd *ast.FuncDecl, pos token.Pos, msg string) Diagnostic {
+	return p.diag(ClassHotPathAlloc, pos,
+		fmt.Sprintf("%s in hot path %s", msg, fd.Name.Name))
+}
+
+func (p *Package) underlyingOf(e ast.Expr) types.Type {
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}
+
+func (p *Package) isNonConstString(e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value != nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// hotAssign flags string += and interface-boxing assignments.
+func (p *Package) hotAssign(fd *ast.FuncDecl, as *ast.AssignStmt) []Diagnostic {
+	var out []Diagnostic
+	if as.Tok == token.ADD_ASSIGN && len(as.Lhs) == 1 {
+		if b, ok := p.underlyingOf(as.Lhs[0]).(*types.Basic); ok && b.Info()&types.IsString != 0 {
+			out = append(out, p.hotDiag(fd, as.Pos(), "string concatenation allocates"))
+		}
+	}
+	if (as.Tok == token.ASSIGN || as.Tok == token.DEFINE) && len(as.Lhs) == len(as.Rhs) {
+		for i := range as.Lhs {
+			lt := p.Info.TypeOf(as.Lhs[i])
+			if lt != nil && boxes(lt, p.Info.TypeOf(as.Rhs[i])) {
+				out = append(out, p.hotDiag(fd, as.Rhs[i].Pos(), "interface boxing in assignment"))
+			}
+		}
+	}
+	return out
+}
+
+// hotCall flags fmt calls, make/new, allocating conversions, and
+// interface-boxing arguments.
+func (p *Package) hotCall(fd *ast.FuncDecl, call *ast.CallExpr) []Diagnostic {
+	var out []Diagnostic
+	// Conversion? T(x)
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if msg := conversionAllocs(tv.Type, p.Info.TypeOf(call.Args[0])); msg != "" {
+			out = append(out, p.hotDiag(fd, call.Pos(), msg))
+		} else if boxes(tv.Type, p.Info.TypeOf(call.Args[0])) {
+			out = append(out, p.hotDiag(fd, call.Pos(), "interface boxing in conversion"))
+		}
+		return out
+	}
+	// Builtin?
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make", "new":
+				out = append(out, p.hotDiag(fd, call.Pos(), id.Name+" allocates"))
+			}
+			return out
+		}
+	}
+	// fmt call?
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pkg, ok := p.Info.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "fmt" {
+				out = append(out, p.hotDiag(fd, call.Pos(), "fmt."+sel.Sel.Name+" call allocates"))
+				return out
+			}
+		}
+	}
+	// Interface boxing through parameters.
+	sig, ok := p.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return out
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if boxes(pt, p.Info.TypeOf(arg)) {
+			out = append(out, p.hotDiag(fd, arg.Pos(), "interface boxing in call argument"))
+		}
+	}
+	return out
+}
+
+// conversionAllocs classifies conversions that copy memory: string <->
+// []byte/[]rune and integer/rune -> string.
+func conversionAllocs(dst, src types.Type) string {
+	if dst == nil || src == nil {
+		return ""
+	}
+	d, s := dst.Underlying(), src.Underlying()
+	if db, ok := d.(*types.Basic); ok && db.Info()&types.IsString != 0 {
+		switch st := s.(type) {
+		case *types.Slice:
+			return "string conversion from slice allocates"
+		case *types.Basic:
+			if st.Info()&types.IsInteger != 0 {
+				return "string(rune) conversion allocates"
+			}
+		}
+	}
+	if dsl, ok := d.(*types.Slice); ok {
+		if el, ok := dsl.Elem().Underlying().(*types.Basic); ok &&
+			(el.Kind() == types.Byte || el.Kind() == types.Rune || el.Kind() == types.Uint8 || el.Kind() == types.Int32) {
+			if sb, ok := s.(*types.Basic); ok && sb.Info()&types.IsString != 0 {
+				return "[]byte/[]rune conversion from string allocates"
+			}
+		}
+	}
+	return ""
+}
+
+// boxes reports whether storing a value of type src into a location of
+// type dst boxes a non-pointer-shaped value into an interface.
+// Pointer-shaped kinds (pointers, channels, maps, funcs,
+// unsafe.Pointer) fit the interface word and do not allocate; nil and
+// existing interfaces are pass-through.
+func boxes(dst, src types.Type) bool {
+	if dst == nil || src == nil {
+		return false
+	}
+	if _, ok := dst.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	switch s := src.Underlying().(type) {
+	case *types.Interface:
+		return false
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		switch s.Kind() {
+		case types.UntypedNil, types.UnsafePointer:
+			return false
+		}
+		return true
+	}
+	return true
+}

@@ -1,0 +1,348 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Loader is a small module-aware package loader built on the stdlib
+// only: go/build selects files (honoring build constraints, cgo off),
+// go/parser parses them, go/types checks them. Imports inside the
+// module resolve against the module directory; everything else resolves
+// against GOROOT/src (with the GOROOT vendor fallback). Dependency
+// packages are checked with IgnoreFuncBodies and memoized, so vetting
+// the whole repository type-checks the stdlib's declarations once.
+type Loader struct {
+	// ModuleDir is the directory holding go.mod; ModulePath its module
+	// path.
+	ModuleDir  string
+	ModulePath string
+
+	Fset *token.FileSet
+
+	ctxt  build.Context
+	sizes types.Sizes
+	deps  map[string]*depEntry
+	// enums records types annotated //dsvet:enum as "pkgpath.TypeName".
+	// It is filled while parsing any module package — dependency or
+	// target — so a consumer package sees markers from its imports.
+	enums map[string]bool
+}
+
+type depEntry struct {
+	pkg *types.Package
+	err error
+}
+
+// Package is one fully type-checked target package plus the side tables
+// the checks need.
+type Package struct {
+	Path  string
+	Dir   string
+	Name  string
+	Files []string // module-relative file paths, parallel to Syntax
+	Fset  *token.FileSet
+	// Syntax holds the parsed files (with comments).
+	Syntax []*ast.File
+	Types  *types.Package
+	Info   *types.Info
+
+	loader *Loader
+	// ok maps file → line → suppression directives on that line.
+	ok map[string]map[int][]okDirective
+	// hotpath holds the //dsvet:hotpath function declarations.
+	hotpath []*ast.FuncDecl
+	// annDiags are malformed-directive findings collected during the
+	// directive scan.
+	annDiags []Diagnostic
+}
+
+// NewLoader opens the module rooted at dir (the directory containing
+// go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := readModulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	ctxt := build.Default
+	ctxt.CgoEnabled = false // select the pure-Go variants everywhere
+	return &Loader{
+		ModuleDir:  abs,
+		ModulePath: modPath,
+		Fset:       token.NewFileSet(),
+		ctxt:       ctxt,
+		sizes:      types.SizesFor("gc", runtime.GOARCH),
+		deps:       make(map[string]*depEntry),
+		enums:      make(map[string]bool),
+	}, nil
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", fmt.Errorf("vet: reading %s: %w", path, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("vet: %s: no module directive", path)
+}
+
+// inModule reports whether importPath belongs to the loaded module.
+func (l *Loader) inModule(importPath string) bool {
+	return importPath == l.ModulePath ||
+		strings.HasPrefix(importPath, l.ModulePath+"/")
+}
+
+// dirFor resolves an import path to a source directory: module paths
+// land in the module tree, everything else in GOROOT/src, with the
+// GOROOT vendor directory as a fallback for the stdlib's vendored
+// golang.org/x dependencies.
+func (l *Loader) dirFor(importPath string) (string, error) {
+	if l.inModule(importPath) {
+		rel := strings.TrimPrefix(strings.TrimPrefix(importPath, l.ModulePath), "/")
+		return filepath.Join(l.ModuleDir, filepath.FromSlash(rel)), nil
+	}
+	goroot := runtime.GOROOT()
+	dir := filepath.Join(goroot, "src", filepath.FromSlash(importPath))
+	if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+		return dir, nil
+	}
+	vdir := filepath.Join(goroot, "src", "vendor", filepath.FromSlash(importPath))
+	if fi, err := os.Stat(vdir); err == nil && fi.IsDir() {
+		return vdir, nil
+	}
+	return "", fmt.Errorf("vet: cannot resolve import %q (not in module %s or GOROOT)", importPath, l.ModulePath)
+}
+
+// goFiles lists the buildable non-test Go files of dir in stable order.
+func (l *Loader) goFiles(dir string) ([]string, error) {
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	files := append([]string(nil), bp.GoFiles...)
+	sort.Strings(files)
+	for i, f := range files {
+		files[i] = filepath.Join(dir, f)
+	}
+	return files, nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.load(path)
+}
+
+// ImportFrom implements types.ImporterFrom; the source directory is
+// irrelevant because resolution is absolute (module or GOROOT).
+func (l *Loader) ImportFrom(path, _ string, _ types.ImportMode) (*types.Package, error) {
+	return l.load(path)
+}
+
+// load type-checks the package at importPath declarations-only
+// (IgnoreFuncBodies) and memoizes the result. Module packages also get
+// their //dsvet:enum markers recorded.
+func (l *Loader) load(importPath string) (*types.Package, error) {
+	if importPath == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if e, ok := l.deps[importPath]; ok {
+		if e == nil {
+			return nil, fmt.Errorf("vet: import cycle through %q", importPath)
+		}
+		return e.pkg, e.err
+	}
+	l.deps[importPath] = nil // cycle marker
+	pkg, err := l.check(importPath, true)
+	l.deps[importPath] = &depEntry{pkg: pkg, err: err}
+	return pkg, err
+}
+
+// parseDir parses every buildable file of importPath with comments.
+func (l *Loader) parseDir(importPath string) (dir string, files []string, syntax []*ast.File, err error) {
+	dir, err = l.dirFor(importPath)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	files, err = l.goFiles(dir)
+	if err != nil {
+		return "", nil, nil, fmt.Errorf("vet: %s: %w", importPath, err)
+	}
+	for _, f := range files {
+		af, err := parser.ParseFile(l.Fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return "", nil, nil, err
+		}
+		syntax = append(syntax, af)
+	}
+	return dir, files, syntax, nil
+}
+
+// check parses and type-checks importPath. Dependency loads skip
+// function bodies; target loads keep them and are driven by LoadTarget.
+func (l *Loader) check(importPath string, depOnly bool) (*types.Package, error) {
+	_, _, syntax, err := l.parseDir(importPath)
+	if err != nil {
+		return nil, err
+	}
+	if l.inModule(importPath) {
+		l.recordEnums(importPath, syntax)
+	}
+	conf := types.Config{
+		Importer:         l,
+		IgnoreFuncBodies: depOnly,
+		FakeImportC:      true,
+		Sizes:            l.sizes,
+	}
+	pkg, err := conf.Check(importPath, l.Fset, syntax, nil)
+	if err != nil {
+		return nil, fmt.Errorf("vet: type-checking %s: %w", importPath, err)
+	}
+	return pkg, nil
+}
+
+// LoadTarget fully type-checks importPath (bodies included, full
+// types.Info) and scans its //dsvet: directives.
+func (l *Loader) LoadTarget(importPath string) (*Package, error) {
+	dir, files, syntax, err := l.parseDir(importPath)
+	if err != nil {
+		return nil, err
+	}
+	l.recordEnums(importPath, syntax)
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Uses:  make(map[*ast.Ident]types.Object),
+		Defs:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		Sizes:       l.sizes,
+	}
+	tpkg, err := conf.Check(importPath, l.Fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("vet: type-checking %s: %w", importPath, err)
+	}
+	rel := make([]string, len(files))
+	for i, f := range files {
+		rel[i] = l.relFile(f)
+	}
+	p := &Package{
+		Path:   importPath,
+		Dir:    dir,
+		Name:   tpkg.Name(),
+		Files:  rel,
+		Fset:   l.Fset,
+		Syntax: syntax,
+		Types:  tpkg,
+		Info:   info,
+		loader: l,
+	}
+	p.scanDirectives()
+	return p, nil
+}
+
+// relFile renders a file path relative to the module root (falling back
+// to the absolute path outside it).
+func (l *Loader) relFile(path string) string {
+	if r, err := filepath.Rel(l.ModuleDir, path); err == nil && !strings.HasPrefix(r, "..") {
+		return filepath.ToSlash(r)
+	}
+	return filepath.ToSlash(path)
+}
+
+// List expands package patterns to import paths. Supported forms:
+// "./..." (every package under the module root), a module-relative
+// directory like "./internal/obs", or a full import path. The result is
+// sorted and deduplicated.
+func (l *Loader) List(patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			paths, err := l.walkModule()
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range paths {
+				add(p)
+			}
+		case strings.HasPrefix(pat, "./"):
+			rel := filepath.ToSlash(filepath.Clean(strings.TrimPrefix(pat, "./")))
+			if fi, err := os.Stat(filepath.Join(l.ModuleDir, filepath.FromSlash(rel))); err != nil || !fi.IsDir() {
+				return nil, fmt.Errorf("vet: no such package directory: %s", pat)
+			}
+			if rel == "." {
+				add(l.ModulePath)
+			} else {
+				add(l.ModulePath + "/" + rel)
+			}
+		default:
+			add(pat)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// walkModule finds every directory under the module root holding
+// buildable Go files, skipping testdata, vendor, and hidden or
+// underscore-prefixed directories.
+func (l *Loader) walkModule() ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(l.ModuleDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.ModuleDir &&
+			(name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if bp, err := l.ctxt.ImportDir(path, 0); err == nil && len(bp.GoFiles) > 0 {
+			rel, err := filepath.Rel(l.ModuleDir, path)
+			if err != nil {
+				return err
+			}
+			if rel == "." {
+				out = append(out, l.ModulePath)
+			} else {
+				out = append(out, l.ModulePath+"/"+filepath.ToSlash(rel))
+			}
+		}
+		return nil
+	})
+	return out, err
+}

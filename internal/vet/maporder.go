@@ -1,0 +1,175 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// checkMapOrder flags range statements over maps whose bodies leak the
+// (randomized) iteration order into observable output: printing or
+// writing inside the loop, appending to a slice declared outside the
+// loop that is never subsequently sorted, or enqueueing messages.
+// Accumulating into another map, summing counters, and other
+// order-insensitive bodies are fine.
+func checkMapOrder(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Syntax {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := p.Info.TypeOf(rng.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if msg := p.mapOrderLeak(rng, fd); msg != "" {
+					out = append(out, p.diag(ClassMapOrder, rng.For,
+						"map iteration order leaks: "+msg))
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// mapOrderLeak inspects a range-over-map body and reports the first
+// order-dependent effect, or "" when the body is order-insensitive.
+func (p *Package) mapOrderLeak(rng *ast.RangeStmt, encl *ast.FuncDecl) string {
+	var msg string
+	var appended []types.Object
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if msg != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := p.outputCall(n); ok {
+				msg = fmt.Sprintf("%s inside the loop", name)
+				return false
+			}
+			if obj := p.appendTarget(n); obj != nil && obj.Pos().IsValid() &&
+				(obj.Pos() < rng.Pos() || obj.Pos() > rng.End()) {
+				appended = append(appended, obj)
+			}
+		case *ast.SendStmt:
+			msg = "channel send inside the loop"
+			return false
+		}
+		return true
+	})
+	if msg != "" {
+		return msg
+	}
+	for _, obj := range appended {
+		if !p.sortedAfter(rng, encl, obj) {
+			return fmt.Sprintf("appends to %q with no subsequent sort", obj.Name())
+		}
+	}
+	return ""
+}
+
+// outputCall reports whether call emits observable output: any fmt
+// function, any method named like an io writer, or an Enqueue.
+func (p *Package) outputCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pkg, ok := p.Info.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "fmt" {
+			return "fmt." + sel.Sel.Name, true
+		}
+	}
+	switch name := sel.Sel.Name; {
+	case strings.HasPrefix(name, "Write"), strings.HasPrefix(name, "Print"),
+		strings.HasPrefix(name, "Fprint"), name == "Enqueue":
+		return "call to " + name, true
+	}
+	return "", false
+}
+
+// appendTarget returns the object a call grows via x = append(x, ...)
+// patterns, i.e. the first argument of a builtin append, when it is a
+// plain identifier.
+func (p *Package) appendTarget(call *ast.CallExpr) types.Object {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return nil
+	}
+	if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return nil
+	}
+	if len(call.Args) == 0 {
+		return nil
+	}
+	target, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return p.Info.Uses[target]
+}
+
+// sortedAfter reports whether, somewhere in the enclosing function
+// after the range statement, obj is passed to a sorting call (sort.*,
+// slices.Sort*, or a local helper whose name contains "sort"). That is
+// the idiom that makes collect-then-sort loops deterministic.
+func (p *Package) sortedAfter(rng *ast.RangeStmt, encl *ast.FuncDecl, obj types.Object) bool {
+	if encl == nil || encl.Body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(encl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		if !p.isSortCall(call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// isSortCall recognizes sorting calls by package (sort, slices) or by
+// name ("sort" substring, case-insensitive).
+func (p *Package) isSortCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pkg, ok := p.Info.Uses[id].(*types.PkgName); ok {
+				switch pkg.Imported().Path() {
+				case "sort", "slices":
+					return true
+				}
+			}
+		}
+		return strings.Contains(strings.ToLower(fun.Sel.Name), "sort")
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(fun.Name), "sort")
+	}
+	return false
+}

@@ -1,0 +1,18 @@
+// Package ann exercises the directive validator: every //dsvet:
+// comment below is malformed or misplaced.
+package ann
+
+//dsvet:ok no-such-class because I said so
+var a = 1
+
+//dsvet:ok map-order
+var b = 2
+
+//dsvet:frobnicate
+var c = 3
+
+//dsvet:hotpath
+var d = 4
+
+//dsvet:enum
+var e = 5

@@ -1,0 +1,18 @@
+// Package exits is library code (not package main, not internal/cli),
+// so process-exit calls are flagged.
+package exits
+
+import (
+	"log"
+	"os"
+)
+
+// Bail kills the process from a library: flagged.
+func Bail(err error) {
+	log.Fatalf("bail: %v", err)
+}
+
+// Quit exits directly: flagged.
+func Quit() {
+	os.Exit(3)
+}

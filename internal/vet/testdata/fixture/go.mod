@@ -1,0 +1,3 @@
+module example.com/fixture
+
+go 1.22

@@ -1,0 +1,39 @@
+// Package hot exercises every construct the hotpath-alloc check
+// rejects, plus one audited suppression.
+package hot
+
+import "fmt"
+
+type point struct{ x, y int }
+
+type sink interface{ accept(any) }
+
+// Fill is the hot path under test; every line below allocates.
+//
+//dsvet:hotpath
+func Fill(s sink, n int) *point {
+	p := &point{x: n}               // escaping composite literal
+	xs := []int{1, 2, 3}            // slice literal
+	m := map[int]int{1: 2}          // map literal
+	f := func() int { return n }    // closure
+	label := "n=" + fmt.Sprint(n)   // string concat + fmt call
+	bs := []byte(label)             // string->slice conversion
+	ys := make([]int, n)            // make
+	q := new(point)                 // new
+	s.accept(n)                     // interface boxing (call argument)
+	var v any = point{x: len(xs)}   // interface boxing (assignment)
+	_, _, _, _, _, _ = m, f, bs, ys, q, v
+	return p
+}
+
+// FillCold shows the audited escape hatch: the same construct, silenced
+// with a reason.
+//
+//dsvet:hotpath
+func FillCold(n int) string {
+	//dsvet:ok hotpath-alloc cold diagnostic path, runs once per failure
+	return fmt.Sprintf("n=%d", n)
+}
+
+// Warm is not annotated, so nothing here is checked.
+func Warm(n int) *point { return &point{x: n} }

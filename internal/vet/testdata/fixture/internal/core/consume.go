@@ -1,0 +1,52 @@
+// Package core consumes the fixture stall taxonomy from another
+// package, proving the //dsvet:enum marker travels through dependency
+// loading.
+package core
+
+import "example.com/fixture/internal/obs"
+
+// Thirteen names — the consumer that predates K13 and must fail lint.
+var names = [obs.NumKinds]string{}
+
+// Name switches over only the original thirteen kinds: flagged.
+func Name(k obs.StallKind) string {
+	switch k {
+	case obs.K0, obs.K1, obs.K2, obs.K3, obs.K4, obs.K5, obs.K6:
+		return "low"
+	case obs.K7, obs.K8, obs.K9, obs.K10, obs.K11, obs.K12:
+		return "high"
+	}
+	return names[0]
+}
+
+// NameDefended carries a panicking default: clean.
+func NameDefended(k obs.StallKind) string {
+	switch k {
+	case obs.K0:
+		return "zero"
+	default:
+		panic("unhandled stall kind")
+	}
+}
+
+// NameCovered covers all fourteen: clean.
+func NameCovered(k obs.StallKind) string {
+	switch k {
+	case obs.K0, obs.K1, obs.K2, obs.K3, obs.K4, obs.K5, obs.K6,
+		obs.K7, obs.K8, obs.K9, obs.K10, obs.K11, obs.K12, obs.K13:
+		return "any"
+	}
+	return ""
+}
+
+// NameSilentDefault covers twelve with a non-panicking default: flagged
+// (a new enumerator would be silently absorbed).
+func NameSilentDefault(k obs.StallKind) string {
+	switch k {
+	case obs.K0, obs.K1, obs.K2, obs.K3, obs.K4, obs.K5,
+		obs.K6, obs.K7, obs.K8, obs.K9, obs.K10, obs.K11:
+		return "known"
+	default:
+		return "other"
+	}
+}

@@ -1,0 +1,19 @@
+// Package emu sits on a timing-path suffix (internal/emu), so wall
+// clock and global randomness are banned here.
+package emu
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter mixes wall-clock and unseeded randomness into "timing": both
+// flagged.
+func Jitter() int64 {
+	return time.Now().UnixNano() + int64(rand.Int())
+}
+
+// Elapsed reads the wall clock: flagged.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0)
+}

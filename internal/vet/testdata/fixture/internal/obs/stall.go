@@ -1,0 +1,31 @@
+// Package obs mirrors the real stall taxonomy: a 14-kind enum (one more
+// than the shipped 13) so the exhaustive-switch fixture proves that
+// adding a bucket fails lint until every consumer is updated.
+package obs
+
+// StallKind is the fixture's closed stall taxonomy.
+//
+//dsvet:enum
+type StallKind uint8
+
+// The fourteen kinds; K13 is the "newly added" bucket consumers have
+// not yet learned about.
+const (
+	K0 StallKind = iota
+	K1
+	K2
+	K3
+	K4
+	K5
+	K6
+	K7
+	K8
+	K9
+	K10
+	K11
+	K12
+	K13
+
+	// NumKinds stays untyped so it never reads as an enumerator.
+	NumKinds = iota
+)

@@ -1,0 +1,24 @@
+// workers.go is NOT on the concurrency allowlist, so every primitive
+// here is flagged.
+package sim
+
+import "sync"
+
+// Pool duplicates the engine's shape outside the allowlist.
+type Pool struct {
+	mu   sync.Mutex
+	work chan int
+}
+
+// Run spins up confined-forbidden concurrency.
+func (p *Pool) Run() {
+	go func() {
+		p.work <- 1
+	}()
+	<-p.work
+}
+
+// Wait blocks forever.
+func (p *Pool) Wait() {
+	select {}
+}

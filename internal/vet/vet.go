@@ -1,0 +1,213 @@
+// Package vet is a static-analysis suite over the simulator's own Go
+// source — the host-side sibling of internal/analysis (which checks
+// guest programs). The repo's value proposition is byte-identical
+// results across serial/parallel, skip/noskip, observer on/off, and
+// fault-inert runs; the invariants behind that guarantee (no wall-clock
+// or unseeded randomness in timing paths, no map-iteration-order leaks
+// into output, zero-alloc hot loops, exhaustive switches over the stall
+// and message-phase taxonomies, goroutines confined to the experiment
+// engine) are enforced dynamically by differential tests. dsvet enforces
+// them statically, so a violation fails CI before it can flake.
+//
+// The suite is stdlib-only (go/ast, go/parser, go/types — no x/tools),
+// with a small module-aware package loader (loader.go). Diagnostics are
+// typed, ordered stably by (file, line, column, class), and rendered as
+// text or JSON — the same idiom as internal/analysis and cmd/dslint.
+//
+// False positives are silenced in place with an audited annotation:
+//
+//	//dsvet:ok <class> <reason>
+//
+// on the offending line or the line directly above it. The reason is
+// mandatory; a directive without one is itself a diagnostic. Two more
+// directives feed the checks: //dsvet:hotpath on a function declaration
+// opts it into the allocation discipline, and //dsvet:enum on a type
+// declaration opts its switches into the exhaustiveness discipline.
+// The closed set of diagnostic classes is documented in docs/ANALYSIS.md.
+package vet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Class identifies a diagnostic class. The set is closed and documented
+// in docs/ANALYSIS.md; golden tests cover one fixture per class.
+type Class string
+
+// Diagnostic classes.
+const (
+	// ClassMapOrder: a range over a map whose body emits output, appends
+	// to an outer slice, or enqueues messages, with no subsequent sort of
+	// the collected results — map iteration order would leak into output.
+	ClassMapOrder Class = "map-order"
+	// ClassWallClock: time.Now/Since/Until or math/rand in a timing-path
+	// package. Timing must be a pure function of (program, config, seed);
+	// randomness comes from the seeded SplitMix64 in internal/stats.
+	ClassWallClock Class = "wallclock-rand"
+	// ClassHotPathAlloc: an allocation-prone construct (escaping
+	// composite literal, closure, string concat/conversion, fmt call,
+	// interface boxing, make/new) inside a //dsvet:hotpath function —
+	// the static backing for the AllocsPerRun==0 guards.
+	ClassHotPathAlloc Class = "hotpath-alloc"
+	// ClassExhaustiveSwitch: a switch over a //dsvet:enum type that
+	// neither covers every enumerator nor carries a panicking default —
+	// adding a 14th stall bucket must fail lint until every consumer is
+	// updated.
+	ClassExhaustiveSwitch Class = "exhaustive-switch"
+	// ClassConfinement: a go statement or raw channel/mutex/atomic use
+	// outside the allowlisted files (the experiment-engine worker pool).
+	// Everything else must stay single-goroutine so determinism reviews
+	// stay local.
+	ClassConfinement Class = "goroutine-confinement"
+	// ClassExitDiscipline: os.Exit or log.Fatal outside internal/cli and
+	// thin package-main wrappers — library code must return errors so the
+	// structured exit-code convention (0/1/2/3/4) stays in one place.
+	ClassExitDiscipline Class = "exit-discipline"
+	// ClassAnnotation: a malformed //dsvet: directive (unknown verb,
+	// missing class, or missing reason). Annotations are audited; a
+	// directive that cannot be audited is a finding, not a silencer.
+	ClassAnnotation Class = "annotation"
+)
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Class Class `json:"class"`
+	// File is the path relative to the module root.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Msg  string `json:"msg"`
+}
+
+// String renders "file:line:col: msg [class]".
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.File, d.Line, d.Col, d.Msg, d.Class)
+}
+
+// Report is the result of vetting one package.
+type Report struct {
+	// Package is the import path.
+	Package string       `json:"package"`
+	Files   int          `json:"files"`
+	Diags   []Diagnostic `json:"diags"`
+}
+
+// sortDiags orders diagnostics by (file, line, col, class, msg) — the
+// stable-output contract shared with cmd/dslint.
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+// Config selects which parts of the tree each check bites. Matching is
+// by import-path or file-path suffix so the same config covers both the
+// real module and the test fixtures.
+type Config struct {
+	// TimingPackages are import-path suffixes where wallclock-rand
+	// applies: the packages whose behavior must be a pure function of
+	// (program, config, seed).
+	TimingPackages []string
+	// ConcurrencyFiles are file-path suffixes where go statements and
+	// raw channel/mutex/atomic use are permitted.
+	ConcurrencyFiles []string
+	// ExitPackages are import-path suffixes where os.Exit/log.Fatal are
+	// permitted (package main is always permitted).
+	ExitPackages []string
+}
+
+// DefaultConfig is the policy for this repository.
+func DefaultConfig() Config {
+	return Config{
+		TimingPackages: []string{
+			"internal/emu", "internal/ooo", "internal/core", "internal/bus",
+			"internal/cache", "internal/mem", "internal/fault", "internal/sim",
+			"internal/traditional",
+		},
+		// The deterministic worker pool of the experiment engine is the
+		// one sanctioned concurrency site; signal handling in the cmd
+		// binaries goes through signal.NotifyContext and needs no raw
+		// primitives.
+		ConcurrencyFiles: []string{"internal/sim/engine.go"},
+		ExitPackages:     []string{"internal/cli"},
+	}
+}
+
+// hasPathSuffix reports whether path equals suffix or ends in
+// "/"+suffix — the matching rule for all Config lists.
+func hasPathSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+func matchesAny(path string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if hasPathSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// VetPackage runs every check over one loaded package and returns its
+// report with diagnostics stably ordered and //dsvet:ok suppressions
+// applied.
+func VetPackage(p *Package, cfg Config) *Report {
+	r := &Report{Package: p.Path, Files: len(p.Files)}
+	var ds []Diagnostic
+	ds = append(ds, checkAnnotations(p)...)
+	ds = append(ds, checkMapOrder(p)...)
+	ds = append(ds, checkWallClock(p, cfg)...)
+	ds = append(ds, checkHotPathAlloc(p)...)
+	ds = append(ds, checkExhaustiveSwitch(p)...)
+	ds = append(ds, checkConfinement(p, cfg)...)
+	ds = append(ds, checkExitDiscipline(p, cfg)...)
+	r.Diags = p.suppress(ds)
+	if r.Diags == nil {
+		r.Diags = []Diagnostic{} // marshal as [], not null
+	}
+	sortDiags(r.Diags)
+	return r
+}
+
+// Vet loads and vets every package named by patterns (see
+// Loader.List) and returns one report per package, ordered by import
+// path.
+func Vet(l *Loader, patterns []string, cfg Config) ([]*Report, error) {
+	paths, err := l.List(patterns)
+	if err != nil {
+		return nil, err
+	}
+	reports := make([]*Report, 0, len(paths))
+	for _, path := range paths {
+		p, err := l.LoadTarget(path)
+		if err != nil {
+			return nil, fmt.Errorf("vet: %s: %w", path, err)
+		}
+		reports = append(reports, VetPackage(p, cfg))
+	}
+	return reports, nil
+}
+
+// Count returns the total diagnostics across reports.
+func Count(reports []*Report) int {
+	n := 0
+	for _, r := range reports {
+		n += len(r.Diags)
+	}
+	return n
+}

@@ -1,0 +1,193 @@
+package vet
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureReports loads and vets the seeded-violation fixture module
+// once per test that needs it.
+func fixtureReports(t *testing.T) []*Report {
+	t.Helper()
+	l, err := NewLoader(filepath.Join("testdata", "fixture"))
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	reports, err := Vet(l, []string{"./..."}, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Vet: %v", err)
+	}
+	return reports
+}
+
+func flatten(reports []*Report) []string {
+	var lines []string
+	for _, r := range reports {
+		for _, d := range r.Diags {
+			lines = append(lines, d.String())
+		}
+	}
+	return lines
+}
+
+// TestFixtureGolden pins the complete diagnostic output over the
+// fixture module. Every diagnostic class has at least one seeded
+// violation and at least one clean or suppressed negative, so any
+// behavior change in a check shows up as a golden diff.
+func TestFixtureGolden(t *testing.T) {
+	got := flatten(fixtureReports(t))
+
+	raw, err := os.ReadFile(filepath.Join("testdata", "fixture.golden"))
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	var want []string
+	for _, ln := range strings.Split(strings.TrimRight(string(raw), "\n"), "\n") {
+		if ln != "" {
+			want = append(want, ln)
+		}
+	}
+
+	if len(got) != len(want) {
+		t.Errorf("got %d diagnostics, want %d", len(got), len(want))
+	}
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	for i := 0; i < n; i++ {
+		if got[i] != want[i] {
+			t.Errorf("diag %d:\n  got  %s\n  want %s", i, got[i], want[i])
+		}
+	}
+	for i := n; i < len(got); i++ {
+		t.Errorf("extra diag: %s", got[i])
+	}
+	for i := n; i < len(want); i++ {
+		t.Errorf("missing diag: %s", want[i])
+	}
+}
+
+// TestFixtureCoversEveryClass proves each diagnostic class is live:
+// every class the analyzer can emit appears in the fixture output, so
+// a check that silently stops firing fails here even if the golden
+// file were regenerated carelessly.
+func TestFixtureCoversEveryClass(t *testing.T) {
+	seen := map[Class]bool{}
+	for _, r := range fixtureReports(t) {
+		for _, d := range r.Diags {
+			seen[d.Class] = true
+		}
+	}
+	for _, c := range []Class{
+		ClassMapOrder, ClassWallClock, ClassHotPathAlloc,
+		ClassExhaustiveSwitch, ClassConfinement, ClassExitDiscipline,
+		ClassAnnotation,
+	} {
+		if !seen[c] {
+			t.Errorf("class %s produced no fixture diagnostics", c)
+		}
+	}
+}
+
+// TestNewEnumeratorIsCaught is the acceptance scenario from the issue:
+// the fixture's obs.StallKind has a 14th enumerator (K13) that one
+// cross-package consumer switch does not cover, and exhaustive-switch
+// must flag exactly that.
+func TestNewEnumeratorIsCaught(t *testing.T) {
+	var hits []string
+	for _, r := range fixtureReports(t) {
+		for _, d := range r.Diags {
+			if d.Class == ClassExhaustiveSwitch && strings.Contains(d.Msg, "K13") {
+				hits = append(hits, d.String())
+			}
+		}
+	}
+	if len(hits) == 0 {
+		t.Fatal("no exhaustive-switch diagnostic mentions the uncovered 14th enumerator K13")
+	}
+	for _, h := range hits {
+		if !strings.Contains(h, "internal/core/consume.go") {
+			t.Errorf("K13 diagnostic attributed to the wrong file: %s", h)
+		}
+	}
+}
+
+// TestRepoSelfClean runs the analyzer over its own repository: the
+// committed tree must have zero findings, matching the CI gate.
+func TestRepoSelfClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader(%s): %v", root, err)
+	}
+	reports, err := Vet(l, []string{"./..."}, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Vet: %v", err)
+	}
+	if n := Count(reports); n != 0 {
+		for _, r := range reports {
+			for _, d := range r.Diags {
+				t.Errorf("%s: %s", r.Package, d.String())
+			}
+		}
+		t.Fatalf("repo is not self-clean: %d finding(s)", n)
+	}
+	if len(reports) < 20 {
+		t.Errorf("only %d packages vetted; expected the whole module", len(reports))
+	}
+}
+
+func TestHasPathSuffix(t *testing.T) {
+	cases := []struct {
+		path, suffix string
+		want         bool
+	}{
+		{"internal/emu", "internal/emu", true},
+		{"example.com/fixture/internal/emu", "internal/emu", true},
+		{"github.com/x/ds/internal/sim/engine.go", "internal/sim/engine.go", true},
+		{"internal/emulator", "internal/emu", false},
+		{"myinternal/emu", "internal/emu", false},
+		{"internal/emu/sub", "internal/emu", false},
+	}
+	for _, c := range cases {
+		if got := hasPathSuffix(c.path, c.suffix); got != c.want {
+			t.Errorf("hasPathSuffix(%q, %q) = %v, want %v", c.path, c.suffix, got, c.want)
+		}
+	}
+}
+
+// TestLoaderList checks pattern expansion over the fixture module.
+func TestLoaderList(t *testing.T) {
+	l, err := NewLoader(filepath.Join("testdata", "fixture"))
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	all, err := l.List([]string{"./..."})
+	if err != nil {
+		t.Fatalf("List(./...): %v", err)
+	}
+	if len(all) != 8 {
+		t.Errorf("List(./...) = %d packages, want 8: %v", len(all), all)
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1] >= all[i] {
+			t.Errorf("List output not sorted/deduped at %d: %v", i, all)
+		}
+	}
+	one, err := l.List([]string{"./internal/emu"})
+	if err != nil {
+		t.Fatalf("List(./internal/emu): %v", err)
+	}
+	if len(one) != 1 || !strings.HasSuffix(one[0], "internal/emu") {
+		t.Errorf("List(./internal/emu) = %v", one)
+	}
+	if _, err := l.List([]string{"./no/such/dir"}); err == nil {
+		t.Error("List of a missing directory should fail")
+	}
+}

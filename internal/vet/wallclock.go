@@ -1,0 +1,49 @@
+package vet
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// checkWallClock flags wall-clock reads (time.Now/Since/Until) and any
+// use of the global math/rand generators inside the timing-path
+// packages. Simulated time must be a pure function of (program, config,
+// seed): wall-clock smuggles host scheduling into results, and
+// math/rand's stream is neither seeded by us nor stable across Go
+// releases — randomness comes from the seeded SplitMix64 in
+// internal/stats.
+func checkWallClock(p *Package, cfg Config) []Diagnostic {
+	if !matchesAny(p.Path, cfg.TimingPackages) {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Syntax {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				out = append(out, p.diag(ClassWallClock, imp.Pos(),
+					"import of "+path+" in a timing-path package (use the seeded SplitMix64 in internal/stats)"))
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := p.Info.Uses[id]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			switch obj.Name() {
+			case "Now", "Since", "Until":
+				out = append(out, p.diag(ClassWallClock, id.Pos(),
+					"time."+obj.Name()+" in a timing-path package (timing must be a pure function of program, config, and seed)"))
+			}
+			return true
+		})
+	}
+	return out
+}

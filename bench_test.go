@@ -364,6 +364,34 @@ func BenchmarkMachineRun(b *testing.B) {
 	b.Run("DS2/observed", runDS(true))
 	b.Run("trad2", runTrad(false))
 	b.Run("trad2/observed", runTrad(true))
+	// The 64-node mesh point exercises what the topology layer exists
+	// for: the sparse machine loop (only nodes with pending work pay
+	// per-cycle cost) and multi-hop broadcast trees, at the Scaling
+	// harness's per-point instruction budget for this size.
+	b.Run("DS64/mesh", func(b *testing.B) {
+		pt64, err := Partition{NumNodes: 64, BlockPages: 1, ReplicateText: true}.Build(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var cycles, instrs uint64
+		for i := 0; i < b.N; i++ {
+			cfg := DefaultConfig(64)
+			cfg.Topology.Kind = TopoMesh
+			cfg.MaxInstr = maxInstr * 8 / 64
+			cfg.FastForwardPC = ff
+			m, err := NewMachine(cfg, p, pt64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r, err := m.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles += r.Cycles
+			instrs += r.Instructions * 64
+		}
+		report(b, cycles, instrs)
+	})
 }
 
 // BenchmarkEmuStep measures the functional emulator's per-instruction

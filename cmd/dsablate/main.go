@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	dsablate [-scale N] [-only name]
+//	dsablate [-scale N] [-instr N] [-only name] [-json FILE]
 //
 // Names: interconnect, writepolicy, syncesp, resultcomm, latencies,
 // placement, scaling, replication.
@@ -27,7 +27,9 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dsablate: ")
 	scale := flag.Int("scale", 1, "workload scale factor")
+	instr := flag.Uint64("instr", 0, "measured instructions per timing run (0 = default)")
 	only := flag.String("only", "", "run a single ablation by name")
+	jsonOut := flag.String("json", "", "also write the structured results of the ablations run as JSON to this file (\"-\" = stdout)")
 	parallel := flag.Int("parallel", 0, "simulation worker count (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
@@ -37,52 +39,56 @@ func main() {
 	opts := datascalar.DefaultExperimentOptions()
 	opts.Scale = *scale
 	opts.Parallel = *parallel
+	if *instr != 0 {
+		opts.TimingInstr = *instr
+	}
 
 	type ablation struct {
 		name string
-		run  func() (fmt.Stringer, error)
+		run  func() (fmt.Stringer, any, error)
 	}
 	ablations := []ablation{
-		{"interconnect", func() (fmt.Stringer, error) {
+		{"interconnect", func() (fmt.Stringer, any, error) {
 			r, err := datascalar.AblationInterconnect(ctx, opts)
-			return r.Table(), err
+			return r.Table(), r, err
 		}},
-		{"writepolicy", func() (fmt.Stringer, error) {
+		{"writepolicy", func() (fmt.Stringer, any, error) {
 			r, err := datascalar.AblationWritePolicy(ctx, opts)
-			return r.Table(), err
+			return r.Table(), r, err
 		}},
-		{"syncesp", func() (fmt.Stringer, error) {
+		{"syncesp", func() (fmt.Stringer, any, error) {
 			r, err := datascalar.AblationSyncESP(ctx, opts)
-			return r.Table(), err
+			return r.Table(), r, err
 		}},
-		{"resultcomm", func() (fmt.Stringer, error) {
+		{"resultcomm", func() (fmt.Stringer, any, error) {
 			r, err := datascalar.AblationResultComm(ctx, opts)
-			return r.Table(), err
+			return r.Table(), r, err
 		}},
-		{"latencies", func() (fmt.Stringer, error) {
+		{"latencies", func() (fmt.Stringer, any, error) {
 			r, err := datascalar.AblationLatencies(ctx, opts)
-			return r.Table(), err
+			return r.Table(), r, err
 		}},
-		{"placement", func() (fmt.Stringer, error) {
+		{"placement", func() (fmt.Stringer, any, error) {
 			r, err := datascalar.AblationPlacement(ctx, opts)
-			return r.Table(), err
+			return r.Table(), r, err
 		}},
-		{"scaling", func() (fmt.Stringer, error) {
+		{"scaling", func() (fmt.Stringer, any, error) {
 			r, err := datascalar.Scaling(ctx, opts)
-			return r.Table(), err
+			return r.Table(), r, err
 		}},
-		{"replication", func() (fmt.Stringer, error) {
+		{"replication", func() (fmt.Stringer, any, error) {
 			r, err := datascalar.AblationReplication(ctx, opts)
-			return r.Table(), err
+			return r.Table(), r, err
 		}},
 	}
 
 	ran := 0
+	artifact := map[string]any{}
 	for _, a := range ablations {
 		if *only != "" && a.name != *only {
 			continue
 		}
-		table, err := a.run()
+		table, result, err := a.run()
 		if err != nil {
 			log.Fatalf("%s: %v", a.name, err)
 		}
@@ -90,9 +96,30 @@ func main() {
 			fmt.Println()
 		}
 		fmt.Fprint(os.Stdout, table.String())
+		artifact[a.name] = result
 		ran++
 	}
 	if ran == 0 {
 		log.Fatalf("unknown ablation %q", *only)
 	}
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, artifact); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func writeJSON(path string, v any) error {
+	if path == "-" {
+		return datascalar.WriteResultJSON(os.Stdout, v)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := datascalar.WriteResultJSON(f, v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -99,6 +99,7 @@ type runArtifact struct {
 	AsmFile  string `json:"asm_file,omitempty"`
 	Nodes    int    `json:"nodes"`
 	Scale    int    `json:"scale"`
+	Topology string `json:"topology,omitempty"`
 	Result   any    `json:"result"`
 }
 
@@ -188,6 +189,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	asmFile := fs.String("asm", "", "assembly source file to run instead of a workload")
 	system := fs.String("system", "ds", "machine model: ds, traditional, perfect, emu")
 	nodes := fs.Int("nodes", 2, "node/chip count for ds and traditional")
+	topology := fs.String("topology", "bus", "interconnect for ds and traditional: bus, ring, mesh, torus")
 	scale := fs.Int("scale", 1, "workload scale factor")
 	instr := fs.Uint64("instr", 0, "max measured instructions (0 = run to completion)")
 	watchdog := fs.Uint64("watchdog", 0, "cycles without commit progress before the deadlock watchdog fires (0 = default)")
@@ -249,10 +251,17 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	if *cpi && *system == "emu" {
 		return usage("-cpi needs a timing model (got -system emu)")
 	}
+	topo, err := datascalar.ParseTopologyKind(*topology)
+	if err != nil {
+		return usage("%v", err)
+	}
+	if topo != datascalar.TopoBus && *system != "ds" && *system != "traditional" {
+		return usage("-topology requires -system ds or traditional (got %q)", *system)
+	}
 
 	artifact := runArtifact{
 		System: *system, Workload: *workloadName, AsmFile: *asmFile,
-		Nodes: *nodes, Scale: *scale,
+		Nodes: *nodes, Scale: *scale, Topology: topo.String(),
 	}
 	var artifactErr error
 	emitJSON := func(result any) {
@@ -299,6 +308,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 			return fail(err)
 		}
 		cfg := datascalar.DefaultConfig(*nodes)
+		cfg.Topology.Kind = topo
 		cfg.MaxInstr = *instr
 		cfg.FastForwardPC = ff
 		cfg.WatchdogCycles = *watchdog
@@ -333,9 +343,12 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 			bcast += ns.Broadcasts.Value()
 			late += ns.LateBroadcasts.Value()
 		}
-		fmt.Fprintf(stdout, "broadcasts=%d (late %d), bus bytes=%d, bus busy %.0f%%\n",
+		// Busy percent is per transfer resource: the one shared bus, or
+		// the topology's aggregate link count for point-to-point kinds.
+		links := float64(topo.Links(*nodes))
+		fmt.Fprintf(stdout, "broadcasts=%d (late %d), net bytes=%d, link busy %.0f%%\n",
 			bcast, late, r.BusStats.Bytes.Value(),
-			100*float64(r.BusStats.BusyCycles.Value())/float64(r.Cycles))
+			100*float64(r.BusStats.BusyCycles.Value())/(float64(r.Cycles)*links))
 		if f := r.Fault; f != nil {
 			fmt.Fprintf(stdout, "faults: injected drops=%d delays=%d flips=%d, timeouts=%d retries=%d, detections=%d",
 				f.InjectedDrops, f.InjectedDelays, f.InjectedFlips, f.Timeouts, f.Retries, f.Detections)
@@ -363,6 +376,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 			return fail(err)
 		}
 		cfg := datascalar.DefaultTraditionalConfig(*nodes)
+		cfg.Topology.Kind = topo
 		cfg.MaxInstr = *instr
 		cfg.FastForwardPC = ff
 		cfg.Observer = ob.observer()

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	dstiming [-scale N] [-instr N] [-bshr] [-cpi]
+//	dstiming [-scale N] [-instr N] [-topology bus|ring|mesh|torus] [-bshr] [-cpi]
 //
 // Fault injection (see docs/ROBUSTNESS.md): the -fault-* flags apply a
 // seeded deterministic fault plan to every DataScalar run of the sweep,
@@ -84,6 +84,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	scale := fs.Int("scale", 1, "workload scale factor")
 	instr := fs.Uint64("instr", 0, "measured instructions per run (0 = default)")
+	topology := fs.String("topology", "bus", "interconnect for every timing run: bus, ring, mesh, torus")
 	bshr := fs.Bool("bshr", true, "also print Table 3 (broadcast statistics)")
 	cpi := fs.Bool("cpi", false, "also print per-benchmark CPI-stack tables for the DataScalar runs")
 	cost := fs.Bool("cost", false, "also print the Wood-Hill cost-effectiveness analysis (paper §4.4)")
@@ -114,10 +115,17 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	}
 	defer stopProfiles()
 
+	topo, err := datascalar.ParseTopologyKind(*topology)
+	if err != nil {
+		fmt.Fprintf(stderr, "dstiming: %v\n", err)
+		return cli.ExitUsage
+	}
+
 	opts := datascalar.DefaultExperimentOptions()
 	opts.Scale = *scale
 	opts.Parallel = *parallel
 	opts.Fault = faults.Config()
+	opts.Topology = topo
 	if *instr != 0 {
 		opts.TimingInstr = *instr
 	}

@@ -5,6 +5,13 @@
 // Usage:
 //
 //	dstraffic [-scale N] [-instr N] [-detail]
+//
+// With -nodes set, dstraffic also runs the timing set on a concrete
+// DataScalar machine of that size (and -topology) and prints the
+// interconnect traffic it measured — the machine-measured counterpart
+// of Table 1's analytic accounting:
+//
+//	dstraffic -nodes 64 -topology torus
 package main
 
 import (
@@ -24,9 +31,16 @@ func main() {
 	scale := flag.Int("scale", 1, "workload scale factor")
 	instr := flag.Uint64("instr", 0, "max instructions per benchmark (0 = default)")
 	detail := flag.Bool("detail", false, "print per-benchmark miss and writeback counts")
+	nodes := flag.Int("nodes", 0, "also measure traffic on a DS machine with this many nodes (0 = analytic Table 1 only)")
+	topology := flag.String("topology", "bus", "interconnect for the -nodes measurement: bus, ring, mesh, torus")
 	jsonOut := flag.String("json", "", "also write the Table 1 result as JSON to this file (\"-\" = stdout)")
 	parallel := flag.Int("parallel", 0, "analysis worker count (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
+
+	topo, err := datascalar.ParseTopologyKind(*topology)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -52,8 +66,22 @@ func main() {
 				d.ConventionalBytes, d.ConventionalTransactions, d.ESPBytes, d.ESPTransactions)
 		}
 	}
+	var measured *datascalar.MeasuredTrafficResult
+	if *nodes != 0 {
+		m, err := datascalar.MeasuredTraffic(ctx, opts, *nodes, topo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		measured = &m
+		fmt.Println()
+		m.Table().Render(os.Stdout)
+	}
 	if *jsonOut != "" {
-		if err := writeJSON(*jsonOut, res); err != nil {
+		artifact := any(res)
+		if measured != nil {
+			artifact = map[string]any{"table1": res, "measured": measured}
+		}
+		if err := writeJSON(*jsonOut, artifact); err != nil {
 			log.Fatal(err)
 		}
 	}

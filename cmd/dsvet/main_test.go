@@ -92,8 +92,8 @@ func TestJSONOutput(t *testing.T) {
 	if err := json.Unmarshal(out.Bytes(), &reports); err != nil {
 		t.Fatalf("stdout is not JSON: %v\n%s", err, out.String())
 	}
-	if len(reports) != 8 {
-		t.Errorf("got %d package reports, want 8", len(reports))
+	if len(reports) != 9 {
+		t.Errorf("got %d package reports, want 9", len(reports))
 	}
 	total := 0
 	for _, r := range reports {

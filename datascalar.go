@@ -373,13 +373,24 @@ func CostEffectiveness(f7 Figure7Result) CostResult { return sim.CostEffectivene
 // the given processor share of single-system cost.
 func Costup(n int, procFrac float64) float64 { return sim.Costup(n, procFrac) }
 
-// ScalingResult is the node-count scaling extension (2, 4, 8 nodes on
-// bus and ring).
+// ScalingResult is the node-count scaling extension (2..256 nodes
+// across all four topologies, with an analytic owner-compute bound).
 type ScalingResult = sim.ScalingResult
 
 // Scaling sweeps node counts beyond the paper's evaluation.
 func Scaling(ctx context.Context, opts ExperimentOptions) (ScalingResult, error) {
 	return sim.Scaling(ctx, opts)
+}
+
+// MeasuredTrafficResult is the measured interconnect traffic of the
+// timing benchmarks on a concrete machine size and topology.
+type MeasuredTrafficResult = sim.MeasuredTrafficResult
+
+// MeasuredTraffic runs the timing set on a DS machine of the given size
+// and topology and reports the traffic the interconnect carried — the
+// machine-measured counterpart of Table 1's analytic accounting.
+func MeasuredTraffic(ctx context.Context, opts ExperimentOptions, nodes int, topo TopologyKind) (MeasuredTrafficResult, error) {
+	return sim.MeasuredTraffic(ctx, opts, nodes, topo)
 }
 
 // ReplicationResult sweeps the static replication fraction (paper §3).
@@ -414,8 +425,35 @@ func CompareCPIProfiles(old, cur CPIProfileResult, o CPIDiffOptions) (CPIDiffRes
 	return sim.CompareCPIProfiles(old, cur, o)
 }
 
-// RingConfig parameterizes the ring interconnect alternative; set it on
-// Config.Ring or TraditionalConfig.Ring.
+// Topology selects and parameterizes the interconnect; set it on
+// Config.Topology or TraditionalConfig.Topology.
+type Topology = bus.Topology
+
+// TopologyKind enumerates the interconnect families.
+type TopologyKind = bus.TopologyKind
+
+// The four interconnects a machine can be built on.
+const (
+	TopoBus   = bus.TopoBus
+	TopoRing  = bus.TopoRing
+	TopoMesh  = bus.TopoMesh
+	TopoTorus = bus.TopoTorus
+)
+
+// DefaultTopology returns the paper's shared-bus interconnect with
+// default link parameters for the multi-hop alternatives.
+func DefaultTopology() Topology { return bus.DefaultTopology() }
+
+// ParseTopologyKind parses a -topology flag value ("bus", "ring",
+// "mesh", "torus").
+func ParseTopologyKind(s string) (TopologyKind, error) { return bus.ParseTopologyKind(s) }
+
+// LinkConfig parameterizes the per-link datapath of the multi-hop
+// topologies (ring, mesh, torus); set it on Config.Topology.Link.
+type LinkConfig = bus.LinkConfig
+
+// RingConfig is the former name of LinkConfig, kept for callers of the
+// pre-topology API.
 type RingConfig = bus.RingConfig
 
 // DefaultRingConfig returns ring links matching the default bus.

@@ -133,7 +133,7 @@ func TestPublicCrossingCounts(t *testing.T) {
 	}
 }
 
-func TestPublicRingOption(t *testing.T) {
+func TestPublicTopologyOption(t *testing.T) {
 	p, err := Assemble("facade", facadeKernel)
 	if err != nil {
 		t.Fatal(err)
@@ -142,20 +142,21 @@ func TestPublicRingOption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := DefaultConfig(2)
-	ring := DefaultRingConfig()
-	cfg.Ring = &ring
-	cfg.FastForwardPC = p.Labels["bench_main"]
-	m, err := NewMachine(cfg, p, pt)
-	if err != nil {
-		t.Fatal(err)
-	}
-	res, err := m.Run()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !res.CorrespondenceOK {
-		t.Fatal("ring run violated correspondence")
+	for _, topo := range []TopologyKind{TopoRing, TopoMesh, TopoTorus} {
+		cfg := DefaultConfig(2)
+		cfg.Topology.Kind = topo
+		cfg.FastForwardPC = p.Labels["bench_main"]
+		m, err := NewMachine(cfg, p, pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.CorrespondenceOK {
+			t.Fatalf("%s run violated correspondence", topo)
+		}
 	}
 }
 

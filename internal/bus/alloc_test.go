@@ -55,3 +55,41 @@ func TestRingTickZeroAllocs(t *testing.T) {
 		t.Fatalf("Ring.Tick allocated %.3f times per cycle", allocs)
 	}
 }
+
+// TestMeshTickZeroAllocs: the mesh double-buffers its branch set and
+// reuses the arrival scratch; after a warmup drain grows them (and the
+// spawn path's high-water mark), per-cycle ticking and the DataPhase
+// query must be allocation-free. Message headers are allocated in
+// Enqueue, off the per-cycle path.
+func TestMeshTickZeroAllocs(t *testing.T) {
+	for _, wrap := range []bool{false, true} {
+		var ms *Mesh
+		if wrap {
+			ms = NewTorus(DefaultLinkConfig(), 9)
+		} else {
+			ms = NewMesh(DefaultLinkConfig(), 9)
+		}
+		enqueue := func(base uint64) {
+			for i := 0; i < 64; i++ {
+				ms.Enqueue(Message{
+					Kind: Broadcast, Src: i % 9,
+					Addr: base + uint64(i)*64, PayloadBytes: 32,
+					ReadyAt: uint64(i),
+				})
+			}
+		}
+		now := uint64(0)
+		enqueue(0x1000)
+		for ; now < 10_000; now++ { // warmup: drain fully, grow all buffers
+			ms.Tick(now)
+		}
+		enqueue(0x100000) // refill outside the measured closure
+		if allocs := testing.AllocsPerRun(10_000, func() {
+			ms.Tick(now)
+			ms.DataPhase(0x100040, 8, now)
+			now++
+		}); allocs != 0 {
+			t.Fatalf("wrap=%v: Mesh.Tick allocated %.3f times per cycle", wrap, allocs)
+		}
+	}
+}

@@ -124,3 +124,84 @@ func TestDataPhaseZeroAllocs(t *testing.T) {
 		t.Fatalf("Ring.DataPhase allocated %.2f times per call", allocs)
 	}
 }
+
+// TestMeshDataPhase mirrors TestRingDataPhase on the multi-hop mesh:
+// an uninjected tree whose own readiness binds is queued, hops on the
+// wire are transfers, and a tree waiting out another message's link
+// occupancy is blocked.
+func TestMeshDataPhase(t *testing.T) {
+	ms := NewMesh(DefaultLinkConfig(), 9)
+	if p := ms.DataPhase(0x100, 8, 0); p != PhaseAbsent {
+		t.Fatalf("empty mesh: phase = %v, want absent", p)
+	}
+	// Sitting uninjected with free links: its own ReadyAt binds.
+	ms.Enqueue(Message{Kind: Broadcast, Src: 0, Addr: 0x100, PayloadBytes: 32, ReadyAt: 5})
+	if p := ms.DataPhase(0x100, 8, 0); p != PhaseQueued {
+		t.Fatalf("uninjected, links free: phase = %v, want queued", p)
+	}
+	// First hops in progress (32B+8B = 5 beats * 2 + 1 hop = 11 cycles).
+	ms.Tick(5)
+	if p := ms.DataPhase(0x100, 8, 5); p != PhaseTransfer {
+		t.Fatalf("hops in progress: phase = %v, want transfer", p)
+	}
+	// A second tree wanting the same occupied outbound links waits on
+	// contention, not on its own penalty: blocked.
+	ms.Enqueue(Message{Kind: Broadcast, Src: 0, Addr: 0x200, PayloadBytes: 32, ReadyAt: 0})
+	ms.Tick(6)
+	if p := ms.DataPhase(0x200, 8, 6); p != PhaseBlocked {
+		t.Fatalf("busy links: phase = %v, want blocked", p)
+	}
+}
+
+// TestMeshDataPhaseStableUnderSkip is the satellite pin for multi-hop
+// attribution: two identical meshes run the same traffic, one ticked
+// every cycle and one ticked only at NextDeliveryCycle boundaries with
+// the frozen phase replicated across each certified no-op stretch. The
+// per-cycle phase traces (observed at a far corner, so messages cross
+// Queued -> Blocked -> Transfer over several hops) must be identical —
+// phases cannot flip inside a skipped stretch.
+func TestMeshDataPhaseStableUnderSkip(t *testing.T) {
+	const addr, dst, until = 0x200, 8, 400
+	build := func(wrap bool) *Mesh {
+		var ms *Mesh
+		if wrap {
+			ms = NewTorus(DefaultLinkConfig(), 9)
+		} else {
+			ms = NewMesh(DefaultLinkConfig(), 9)
+		}
+		// Overlapping trees from the same corner create link contention;
+		// staggered ReadyAt exercises the queued phase.
+		ms.Enqueue(Message{Kind: Broadcast, Src: 0, Addr: 0x100, PayloadBytes: 32, ReadyAt: 2})
+		ms.Enqueue(Message{Kind: Broadcast, Src: 0, Addr: addr, PayloadBytes: 32, ReadyAt: 9})
+		ms.Enqueue(Message{Kind: Request, Src: 3, Dst: dst, Addr: addr, ReadyAt: 40})
+		return ms
+	}
+	for _, wrap := range []bool{false, true} {
+		polled := build(wrap)
+		var pollTrace []MsgPhase
+		for now := uint64(0); now <= until; now++ {
+			polled.Tick(now)
+			pollTrace = append(pollTrace, polled.DataPhase(addr, dst, now))
+		}
+
+		skipped := build(wrap)
+		var skipTrace []MsgPhase
+		for now := uint64(0); now <= until; {
+			skipped.Tick(now)
+			p := skipped.DataPhase(addr, dst, now)
+			next := skipped.NextDeliveryCycle(now)
+			if next == NoEvent || next > until+1 {
+				next = until + 1
+			}
+			for ; now < next && now <= until; now++ {
+				skipTrace = append(skipTrace, p)
+			}
+		}
+		for c := range pollTrace {
+			if pollTrace[c] != skipTrace[c] {
+				t.Fatalf("wrap=%v: phase flipped inside a skipped stretch at cycle %d: poll %v, skip %v",
+					wrap, c, pollTrace[c], skipTrace[c])
+			}
+		}
+	}
+}

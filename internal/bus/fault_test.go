@@ -67,3 +67,44 @@ func TestCtlZeroValueIsNone(t *testing.T) {
 		t.Fatal("zero Message must carry CtlNone")
 	}
 }
+
+// PurgeSource on a mesh removes messages whose broadcast trees have not
+// touched the wire; trees with any hop already taken keep flowing to
+// every destination — the routers forward them without the dead source.
+func TestMeshPurgeSource(t *testing.T) {
+	for _, wrap := range []bool{false, true} {
+		var ms *Mesh
+		if wrap {
+			ms = NewTorus(LinkConfig{WidthBytes: 8, ClockDivisor: 1, HopCycles: 1}, 9)
+		} else {
+			ms = NewMesh(LinkConfig{WidthBytes: 8, ClockDivisor: 1, HopCycles: 1}, 9)
+		}
+		ms.Enqueue(Message{Kind: Broadcast, Src: 4, Addr: 0x100, PayloadBytes: 8})
+		ms.Tick(0) // first hops start: 0x100 is travelling
+		ms.Enqueue(Message{Kind: Broadcast, Src: 4, Addr: 0x200, PayloadBytes: 8, ReadyAt: 50})
+		ms.Enqueue(Message{Kind: Broadcast, Src: 1, Addr: 0x300, PayloadBytes: 8})
+
+		if got := ms.SourcePending(4); got != 2 {
+			t.Fatalf("wrap=%v: SourcePending(4) = %d, want 2", wrap, got)
+		}
+		if got := ms.PurgeSource(4); got != 1 {
+			t.Fatalf("wrap=%v: PurgeSource(4) = %d, want 1 (travelling tree survives)", wrap, got)
+		}
+		if got := ms.SourcePending(4); got != 1 {
+			t.Fatalf("wrap=%v: SourcePending(4) after purge = %d, want 1", wrap, got)
+		}
+		seen := map[uint64]int{}
+		for now := uint64(1); now < 500 && ms.Pending() > 0; now++ {
+			for _, a := range ms.Tick(now) {
+				seen[a.Msg.Addr]++
+			}
+		}
+		if seen[0x200] != 0 {
+			t.Fatalf("wrap=%v: purged message 0x200 was delivered", wrap)
+		}
+		// Each surviving broadcast still lands at all 8 other nodes.
+		if seen[0x100] != 8 || seen[0x300] != 8 {
+			t.Fatalf("wrap=%v: arrivals = %v, want 0x100:8 0x300:8", wrap, seen)
+		}
+	}
+}

@@ -6,12 +6,13 @@ import (
 	"github.com/wisc-arch/datascalar/internal/obs"
 )
 
-// RingConfig describes a unidirectional point-to-point ring, the
-// interconnect the paper envisions for high-performance DataScalar
-// systems ("on a ring, operations are observed by all nodes if the
-// sender is responsible for removing its own message" — the IEEE/ANSI
-// SCI style).
-type RingConfig struct {
+// LinkConfig describes one point-to-point link of a multi-hop
+// interconnect — the unidirectional ring the paper envisions for
+// high-performance DataScalar systems ("on a ring, operations are
+// observed by all nodes if the sender is responsible for removing its
+// own message" — the IEEE/ANSI SCI style), and the 2D mesh and torus
+// that extend the same link model to hundreds of nodes.
+type LinkConfig struct {
 	// WidthBytes is each link's datapath width.
 	WidthBytes int
 	// ClockDivisor is CPU cycles per link cycle.
@@ -20,25 +21,32 @@ type RingConfig struct {
 	HopCycles uint64
 }
 
-// DefaultRingConfig returns links matching the default bus width at the
+// RingConfig is the historical name for LinkConfig, kept because the
+// public facade exported it before the mesh and torus shared the type.
+type RingConfig = LinkConfig
+
+// DefaultLinkConfig returns links matching the default bus width at the
 // same clock with a one-cycle hop latency.
-func DefaultRingConfig() RingConfig {
-	return RingConfig{WidthBytes: 8, ClockDivisor: 2, HopCycles: 1}
+func DefaultLinkConfig() LinkConfig {
+	return LinkConfig{WidthBytes: 8, ClockDivisor: 2, HopCycles: 1}
 }
 
+// DefaultRingConfig returns DefaultLinkConfig under its historical name.
+func DefaultRingConfig() RingConfig { return DefaultLinkConfig() }
+
 // Validate checks structural soundness.
-func (c RingConfig) Validate() error {
+func (c LinkConfig) Validate() error {
 	if c.WidthBytes <= 0 {
-		return fmt.Errorf("ring: width must be positive")
+		return fmt.Errorf("link: width must be positive")
 	}
 	if c.ClockDivisor == 0 {
-		return fmt.Errorf("ring: clock divisor must be positive")
+		return fmt.Errorf("link: clock divisor must be positive")
 	}
 	return nil
 }
 
 // transferCycles is the link occupancy for one message.
-func (c RingConfig) transferCycles(wireBytes int) uint64 {
+func (c LinkConfig) transferCycles(wireBytes int) uint64 {
 	beats := (wireBytes + c.WidthBytes - 1) / c.WidthBytes
 	if beats == 0 {
 		beats = 1

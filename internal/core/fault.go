@@ -319,6 +319,10 @@ func (m *Machine) selfServe(nd *node, line uint64) {
 	for _, tok := range toks {
 		nd.core.CompleteLoad(tok, dataAt)
 	}
+	// The completions invalidate any sleep certificate the node holds.
+	if nd.wake > m.now {
+		nd.wake = m.now
+	}
 	if e, ok := nd.outstanding[line]; ok && e.pending {
 		e.pending = false
 		e.dataAt = dataAt

@@ -168,8 +168,8 @@ func TestProtocolFuzzFourNodesTinyBus(t *testing.T) {
 		}
 		cfg := DefaultConfig(4)
 		cfg.L1.SizeBytes = 512
-		cfg.Bus.WidthBytes = 2
-		cfg.Bus.ClockDivisor = 8
+		cfg.Topology.Bus.WidthBytes = 2
+		cfg.Topology.Bus.ClockDivisor = 8
 		cfg.WatchdogCycles = 500_000
 		cfg.DigestInterval = 8
 		m, err := NewMachine(cfg, p, pt)
@@ -190,7 +190,6 @@ func TestProtocolFuzzOnRing(t *testing.T) {
 	// The correspondence protocol must hold regardless of interconnect:
 	// on a ring, broadcasts reach different nodes at different cycles,
 	// widening the issue-time divergence between nodes.
-	ringCfg := bus.DefaultRingConfig()
 	for seed := uint64(400); seed <= 412; seed++ {
 		rng := stats.NewRNG(seed)
 		src := randomProgram(rng, 100, 4, false)
@@ -204,7 +203,7 @@ func TestProtocolFuzzOnRing(t *testing.T) {
 		}
 		cfg := DefaultConfig(3)
 		cfg.L1.SizeBytes = 512
-		cfg.Ring = &ringCfg
+		cfg.Topology.Kind = bus.TopoRing
 		cfg.WatchdogCycles = 500_000
 		cfg.DigestInterval = 8
 		m, err := NewMachine(cfg, p, pt)
@@ -330,7 +329,6 @@ func TestProtocolFuzzWithFaults(t *testing.T) {
 }
 
 func TestProtocolFuzzRegionsOnRing(t *testing.T) {
-	ringCfg := bus.DefaultRingConfig()
 	for seed := uint64(500); seed <= 508; seed++ {
 		rng := stats.NewRNG(seed)
 		src := randomProgram(rng, 100, 4, true)
@@ -344,7 +342,7 @@ func TestProtocolFuzzRegionsOnRing(t *testing.T) {
 		}
 		cfg := DefaultConfig(2)
 		cfg.L1.SizeBytes = 512
-		cfg.Ring = &ringCfg
+		cfg.Topology.Kind = bus.TopoRing
 		cfg.ResultComm = true
 		cfg.WatchdogCycles = 500_000
 		cfg.DigestInterval = 8

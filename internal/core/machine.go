@@ -25,11 +25,12 @@ type Config struct {
 	Core  ooo.Config
 	L1    cache.Config
 	DRAM  mem.DRAMConfig
-	Bus   bus.Config
-	// Ring, when non-nil, replaces the global bus with a unidirectional
-	// point-to-point ring (paper Section 4.4 discusses both
-	// interconnects); Bus is ignored in that case.
-	Ring *bus.RingConfig
+	// Topology selects and parameterizes the interconnect: the paper's
+	// global bus (the default), the unidirectional ring of Section 4.4,
+	// or the 2D mesh/torus that take the same ESP protocol to hundreds
+	// of nodes. Switching families is a one-field change
+	// (Topology.Kind); each family's parameters ride along.
+	Topology bus.Topology
 
 	// L1HitCycles is the load-to-use latency of an L1 hit.
 	L1HitCycles uint64
@@ -110,7 +111,7 @@ func DefaultConfig(n int) Config {
 			Alloc:     cache.WriteNoAllocate,
 		},
 		DRAM:             mem.DefaultDRAM(),
-		Bus:              bus.DefaultConfig(),
+		Topology:         bus.DefaultTopology(),
 		L1HitCycles:      1,
 		BSHRCycles:       2,
 		BcastQueueCycles: 2,
@@ -133,7 +134,7 @@ func (c Config) Validate() error {
 	if err := c.DRAM.Validate(); err != nil {
 		return err
 	}
-	if err := c.Bus.Validate(); err != nil {
+	if err := c.Topology.Validate(); err != nil {
 		return err
 	}
 	if c.L1HitCycles == 0 {
@@ -250,12 +251,7 @@ func NewMachine(cfg Config, p *prog.Program, pt *mem.PageTable) (*Machine, error
 			pt = pt.Clone()
 		}
 	}
-	var net bus.Network
-	if cfg.Ring != nil {
-		net = bus.NewRing(*cfg.Ring, cfg.Nodes)
-	} else {
-		net = bus.NewNetwork(cfg.Bus, cfg.Nodes)
-	}
+	net := cfg.Topology.Build(cfg.Nodes)
 	m := &Machine{
 		cfg:   cfg,
 		pt:    pt,
@@ -269,17 +265,27 @@ func NewMachine(cfg Config, p *prog.Program, pt *mem.PageTable) (*Machine, error
 			m.sampler = &samplerState{nodes: make([]nodeSampleState, cfg.Nodes)}
 		}
 	}
-	for id := 0; id < cfg.Nodes; id++ {
-		em, err := emu.New(p)
-		if err != nil {
-			return nil, err
+	// Every node fast-forwards through the identical initialization, so
+	// run it once and clone the result per node instead of re-executing
+	// up to 200M warmup instructions N times — at N=256 that is the
+	// difference between seconds and hours of machine construction.
+	// Cloning is bit-exact, so per-node re-execution would build the
+	// same machine.
+	master, err := emu.New(p)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.FastForwardPC != 0 {
+		if _, ok, err := master.RunUntilPC(cfg.FastForwardPC, 200_000_000); err != nil {
+			return nil, fmt.Errorf("core: fast-forward: %w", err)
+		} else if !ok {
+			return nil, fmt.Errorf("core: fast-forward never reached pc 0x%x", cfg.FastForwardPC)
 		}
-		if cfg.FastForwardPC != 0 {
-			if _, ok, err := em.RunUntilPC(cfg.FastForwardPC, 200_000_000); err != nil {
-				return nil, fmt.Errorf("core: fast-forward: %w", err)
-			} else if !ok {
-				return nil, fmt.Errorf("core: fast-forward never reached pc 0x%x", cfg.FastForwardPC)
-			}
+	}
+	for id := 0; id < cfg.Nodes; id++ {
+		em := master
+		if id > 0 {
+			em = master.Clone()
 		}
 		nd := &node{
 			id:          id,
@@ -354,6 +360,14 @@ func (m *Machine) Run() (Result, error) {
 		// Interconnect first: deliveries at cycle t are visible to the
 		// cores at t.
 		for _, arr := range m.net.Tick(m.now) {
+			// An arrival can invalidate the receiving node's sleep
+			// certificate (a broadcast or retry response completes a load),
+			// so wake it for this cycle. Over-waking is harmless — Cycle on
+			// a no-op cycle performs exactly the accounting SkipCycles
+			// would — so every arrival rewinds, not just data-bearing ones.
+			if nd := m.nodes[arr.Node]; nd.wake > m.now {
+				nd.wake = m.now
+			}
 			if m.fault != nil && m.handleFaultArrival(arr) {
 				continue
 			}
@@ -376,10 +390,29 @@ func (m *Machine) Run() (Result, error) {
 				nd.core.CPIStack().Add(obs.StallDead, 1)
 			case nd.core.Done():
 				nd.core.CPIStack().Add(obs.StallHalted, 1)
+			case !m.cfg.NoCycleSkip && nd.wake > m.now:
+				// Asleep: the node's own certificate (set when it last ran)
+				// says every Cycle before nd.wake is a no-op apart from its
+				// deterministic stall accounting, which SkipCycles replays
+				// exactly — the sparse counterpart of skipIdle's time jump.
+				// Any event that could invalidate the certificate (a
+				// network arrival, a fault-layer self-serve) rewinds wake
+				// first, so a sleeping node is provably idle.
+				nd.core.SkipCycles(m.now, 1)
 			default:
 				nd.core.Cycle(m.now)
 				if err := nd.core.Err(); err != nil {
 					return Result{}, fmt.Errorf("core: node %d: %w", nd.id, err)
+				}
+				if !m.cfg.NoCycleSkip {
+					// Re-certify: sleep until the core's next event. A
+					// declined certificate (ok=false) means run again next
+					// cycle.
+					if next, ok := nd.core.NextEventCycle(m.now + 1); ok {
+						nd.wake = next
+					} else {
+						nd.wake = m.now + 1
+					}
 				}
 			}
 			total += nd.core.Committed()
@@ -450,12 +483,17 @@ func (m *Machine) skipIdle(lastProgress, watchdog uint64) {
 			continue
 		}
 		live = true
-		next, ok := nd.core.NextEventCycle(m.now)
-		if !ok {
+		// The cached wake is the certificate NextEventCycle issued when
+		// the node last ran (rewound by any arrival since), so the sparse
+		// loop's bookkeeping doubles as the skip computation: no O(nodes)
+		// re-certification per skip attempt. A node due now (wake at or
+		// before m.now, including the ok=false "run me every cycle" case)
+		// blocks the jump.
+		if nd.wake <= m.now {
 			return
 		}
-		if next < target {
-			target = next
+		if nd.wake < target {
+			target = nd.wake
 		}
 	}
 	// With every core done the run is over; jumping further would inflate

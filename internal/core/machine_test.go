@@ -204,7 +204,7 @@ func TestDataScalarFasterThanSerializedMemory(t *testing.T) {
 	// every remote operand).
 	fast := mustRunMachine(t, buildMachine(t, pointerChase, 2, nil))
 	slow := mustRunMachine(t, buildMachine(t, pointerChase, 2, func(c *Config) {
-		c.Bus.ClockDivisor = 100
+		c.Topology.Bus.ClockDivisor = 100
 	}))
 	if fast.Cycles >= slow.Cycles {
 		t.Fatalf("fast bus %d cycles !< slow bus %d cycles", fast.Cycles, slow.Cycles)
@@ -336,33 +336,41 @@ g:      .space 64
 	}
 }
 
-func TestRingInterconnect(t *testing.T) {
-	// The DataScalar machine must run correctly over a ring (the paper's
-	// envisioned high-performance interconnect): same results, same
-	// correspondence guarantee, broadcasts observed by every node as
-	// they circulate.
-	ringCfg := bus.DefaultRingConfig()
-	m := buildMachine(t, streamSum, 4, func(c *Config) { c.Ring = &ringCfg })
-	r := mustRunMachine(t, m)
-	for i := 0; i < 4; i++ {
-		if got := m.NodeEmu(i).Reg(3); got != 7*4096 {
-			t.Fatalf("node %d sum = %d", i, got)
-		}
+func TestNonBusInterconnects(t *testing.T) {
+	// The DataScalar machine must run correctly over every multi-hop
+	// topology (the paper's envisioned high-performance interconnects):
+	// same results, same correspondence guarantee, broadcasts observed
+	// by every node as they propagate.
+	for _, topo := range []bus.TopologyKind{bus.TopoRing, bus.TopoMesh, bus.TopoTorus} {
+		topo := topo
+		t.Run(topo.String(), func(t *testing.T) {
+			onTopo := func(c *Config) { c.Topology.Kind = topo }
+			m := buildMachine(t, streamSum, 4, onTopo)
+			r := mustRunMachine(t, m)
+			for i := 0; i < 4; i++ {
+				if got := m.NodeEmu(i).Reg(3); got != 7*4096 {
+					t.Fatalf("node %d sum = %d", i, got)
+				}
+			}
+			if r.BusStats.ByKindMsgs[bus.Broadcast].Value() == 0 {
+				t.Fatalf("no broadcasts on the %s", topo)
+			}
+			// And the pointer chase, which stresses ordering.
+			m2 := buildMachine(t, pointerChase, 4, onTopo)
+			mustRunMachine(t, m2)
+		})
 	}
-	if r.BusStats.ByKindMsgs[bus.Broadcast].Value() == 0 {
-		t.Fatal("no broadcasts on the ring")
-	}
-	// And the pointer chase, which stresses ordering.
-	m2 := buildMachine(t, pointerChase, 4, func(c *Config) { c.Ring = &ringCfg })
-	mustRunMachine(t, m2)
 }
 
-func TestRingVsBusBothComplete(t *testing.T) {
-	ringCfg := bus.DefaultRingConfig()
+func TestTopologiesAllComplete(t *testing.T) {
+	// Interconnect choice changes timing, never results: every topology
+	// must retire the identical instruction stream.
 	onBus := mustRunMachine(t, buildMachine(t, storeHeavy, 2, nil))
-	onRing := mustRunMachine(t, buildMachine(t, storeHeavy, 2, func(c *Config) { c.Ring = &ringCfg }))
-	if onBus.Instructions != onRing.Instructions {
-		t.Fatalf("instruction counts differ: %d vs %d", onBus.Instructions, onRing.Instructions)
+	for _, topo := range []bus.TopologyKind{bus.TopoRing, bus.TopoMesh, bus.TopoTorus} {
+		onTopo := mustRunMachine(t, buildMachine(t, storeHeavy, 2, func(c *Config) { c.Topology.Kind = topo }))
+		if onBus.Instructions != onTopo.Instructions {
+			t.Fatalf("%s: instruction counts differ: %d vs %d", topo, onBus.Instructions, onTopo.Instructions)
+		}
 	}
 }
 

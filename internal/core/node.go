@@ -125,6 +125,17 @@ type node struct {
 
 	stats NodeStats
 
+	// wake is the sparse-execution certificate: the next cycle this
+	// node's core can do anything beyond its deterministic stall
+	// accounting (NextEventCycle's result, cached by Machine.Run after
+	// the node's last Cycle). While m.now < wake the machine charges the
+	// node via SkipCycles instead of running it, and any event that
+	// could invalidate the certificate — a network arrival, a fault
+	// self-serve — rewinds wake to the current cycle. Unused (always
+	// zero) under NoCycleSkip, which is how the differential suite pins
+	// the sparse loop's bit-identity.
+	wake uint64
+
 	// Correspondence-invariant sampling: tag state is a pure function of
 	// the committed memory-op prefix, which is identical at every node,
 	// so digests at equal memCommits counts must be equal.

@@ -21,21 +21,16 @@ func TestCycleSkipBitIdentical(t *testing.T) {
 		{"pointerChase", pointerChase},
 		{"storeHeavy", storeHeavy},
 	}
+	topologies := []bus.TopologyKind{bus.TopoBus, bus.TopoRing, bus.TopoMesh, bus.TopoTorus}
 	for _, k := range kernels {
 		for _, nodes := range []int{1, 2, 4} {
-			for _, ring := range []bool{false, true} {
-				net := "bus"
-				if ring {
-					net = "ring"
-				}
-				t.Run(fmt.Sprintf("%s/%dnodes/%s", k.name, nodes, net), func(t *testing.T) {
+			for _, topo := range topologies {
+				topo := topo
+				t.Run(fmt.Sprintf("%s/%dnodes/%s", k.name, nodes, topo), func(t *testing.T) {
 					run := func(noSkip bool) (Result, *obs.Trace) {
 						trace := obs.NewTrace()
 						m := buildMachine(t, k.src, nodes, func(c *Config) {
-							if ring {
-								rc := bus.DefaultRingConfig()
-								c.Ring = &rc
-							}
+							c.Topology.Kind = topo
 							c.NoCycleSkip = noSkip
 							c.Observer = trace
 							c.SampleInterval = 500

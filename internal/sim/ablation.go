@@ -60,8 +60,6 @@ func (r InterconnectResult) Table() *stats.Table {
 func AblationInterconnect(ctx context.Context, opts Options) (InterconnectResult, error) {
 	opts = opts.withDefaults()
 	var out InterconnectResult
-	ringCfg := bus.DefaultRingConfig()
-	onRing := func(cfg *core.Config) { cfg.Ring = &ringCfg }
 	names := []string{"compress", "mgrid"}
 	nodeCounts := []int{2, 4}
 	var jobs []Job
@@ -73,7 +71,7 @@ func AblationInterconnect(ctx context.Context, opts Options) (InterconnectResult
 		for _, nodes := range nodeCounts {
 			jobs = append(jobs,
 				Job{Workload: w, Scale: opts.Scale, Kind: KindDS, Nodes: nodes, MaxInstr: opts.TimingInstr},
-				Job{Workload: w, Scale: opts.Scale, Kind: KindDS, Nodes: nodes, MaxInstr: opts.TimingInstr, DSMut: onRing},
+				Job{Workload: w, Scale: opts.Scale, Kind: KindDS, Nodes: nodes, MaxInstr: opts.TimingInstr, Topology: bus.TopoRing},
 			)
 		}
 	}
@@ -549,7 +547,7 @@ func AblationPlacement(ctx context.Context, opts Options) (PlacementResult, erro
 		return out, err
 	}
 
-	slowBus := func(cfg *core.Config) { cfg.Bus.ClockDivisor = 8 }
+	slowBus := func(cfg *core.Config) { cfg.Topology.Bus.ClockDivisor = 8 }
 	var jobs []Job
 	for _, plan := range plans {
 		// Six timing runs per benchmark: the three placements at the

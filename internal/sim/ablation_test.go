@@ -213,15 +213,24 @@ func TestScaling(t *testing.T) {
 		t.Fatalf("rows = %d", len(res.Rows))
 	}
 	for _, row := range res.Rows {
-		if len(row.Points) != 3 {
+		if len(row.Points) != 6 {
 			t.Fatalf("%s: %d points", row.Benchmark, len(row.Points))
 		}
+		if row.Points[5].Nodes != 256 {
+			t.Fatalf("%s: sweep tops out at %d nodes", row.Benchmark, row.Points[5].Nodes)
+		}
 		for _, p := range row.Points {
-			if p.DSBus <= 0 || p.DSRing <= 0 || p.Trad <= 0 {
+			if p.DSBus <= 0 || p.DSRing <= 0 || p.DSMesh <= 0 || p.DSTorus <= 0 || p.Trad <= 0 {
 				t.Fatalf("%s@%d: non-positive IPC %+v", row.Benchmark, p.Nodes, p)
+			}
+			if p.OwnerCompute <= 0 {
+				t.Fatalf("%s@%d: owner-compute model empty: %+v", row.Benchmark, p.Nodes, p)
 			}
 			if p.BusUtil < 0 || p.BusUtil > 1 {
 				t.Fatalf("%s@%d: bus util %v", row.Benchmark, p.Nodes, p.BusUtil)
+			}
+			if p.MeshUtil < 0 || p.MeshUtil > 1 {
+				t.Fatalf("%s@%d: mesh util %v", row.Benchmark, p.Nodes, p.MeshUtil)
 			}
 		}
 		// DataScalar on the bus must degrade less from 2 to 8 nodes than

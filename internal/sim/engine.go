@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/wisc-arch/datascalar/internal/bus"
 	"github.com/wisc-arch/datascalar/internal/core"
 	"github.com/wisc-arch/datascalar/internal/fault"
 	"github.com/wisc-arch/datascalar/internal/mem"
@@ -73,6 +74,12 @@ type Job struct {
 	Nodes int
 	// MaxInstr bounds the measured instructions (0 = run to completion).
 	MaxInstr uint64
+
+	// Topology selects the interconnect family for KindDS and
+	// KindTraditional machines (the zero value is the paper's global
+	// bus). It is stamped onto the config before the mutators run, so a
+	// DSMut can still adjust the selected family's parameters.
+	Topology bus.TopologyKind
 
 	// PageTable, when non-nil, replaces the default single-page
 	// round-robin partition (profile-guided placement, replication
@@ -186,6 +193,7 @@ func (j Job) runDS(pr prepared) (core.Result, *fault.Stats, error) {
 		}
 	}
 	cfg := core.DefaultConfig(j.Nodes)
+	cfg.Topology.Kind = j.Topology
 	cfg.MaxInstr = j.MaxInstr
 	cfg.FastForwardPC = pr.ff
 	cfg.NoCycleSkip = j.NoCycleSkip
@@ -215,6 +223,7 @@ func (j Job) runTrad(pr prepared) (traditional.Result, error) {
 		return traditional.Result{}, err
 	}
 	cfg := traditional.DefaultConfig(j.Nodes)
+	cfg.Topology.Kind = j.Topology
 	cfg.MaxInstr = j.MaxInstr
 	cfg.FastForwardPC = pr.ff
 	cfg.NoCycleSkip = j.NoCycleSkip
@@ -265,6 +274,9 @@ func runJobs(ctx context.Context, opts Options, jobs []Job) ([]JobResult, error)
 		j.NoCycleSkip = opts.NoCycleSkip
 		if j.Fault == (fault.Config{}) {
 			j.Fault = opts.Fault
+		}
+		if j.Topology == bus.TopoBus {
+			j.Topology = opts.Topology
 		}
 		return j.run()
 	})

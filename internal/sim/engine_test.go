@@ -9,6 +9,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"github.com/wisc-arch/datascalar/internal/bus"
 )
 
 // detOpts are deliberately tiny: the determinism suite runs every
@@ -38,6 +40,9 @@ var harnesses = []struct {
 	{"Figure7", false, func(ctx context.Context, o Options) (any, error) { return Figure7(ctx, o) }},
 	{"Figure8", false, func(ctx context.Context, o Options) (any, error) { return Figure8(ctx, o) }},
 	{"Scaling", false, func(ctx context.Context, o Options) (any, error) { return Scaling(ctx, o) }},
+	{"MeasuredTraffic", false, func(ctx context.Context, o Options) (any, error) {
+		return MeasuredTraffic(ctx, o, 8, bus.TopoMesh)
+	}},
 	{"AblationInterconnect", false, func(ctx context.Context, o Options) (any, error) { return AblationInterconnect(ctx, o) }},
 	{"AblationWritePolicy", true, func(ctx context.Context, o Options) (any, error) { return AblationWritePolicy(ctx, o) }},
 	{"AblationSyncESP", true, func(ctx context.Context, o Options) (any, error) { return AblationSyncESP(ctx, o) }},

@@ -176,9 +176,9 @@ func applyParam(param Figure8Param, v int, l1 *cache.Config, dram *mem.DRAMConfi
 }
 
 func applyDSParam(cfg *core.Config, param Figure8Param, v int) {
-	applyParam(param, v, &cfg.L1, &cfg.DRAM, &cfg.Bus, &cfg.Core)
+	applyParam(param, v, &cfg.L1, &cfg.DRAM, &cfg.Topology.Bus, &cfg.Core)
 }
 
 func applyTradParam(cfg *traditional.Config, param Figure8Param, v int) {
-	applyParam(param, v, &cfg.L1, &cfg.DRAM, &cfg.Bus, &cfg.Core)
+	applyParam(param, v, &cfg.L1, &cfg.DRAM, &cfg.Topology.Bus, &cfg.Core)
 }

@@ -16,6 +16,7 @@ package sim
 import (
 	"runtime"
 
+	"github.com/wisc-arch/datascalar/internal/bus"
 	"github.com/wisc-arch/datascalar/internal/fault"
 )
 
@@ -50,6 +51,14 @@ type Options struct {
 	// output stays byte-identical to a build without the fault subsystem
 	// (enforced by the zero-rate differential in faultdiff_test.go).
 	Fault fault.Config
+	// Topology is the interconnect applied to every timing job that does
+	// not pin its own (the -topology CLI flag). The zero value is the
+	// paper's shared bus. Harnesses that sweep topologies explicitly
+	// (Scaling) pin every job, except that a bus job is indistinguishable
+	// from an unpinned one — a non-bus Topology therefore moves those
+	// columns too, so topology-sweeping harnesses are run with the zero
+	// value.
+	Topology bus.TopologyKind
 }
 
 // DefaultOptions returns the standard experiment sizes.

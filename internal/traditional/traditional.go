@@ -36,11 +36,10 @@ type Config struct {
 	Core  ooo.Config
 	L1    cache.Config
 	DRAM  mem.DRAMConfig // used for both on-chip memory and memory chips
-	Bus   bus.Config
-	// Ring, when non-nil, replaces the global bus with a unidirectional
-	// ring so interconnect comparisons stay apples-to-apples with the
-	// DataScalar machine; Bus is ignored in that case.
-	Ring *bus.RingConfig
+	// Topology selects and parameterizes the interconnect (bus, ring,
+	// mesh, or torus), mirroring core.Config.Topology so interconnect
+	// comparisons stay apples-to-apples with the DataScalar machine.
+	Topology bus.Topology
 
 	// L1HitCycles is the load-to-use latency of an L1 hit.
 	L1HitCycles uint64
@@ -82,7 +81,7 @@ func DefaultConfig(chips int) Config {
 			Alloc:     cache.WriteNoAllocate,
 		},
 		DRAM:        mem.DefaultDRAM(),
-		Bus:         bus.DefaultConfig(),
+		Topology:    bus.DefaultTopology(),
 		L1HitCycles: 1,
 		NICycles:    2,
 	}
@@ -102,7 +101,7 @@ func (c Config) Validate() error {
 	if err := c.DRAM.Validate(); err != nil {
 		return err
 	}
-	if err := c.Bus.Validate(); err != nil {
+	if err := c.Topology.Validate(); err != nil {
 		return err
 	}
 	if c.L1HitCycles == 0 {
@@ -230,10 +229,7 @@ func (m *Machine) Emu() *emu.Machine { return m.emu }
 func (m *Machine) Network() bus.Network { return m.net }
 
 func newNet(cfg Config) bus.Network {
-	if cfg.Ring != nil {
-		return bus.NewRing(*cfg.Ring, cfg.Chips)
-	}
-	return bus.NewNetwork(cfg.Bus, cfg.Chips)
+	return cfg.Topology.Build(cfg.Chips)
 }
 
 // homeChip returns the chip holding addr's page.

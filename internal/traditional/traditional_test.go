@@ -144,8 +144,8 @@ func TestPerfectCacheFastest(t *testing.T) {
 }
 
 func TestBusWidthMatters(t *testing.T) {
-	wide := mustRun(t, build(t, streamSum, 4, func(c *Config) { c.Bus.WidthBytes = 32 }))
-	narrow := mustRun(t, build(t, streamSum, 4, func(c *Config) { c.Bus.WidthBytes = 4 }))
+	wide := mustRun(t, build(t, streamSum, 4, func(c *Config) { c.Topology.Bus.WidthBytes = 32 }))
+	narrow := mustRun(t, build(t, streamSum, 4, func(c *Config) { c.Topology.Bus.WidthBytes = 4 }))
 	if wide.Cycles >= narrow.Cycles {
 		t.Fatalf("wide bus (%d) not faster than narrow (%d)", wide.Cycles, narrow.Cycles)
 	}
@@ -268,8 +268,7 @@ func TestRingConfigOnTraditional(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := DefaultConfig(2)
-	ring := bus.DefaultRingConfig()
-	cfg.Ring = &ring
+	cfg.Topology.Kind = bus.TopoRing
 	m, err := NewMachine(cfg, p, pt)
 	if err != nil {
 		t.Fatal(err)
@@ -298,7 +297,7 @@ func TestValidateBranches(t *testing.T) {
 		t.Error("bad DRAM accepted")
 	}
 	bad = DefaultConfig(2)
-	bad.Bus.WidthBytes = 0
+	bad.Topology.Bus.WidthBytes = 0
 	if err := bad.Validate(); err == nil {
 		t.Error("bad bus accepted")
 	}

@@ -1,0 +1,55 @@
+// Package bus mirrors the real topology taxonomy: a four-kind closed
+// enum whose consumers must stay exhaustive, so growing the topology set
+// (the way mesh and torus grew it) fails lint until every switch learns
+// the new kind.
+package bus
+
+// TopoKind is the fixture's closed interconnect taxonomy.
+//
+//dsvet:enum
+type TopoKind uint8
+
+// The four kinds; TTorus is the "newly added" one the stale consumer
+// below has not learned about.
+const (
+	TBus TopoKind = iota
+	TRing
+	TMesh
+	TTorus
+)
+
+// Name switches over only the original three kinds: flagged.
+func Name(k TopoKind) string {
+	switch k {
+	case TBus:
+		return "bus"
+	case TRing:
+		return "ring"
+	case TMesh:
+		return "mesh"
+	}
+	return ""
+}
+
+// NameDefended carries a panicking default: clean.
+func NameDefended(k TopoKind) string {
+	switch k {
+	case TBus:
+		return "bus"
+	default:
+		panic("unhandled topology kind")
+	}
+}
+
+// Links covers all four kinds: clean.
+func Links(k TopoKind, n int) int {
+	switch k {
+	case TBus:
+		return 1
+	case TRing:
+		return n
+	case TMesh, TTorus:
+		return 4 * n
+	}
+	return 0
+}

@@ -172,8 +172,8 @@ func TestLoaderList(t *testing.T) {
 	if err != nil {
 		t.Fatalf("List(./...): %v", err)
 	}
-	if len(all) != 8 {
-		t.Errorf("List(./...) = %d packages, want 8: %v", len(all), all)
+	if len(all) != 9 {
+		t.Errorf("List(./...) = %d packages, want 9: %v", len(all), all)
 	}
 	for i := 1; i < len(all); i++ {
 		if all[i-1] >= all[i] {

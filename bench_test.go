@@ -367,31 +367,40 @@ func BenchmarkMachineRun(b *testing.B) {
 	// The 64-node mesh point exercises what the topology layer exists
 	// for: the sparse machine loop (only nodes with pending work pay
 	// per-cycle cost) and multi-hop broadcast trees, at the Scaling
-	// harness's per-point instruction budget for this size.
-	b.Run("DS64/mesh", func(b *testing.B) {
-		pt64, err := Partition{NumNodes: 64, BlockPages: 1, ReplicateText: true}.Build(p)
-		if err != nil {
-			b.Fatal(err)
-		}
-		var cycles, instrs uint64
-		for i := 0; i < b.N; i++ {
-			cfg := DefaultConfig(64)
-			cfg.Topology.Kind = TopoMesh
-			cfg.MaxInstr = maxInstr * 8 / 64
-			cfg.FastForwardPC = ff
-			m, err := NewMachine(cfg, p, pt64)
+	// harness's per-point instruction budget for this size. The
+	// parallel4 variant partitions the same run across four worker
+	// goroutines (core.Config.ParallelNodes); results are bit-identical,
+	// so the pair measures pure intra-run speedup (flat on one core —
+	// the conservative windows add coordination, not work).
+	runDS64 := func(parallelNodes int) func(b *testing.B) {
+		return func(b *testing.B) {
+			pt64, err := Partition{NumNodes: 64, BlockPages: 1, ReplicateText: true}.Build(p)
 			if err != nil {
 				b.Fatal(err)
 			}
-			r, err := m.Run()
-			if err != nil {
-				b.Fatal(err)
+			var cycles, instrs uint64
+			for i := 0; i < b.N; i++ {
+				cfg := DefaultConfig(64)
+				cfg.Topology.Kind = TopoMesh
+				cfg.MaxInstr = maxInstr * 8 / 64
+				cfg.FastForwardPC = ff
+				cfg.ParallelNodes = parallelNodes
+				m, err := NewMachine(cfg, p, pt64)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r, err := m.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += r.Cycles
+				instrs += r.Instructions * 64
 			}
-			cycles += r.Cycles
-			instrs += r.Instructions * 64
+			report(b, cycles, instrs)
 		}
-		report(b, cycles, instrs)
-	})
+	}
+	b.Run("DS64/mesh", runDS64(1))
+	b.Run("DS64/mesh/parallel4", runDS64(4))
 }
 
 // BenchmarkEmuStep measures the functional emulator's per-instruction

@@ -190,6 +190,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	system := fs.String("system", "ds", "machine model: ds, traditional, perfect, emu")
 	nodes := fs.Int("nodes", 2, "node/chip count for ds and traditional")
 	topology := fs.String("topology", "bus", "interconnect for ds and traditional: bus, ring, mesh, torus")
+	parallelNodes := fs.Int("parallel-nodes", 1, "worker goroutines partitioning the nodes inside a ds run (results are bit-identical at any setting; 1 = serial node loop)")
 	scale := fs.Int("scale", 1, "workload scale factor")
 	instr := fs.Uint64("instr", 0, "max measured instructions (0 = run to completion)")
 	watchdog := fs.Uint64("watchdog", 0, "cycles without commit progress before the deadlock watchdog fires (0 = default)")
@@ -258,6 +259,9 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	if topo != datascalar.TopoBus && *system != "ds" && *system != "traditional" {
 		return usage("-topology requires -system ds or traditional (got %q)", *system)
 	}
+	if *parallelNodes > 1 && *system != "ds" {
+		return usage("-parallel-nodes requires -system ds (got %q)", *system)
+	}
 
 	artifact := runArtifact{
 		System: *system, Workload: *workloadName, AsmFile: *asmFile,
@@ -312,6 +316,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		cfg.MaxInstr = *instr
 		cfg.FastForwardPC = ff
 		cfg.WatchdogCycles = *watchdog
+		cfg.ParallelNodes = *parallelNodes
 		cfg.Fault = faults.Config()
 		cfg.Observer = ob.observer()
 		if cfg.Observer != nil {

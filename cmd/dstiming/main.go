@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	dstiming [-scale N] [-instr N] [-topology bus|ring|mesh|torus] [-bshr] [-cpi]
+//	dstiming [-scale N] [-instr N] [-topology bus|ring|mesh|torus] [-parallel-nodes N] [-bshr] [-cpi]
 //
 // Fault injection (see docs/ROBUSTNESS.md): the -fault-* flags apply a
 // seeded deterministic fault plan to every DataScalar run of the sweep,
@@ -90,6 +90,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	cost := fs.Bool("cost", false, "also print the Wood-Hill cost-effectiveness analysis (paper §4.4)")
 	jsonOut := fs.String("json", "", "also write results as JSON to this file (\"-\" = stdout)")
 	parallel := fs.Int("parallel", 0, "simulation worker count (0 = GOMAXPROCS, 1 = serial)")
+	parallelNodes := fs.Int("parallel-nodes", 0, "worker goroutines partitioning the nodes inside each DataScalar run (results are bit-identical at any setting; 0 or 1 = serial node loop)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	var faults cli.FaultFlags
@@ -124,6 +125,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	opts := datascalar.DefaultExperimentOptions()
 	opts.Scale = *scale
 	opts.Parallel = *parallel
+	opts.ParallelNodes = *parallelNodes
 	opts.Fault = faults.Config()
 	opts.Topology = topo
 	if *instr != 0 {

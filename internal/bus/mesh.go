@@ -94,6 +94,13 @@ type Mesh struct {
 	// arrivals is the scratch buffer Tick returns; reused so the
 	// per-cycle delivery path is allocation-free in steady state.
 	arrivals []Arrival
+	// hdrPool and hdrMap back the header values CopyStateFrom
+	// materialises, reused across copies so prediction scratchpads stay
+	// allocation-free in steady state. hdrMap is lookup-only — never
+	// iterated — so map order cannot influence the copy. Unused outside
+	// CopyStateFrom targets.
+	hdrPool []meshMsg
+	hdrMap  map[*meshMsg]*meshMsg
 }
 
 // meshDims factors n into the squarest W×H grid with W ≤ H: the largest
@@ -344,6 +351,56 @@ func (ms *Mesh) NextDeliveryCycle(now uint64) uint64 {
 		}
 	}
 	return next
+}
+
+// Lookahead implements Network. One header-only hop is the cheapest move
+// any branch can make; a message's first delivery, and any link
+// occupancy its branches impose on older traffic, is at least that far
+// past its ReadyAt.
+func (ms *Mesh) Lookahead() uint64 {
+	la := ms.cfg.transferCycles(HeaderBytes)
+	if la < 1 {
+		la = 1
+	}
+	return la
+}
+
+// NewScratch implements Network.
+func (ms *Mesh) NewScratch() Network { return newMesh(ms.cfg, ms.n, ms.wrap) }
+
+// CopyStateFrom implements Network for the mesh: replicate link
+// occupancy, counters, and every branch, cloning each distinct shared
+// header exactly once so sibling branches of one broadcast keep sharing
+// a refcounted header in the copy. Header values land in a reused pool
+// whose capacity is ensured up front (distinct headers never outnumber
+// branches), so the pointers handed out stay stable.
+func (ms *Mesh) CopyStateFrom(src Network) {
+	s := src.(*Mesh)
+	copy(ms.linkFree, s.linkFree)
+	copy(ms.bySrc, s.bySrc)
+	ms.liveMsgs = s.liveMsgs
+	if cap(ms.hdrPool) < len(s.flight) {
+		ms.hdrPool = make([]meshMsg, 0, len(s.flight))
+	}
+	ms.hdrPool = ms.hdrPool[:0]
+	if ms.hdrMap == nil {
+		ms.hdrMap = make(map[*meshMsg]*meshMsg, len(s.flight))
+	}
+	clear(ms.hdrMap)
+	for i := len(s.flight); i < len(ms.flight); i++ {
+		ms.flight[i] = meshBranch{}
+	}
+	ms.flight = ms.flight[:0]
+	for _, b := range s.flight {
+		hdr, ok := ms.hdrMap[b.m]
+		if !ok {
+			ms.hdrPool = append(ms.hdrPool, *b.m)
+			hdr = &ms.hdrPool[len(ms.hdrPool)-1]
+			ms.hdrMap[b.m] = hdr
+		}
+		b.m = hdr
+		ms.flight = append(ms.flight, b)
+	}
 }
 
 // DataPhase implements Network for the mesh, mirroring the ring's

@@ -52,6 +52,29 @@ type Network interface {
 	// any stretch of cycles NextDeliveryCycle certifies as no-ops, which
 	// is what keeps attribution identical under cycle skipping.
 	DataPhase(addr uint64, dst int, now uint64) MsgPhase
+	// Lookahead returns the minimum wire occupancy of any message: a
+	// lower bound, in cycles, on the time between a message becoming
+	// eligible to move (its ReadyAt) and the earliest cycle its presence
+	// can change any delivery the network makes — its own first delivery
+	// takes at least one full transfer, and any older message it displaces
+	// is pushed behind that same occupancy. This is the conservative
+	// lookahead that makes parallel intra-run simulation sound: deliveries
+	// before ReadyAt+Lookahead() are independent of the message entirely.
+	// Always at least 1.
+	Lookahead() uint64
+	// NewScratch returns a fresh, observer-free network of identical
+	// shape and configuration, for use as a prediction scratchpad: load it
+	// with CopyStateFrom, then Tick it ahead of the real network to learn
+	// future deliveries without disturbing real state, stats, or
+	// observers.
+	NewScratch() Network
+	// CopyStateFrom overwrites this network's in-flight message state
+	// with src's (which must be the same concrete type and shape).
+	// Statistics and observers are deliberately not copied — the copy
+	// exists to predict deliveries, not to account for them. Internal
+	// storage is reused, so repeated copies are allocation-free in steady
+	// state.
+	CopyStateFrom(src Network)
 }
 
 // MsgPhase classifies the progress of a pending data message for stall
@@ -167,6 +190,35 @@ func (b *Bus) TickArrivals(now uint64) []Arrival {
 	return out
 }
 
+// Lookahead implements Network. The cheapest message a bus can carry is
+// header-only, and even that occupies the wire for its full transfer
+// time before delivering — so no newly enqueued message can affect any
+// delivery sooner than one header transfer after it becomes eligible.
+// Older queued traffic is never displaced earlier by a new arrival
+// (source queues are FIFO and arbitration is round-robin), so this bound
+// covers perturbation as well as first delivery.
+func (b *Bus) Lookahead() uint64 {
+	la := b.cfg.TransferCycles(HeaderBytes)
+	if la < 1 {
+		la = 1
+	}
+	return la
+}
+
+// CopyStateFrom implements Network for the bus: replicate queues and the
+// in-flight transfer, reusing queue storage. Stats and observer stay
+// untouched.
+func (b *Bus) CopyStateFrom(src Network) {
+	s := src.(busNetwork).Bus
+	for i := range b.queues {
+		b.queues[i] = append(b.queues[i][:0], s.queues[i]...)
+	}
+	b.rrNext = s.rrNext
+	b.busy = s.busy
+	b.doneAt = s.doneAt
+	b.current = s.current
+}
+
 // busNetwork adapts Bus to the Network interface.
 type busNetwork struct{ *Bus }
 
@@ -177,3 +229,6 @@ func NewNetwork(cfg Config, numNodes int) Network {
 
 // Tick implements Network.
 func (b busNetwork) Tick(now uint64) []Arrival { return b.TickArrivals(now) }
+
+// NewScratch implements Network.
+func (b busNetwork) NewScratch() Network { return busNetwork{New(b.cfg, len(b.queues))} }

@@ -93,6 +93,10 @@ type Ring struct {
 	// arrivals is the scratch buffer Tick returns; reused so the per-cycle
 	// delivery path is allocation-free in steady state.
 	arrivals []Arrival
+	// pool backs the ringMsg values CopyStateFrom materialises, reused
+	// across copies so prediction scratchpads stay allocation-free in
+	// steady state. Unused outside CopyStateFrom targets.
+	pool []ringMsg
 }
 
 // SetObserver attaches an observer emitting a bus.grant event when a
@@ -197,6 +201,43 @@ func (r *Ring) NextDeliveryCycle(now uint64) uint64 {
 		}
 	}
 	return next
+}
+
+// Lookahead implements Network. One header-only hop is the cheapest move
+// any ring message can make, and a message's first delivery (or any link
+// occupancy it imposes on older traffic) is at least that far past its
+// ReadyAt.
+func (r *Ring) Lookahead() uint64 {
+	la := r.cfg.transferCycles(HeaderBytes)
+	if la < 1 {
+		la = 1
+	}
+	return la
+}
+
+// NewScratch implements Network.
+func (r *Ring) NewScratch() Network { return NewRing(r.cfg, r.n) }
+
+// CopyStateFrom implements Network for the ring: replicate link
+// occupancy and every in-flight message. Message values land in a
+// reused pool whose capacity is ensured up front, so the pointers taken
+// during the copy stay stable.
+func (r *Ring) CopyStateFrom(src Network) {
+	s := src.(*Ring)
+	copy(r.linkFree, s.linkFree)
+	if cap(r.pool) < len(s.flight) {
+		r.pool = make([]ringMsg, 0, len(s.flight))
+	}
+	r.pool = r.pool[:0]
+	// Clear any stale pointers beyond the new length before truncating.
+	for i := len(s.flight); i < len(r.flight); i++ {
+		r.flight[i] = nil
+	}
+	r.flight = r.flight[:0]
+	for _, f := range s.flight {
+		r.pool = append(r.pool, *f)
+		r.flight = append(r.flight, &r.pool[len(r.pool)-1])
+	}
 }
 
 // DataPhase implements Network for the ring. The queued-versus-blocked

@@ -88,6 +88,19 @@ type Config struct {
 	// fault state and every hot path stays untouched, which the zero-rate
 	// differential suite in internal/sim enforces byte-for-byte.
 	Fault fault.Config
+	// ParallelNodes splits one run's node loop across that many worker
+	// goroutines (conservative parallel discrete-event simulation): each
+	// worker advances its span of nodes independently up to a
+	// synchronization horizon derived from the interconnect's minimum
+	// delivery latency (bus.Network.Lookahead), and cross-node messages
+	// are exchanged at horizon barriers in a fixed deterministic order.
+	// Results, observer event streams, and samples are byte-identical to
+	// the serial loop (enforced by the differential suite in
+	// internal/sim); see docs/PERFORMANCE.md. 0 or 1 forces today's
+	// serial loop; values above Nodes are clamped. Runs with an active
+	// fault plan or TraceLine fall back to serial — fault injection
+	// couples nodes cycle-by-cycle.
+	ParallelNodes int
 	// ResultComm enables result communication (paper Section 5.1):
 	// PRIVB/PRIVE regions execute only at the node owning their data,
 	// with uncached local accesses and no operand broadcasts; other
@@ -301,6 +314,7 @@ func NewMachine(cfg Config, p *prog.Program, pt *mem.PageTable) (*Machine, error
 			digests:     make(map[uint64]uint64),
 		}
 		nd.m = m
+		nd.clock = &m.now
 		if fs != nil {
 			nd.bshr.SetRetry(fs.cfg.RetryTimeoutCycles, fs.cfg.RetryBackoffCapCycles)
 		}
@@ -335,6 +349,13 @@ func (m *Machine) Network() bus.Network { return m.net }
 // next event; see docs/PERFORMANCE.md for the invariants that make the
 // skipped and polled runs bit-identical.
 func (m *Machine) Run() (Result, error) {
+	if m.cfg.ParallelNodes > 1 && m.cfg.Nodes > 1 && m.fault == nil && m.cfg.TraceLine == 0 {
+		// Conservative parallel intra-run simulation: byte-identical to
+		// the loop below (see internal/core/parallel.go and the
+		// differential suite in internal/sim). The fault layer and
+		// TraceLine couple nodes cycle-by-cycle, so they stay serial.
+		return m.runParallel()
+	}
 	watchdog := m.cfg.WatchdogCycles
 	if watchdog == 0 {
 		watchdog = 2_000_000

@@ -99,6 +99,11 @@ type node struct {
 	// be one load — and with a nil observer obsEvent does no work and
 	// allocates nothing (verified by benchmark).
 	obs obs.Observer
+	// clock is the cycle counter events are stamped with: &m.now under
+	// the serial loop, the node's private window clock while a parallel
+	// run has this node leased to a worker (workers advance nodes past
+	// m.now, so a shared stamp would be both wrong and racy).
+	clock *uint64
 
 	emu  *emu.Machine
 	core *ooo.Core
@@ -194,7 +199,7 @@ func (n *node) obsEvent(kind obs.EventKind, addr, arg uint64) {
 	if n.obs == nil {
 		return
 	}
-	n.obs.Event(obs.Event{Cycle: n.m.now, Node: n.id, Kind: kind, Addr: addr, Arg: arg})
+	n.obs.Event(obs.Event{Cycle: *n.clock, Node: n.id, Kind: kind, Addr: addr, Arg: arg})
 }
 
 // IssueLoad implements ooo.MemPort: the issue-time load path of Figure 5.

@@ -19,6 +19,7 @@ package ooo
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"github.com/wisc-arch/datascalar/internal/cache"
 
@@ -189,12 +190,15 @@ const (
 )
 
 type uop struct {
-	seq     uint64
-	dyn     emu.Dyn
-	state   uopState
-	doneAt  uint64
-	waiting int      // unresolved producer count
-	wakeup  []uint64 // consumer seqs to notify at completion
+	seq    uint64
+	dyn    emu.Dyn
+	state  uopState
+	doneAt uint64
+	// waiting counts distinct unresolved producers. Consumers to notify
+	// at completion live in the producer's wakeup bitmap row (Core.wake),
+	// one bit per RUU slot, so a consumer with several dependences on the
+	// same producer costs one bit and one waiting count.
+	waiting int
 	// fwdFrom is the store this load forwards from (by seq), or 0 with
 	// fwd=false.
 	fwdFrom uint64
@@ -261,49 +265,14 @@ func (h *compHeap) pop() compEvent {
 	return top
 }
 
-// ready heap ordered by seq (oldest first); hand-rolled for the same
-// zero-allocation reason as compHeap.
-type readyHeap []uint64
-
-func (h *readyHeap) push(v uint64) {
-	s := append(*h, v)
-	i := len(s) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if s[i] >= s[parent] {
-			break
-		}
-		s[i], s[parent] = s[parent], s[i]
-		i = parent
-	}
-	*h = s
-}
-
-func (h *readyHeap) pop() uint64 {
-	s := *h
-	top := s[0]
-	n := len(s) - 1
-	s[0] = s[n]
-	s = s[:n]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		min := i
-		if l < n && s[l] < s[min] {
-			min = l
-		}
-		if r < n && s[r] < s[min] {
-			min = r
-		}
-		if min == i {
-			break
-		}
-		s[i], s[min] = s[min], s[i]
-		i = min
-	}
-	*h = s
-	return top
-}
+// The ready set is a bitmap over RUU slots rather than a heap of seqs:
+// one bit per slot, scanned with math/bits.TrailingZeros64. The window
+// always holds the contiguous seq range [head, nextSeq), so slot order
+// starting from head%RUUSize and wrapping IS seq order — a circular
+// first-set-bit scan pops the oldest ready instruction without any heap
+// discipline, and set/clear are single OR/AND-NOT word ops. (The heap
+// this replaced survives in readyselect_bench_test.go as the
+// BenchmarkReadySelect baseline.)
 
 // Core is one out-of-order processor.
 type Core struct {
@@ -330,8 +299,19 @@ type Core struct {
 	// lastStore maps 8-byte-aligned chunk -> last store touching it.
 	lastStore map[uint64]storeRef
 
-	comp    compHeap
-	ready   readyHeap
+	comp compHeap
+	// readyBits has one bit per RUU slot: set iff that slot holds a
+	// dispatched uop with waiting == 0 that has not yet issued. readyCount
+	// mirrors the population count so emptiness checks are O(1).
+	readyBits  []uint64
+	readyCount int
+	// wake is the wakeup matrix: row p (wakeWords words starting at
+	// p*wakeWords) is producer slot p's consumer set, one bit per consumer
+	// slot. complete() drains and zeroes a row; admit() zeroes the
+	// recycled slot's row defensively.
+	wake      []uint64
+	wakeWords int
+
 	srcDone bool
 	err     error
 	// skid holds one instruction fetched past a full LSQ or a fetch
@@ -369,6 +349,75 @@ func (c *Core) lookup(seq uint64) *uop {
 // windowLen returns the current RUU occupancy.
 func (c *Core) windowLen() int { return int(c.nextSeq - c.head) }
 
+// setReady marks the uop in slot as ready to issue. The caller guarantees
+// the bit is currently clear: a dispatched uop reaches waiting == 0
+// exactly once, and admit only calls this for a freshly claimed slot.
+//
+//dsvet:hotpath
+func (c *Core) setReady(slot uint64) {
+	c.readyBits[slot>>6] |= 1 << (slot & 63)
+	c.readyCount++
+}
+
+// popReadySlot removes and returns the oldest ready slot. Oldest means
+// smallest seq: the window is the contiguous range [head, nextSeq), so a
+// circular scan of slots starting at head%RUUSize visits uops in seq
+// order, and the first set bit is the oldest ready instruction. The
+// caller guarantees readyCount > 0.
+//
+//dsvet:hotpath
+func (c *Core) popReadySlot() uint64 {
+	start := c.head % uint64(len(c.ruu))
+	wi := int(start >> 6)
+	off := start & 63
+	// Bits at or above the head position in the head word come first...
+	if w := c.readyBits[wi] &^ (1<<off - 1); w != 0 {
+		b := uint64(bits.TrailingZeros64(w))
+		slot := uint64(wi)<<6 | b
+		c.readyBits[wi] &^= 1 << b
+		c.readyCount--
+		return slot
+	}
+	// ...then the remaining words circularly, with the head word's low
+	// bits (slots that wrapped past the end of the ring) checked last.
+	nw := len(c.readyBits)
+	for i := 1; i <= nw; i++ {
+		j := wi + i
+		if j >= nw {
+			j -= nw
+		}
+		w := c.readyBits[j]
+		if j == wi {
+			w &= 1<<off - 1
+		}
+		if w != 0 {
+			b := uint64(bits.TrailingZeros64(w))
+			slot := uint64(j)<<6 | b
+			c.readyBits[j] &^= 1 << b
+			c.readyCount--
+			return slot
+		}
+	}
+	panic("ooo: popReadySlot with empty ready set")
+}
+
+// addDep records that u must wait for producer p to complete, by setting
+// u's bit in p's wakeup row. A bit already set means u already depends on
+// p through another operand (rs1 == rs2, or a register plus a memory
+// dependence on the same store); one completion satisfies every such
+// dependence at once, so waiting is counted per distinct producer.
+//
+//dsvet:hotpath
+func (c *Core) addDep(p, u *uop) {
+	us := u.seq % uint64(len(c.ruu))
+	w := &c.wake[(p.seq%uint64(len(c.ruu)))*uint64(c.wakeWords)+us>>6]
+	bit := uint64(1) << (us & 63)
+	if *w&bit == 0 {
+		*w |= bit
+		u.waiting++
+	}
+}
+
 type storeRef struct {
 	seq  uint64
 	addr uint64
@@ -387,19 +436,16 @@ func New(cfg Config, src Source, mem MemPort) *Core {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
+	nw := (cfg.RUUSize + 63) / 64
 	c := &Core{
 		cfg:       cfg,
 		src:       src,
 		mem:       mem,
 		ruu:       make([]uop, cfg.RUUSize),
 		lastStore: make(map[uint64]storeRef),
-	}
-	// Carve every slot's wakeup list out of one backing array so the
-	// common dependence fan-outs never grow a slice mid-run; the rare
-	// wider fan-out grows its own slot once and the capacity is recycled.
-	wake := make([]uint64, len(c.ruu)*8)
-	for i := range c.ruu {
-		c.ruu[i].wakeup = wake[i*8 : i*8 : (i+1)*8]
+		readyBits: make([]uint64, nw),
+		wake:      make([]uint64, cfg.RUUSize*nw),
+		wakeWords: nw,
 	}
 	if p, ok := mem.(PrivatePort); ok {
 		c.priv = p
@@ -554,7 +600,7 @@ func (c *Core) NextEventCycle(now uint64) (uint64, bool) {
 	if u := c.lookup(c.head); u != nil && u.state == stCompleted {
 		return now, false
 	}
-	if len(c.ready) > 0 {
+	if c.readyCount > 0 {
 		return now, false
 	}
 	next := uint64(NoEvent)
@@ -613,17 +659,27 @@ func (c *Core) complete(now uint64) {
 			continue // stale event
 		}
 		u.state = stCompleted
-		for _, dep := range u.wakeup {
-			d := c.lookup(dep)
-			if d == nil {
+		// Drain the producer's wakeup row: each set bit is a distinct
+		// consumer slot. Slot-scan order differs from seq order, but the
+		// effects (waiting decrements, ready-bit sets) commute, and the
+		// ready bitmap pops in seq order regardless of set order.
+		row := c.wake[(ev.seq%uint64(len(c.ruu)))*uint64(c.wakeWords):]
+		for wi := 0; wi < c.wakeWords; wi++ {
+			w := row[wi]
+			if w == 0 {
 				continue
 			}
-			d.waiting--
-			if d.waiting == 0 && d.state == stDispatched {
-				c.ready.push(d.seq)
+			row[wi] = 0
+			for w != 0 {
+				b := bits.TrailingZeros64(w)
+				w &= w - 1
+				d := &c.ruu[wi<<6|b]
+				d.waiting--
+				if d.waiting == 0 && d.state == stDispatched {
+					c.setReady(uint64(wi<<6 | b))
+				}
 			}
 		}
-		u.wakeup = u.wakeup[:0]
 	}
 }
 
@@ -659,13 +715,9 @@ func (c *Core) commit(now uint64) {
 }
 
 func (c *Core) issue(now uint64) {
-	for n := 0; n < c.cfg.IssueWidth && len(c.ready) > 0; n++ {
-		seq := c.ready.pop()
-		u := c.lookup(seq)
-		if u == nil || u.state != stDispatched || u.waiting != 0 {
-			n-- // stale entry does not consume issue bandwidth
-			continue
-		}
+	for n := 0; n < c.cfg.IssueWidth && c.readyCount > 0; n++ {
+		u := &c.ruu[c.popReadySlot()]
+		seq := u.seq
 		u.state = stIssued
 		op := u.dyn.Instr.Op
 		switch {
@@ -754,9 +806,18 @@ func (c *Core) nextDyn() (emu.Dyn, bool, error) {
 }
 
 func (c *Core) admit(now uint64, d emu.Dyn) {
-	// Claim the next ring slot, recycling its wakeup slice capacity.
-	u := &c.ruu[c.nextSeq%uint64(len(c.ruu))]
-	*u = uop{seq: c.nextSeq, dyn: d, wakeup: u.wakeup[:0]}
+	// Claim the next ring slot and zero its wakeup row. complete()
+	// already zeroed it when the slot's previous occupant finished, so
+	// this is defensive — but a stale bit would silently corrupt a
+	// waiting count, and wakeWords stores per admit are noise next to the
+	// map work below.
+	slot := c.nextSeq % uint64(len(c.ruu))
+	u := &c.ruu[slot]
+	*u = uop{seq: c.nextSeq, dyn: d}
+	row := c.wake[slot*uint64(c.wakeWords):]
+	for wi := 0; wi < c.wakeWords; wi++ {
+		row[wi] = 0
+	}
 	c.nextSeq++
 
 	// Register dependences.
@@ -767,8 +828,7 @@ func (c *Core) admit(now uint64, d emu.Dyn) {
 			continue
 		}
 		if p := c.lookup(lw.seq); p != nil && p.state != stCompleted {
-			p.wakeup = append(p.wakeup, u.seq)
-			u.waiting++
+			c.addDep(p, u)
 		}
 	}
 
@@ -796,7 +856,7 @@ func (c *Core) admit(now uint64, d emu.Dyn) {
 	}
 
 	if u.waiting == 0 {
-		c.ready.push(u.seq)
+		c.setReady(slot)
 	}
 }
 
@@ -860,8 +920,7 @@ func (c *Core) memDeps(u *uop) {
 	contains := best.addr <= u.dyn.EA &&
 		best.addr+uint64(best.size) >= u.dyn.EA+uint64(op.MemBytes())
 	if p := c.lookup(best.seq); p != nil && p.state != stCompleted {
-		p.wakeup = append(p.wakeup, u.seq)
-		u.waiting++
+		c.addDep(p, u)
 	}
 	if contains && !(best.private && !u.dyn.Private) {
 		u.fwd = true

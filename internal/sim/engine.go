@@ -99,6 +99,11 @@ type Job struct {
 	// NoCycleSkip disables the next-event scheduler for this job's
 	// machine (stamped from Options.NoCycleSkip by runJobs).
 	NoCycleSkip bool
+	// ParallelNodes partitions a KindDS machine's nodes across worker
+	// goroutines inside the run (core.Config.ParallelNodes). Jobs that
+	// leave it zero inherit Options.ParallelNodes from runJobs; 0 or 1
+	// is the serial node loop. Results are bit-identical either way.
+	ParallelNodes int
 
 	// Fault is the deterministic fault plan injected into a KindDS
 	// machine (see internal/fault). The zero value builds no fault layer
@@ -197,6 +202,7 @@ func (j Job) runDS(pr prepared) (core.Result, *fault.Stats, error) {
 	cfg.MaxInstr = j.MaxInstr
 	cfg.FastForwardPC = pr.ff
 	cfg.NoCycleSkip = j.NoCycleSkip
+	cfg.ParallelNodes = j.ParallelNodes
 	cfg.Fault = j.Fault
 	if j.DSMut != nil {
 		j.DSMut(&cfg)
@@ -272,6 +278,9 @@ func runJobs(ctx context.Context, opts Options, jobs []Job) ([]JobResult, error)
 	return runIndexed(ctx, opts.Parallel, len(jobs), func(i int) (JobResult, error) {
 		j := jobs[i]
 		j.NoCycleSkip = opts.NoCycleSkip
+		if j.ParallelNodes == 0 {
+			j.ParallelNodes = opts.ParallelNodes
+		}
 		if j.Fault == (fault.Config{}) {
 			j.Fault = opts.Fault
 		}

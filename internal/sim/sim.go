@@ -39,6 +39,16 @@ type Options struct {
 	// Results are bit-identical at every setting — each simulation is
 	// deterministic and the engine assembles results in job order.
 	Parallel int
+	// ParallelNodes partitions the nodes of every DataScalar machine
+	// whose job does not pin its own count across that many worker
+	// goroutines inside a single run (conservative intra-run
+	// parallelism; see docs/PERFORMANCE.md). 0 or 1 keeps the serial
+	// node loop. Results are bit-identical at every setting — the
+	// differential suite in pardiff_test.go enforces it — so the knob
+	// trades wall-clock for cores, never accuracy. Independent of
+	// Parallel: that bounds concurrent jobs, this bounds goroutines
+	// inside each job, and the two multiply.
+	ParallelNodes int
 	// NoCycleSkip runs every timing simulation with the next-event
 	// scheduler disabled (pure cycle-by-cycle polling). Results are
 	// bit-identical either way — the differential suite in engine_test.go

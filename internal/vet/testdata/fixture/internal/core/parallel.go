@@ -1,0 +1,24 @@
+// The fixture's second sanctioned concurrency site: the partitioned
+// intra-run loop at internal/core/parallel.go is on the default
+// allowlist, so the worker goroutines and barrier channels here are
+// not flagged.
+package core
+
+// windows mimics the coordinator/worker handshake of the real
+// partitioned loop.
+type windows struct {
+	start chan struct{}
+	done  chan struct{}
+}
+
+// run dispatches one window and waits at the barrier.
+func (w *windows) run() {
+	w.start = make(chan struct{}, 1)
+	w.done = make(chan struct{}, 1)
+	go func() {
+		<-w.start
+		w.done <- struct{}{}
+	}()
+	w.start <- struct{}{}
+	<-w.done
+}

@@ -1,0 +1,14 @@
+// spill.go is in internal/core but NOT on the concurrency allowlist:
+// the allowlist names individual files, not packages, so concurrency
+// leaking out of parallel.go into the rest of the core is still
+// flagged.
+package core
+
+// leak spawns a goroutine outside the sanctioned file.
+func leak() {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 1
+	}()
+	<-ch
+}

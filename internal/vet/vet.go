@@ -139,11 +139,11 @@ func DefaultConfig() Config {
 			"internal/cache", "internal/mem", "internal/fault", "internal/sim",
 			"internal/traditional",
 		},
-		// The deterministic worker pool of the experiment engine is the
-		// one sanctioned concurrency site; signal handling in the cmd
-		// binaries goes through signal.NotifyContext and needs no raw
-		// primitives.
-		ConcurrencyFiles: []string{"internal/sim/engine.go"},
+		// The deterministic worker pool of the experiment engine and the
+		// conservative intra-run partitioned loop are the two sanctioned
+		// concurrency sites; signal handling in the cmd binaries goes
+		// through signal.NotifyContext and needs no raw primitives.
+		ConcurrencyFiles: []string{"internal/sim/engine.go", "internal/core/parallel.go"},
 		ExitPackages:     []string{"internal/cli"},
 	}
 }

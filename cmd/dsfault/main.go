@@ -7,10 +7,15 @@
 // Usage:
 //
 //	dsfault [-workloads compress,mgrid,go] [-seeds 3] [-nodes 2]
+//	        [-topology bus|ring|mesh|torus] [-deaths K] [-parallel-nodes N]
 //	        [-instr N] [-scale N] [-parallel N] [-runs] [-json out.json]
 //
+// -deaths K swaps the default scenario grid for the cascade family:
+// sequential owner deaths of depth 1..K with recovery enabled, reported
+// as a survival curve (survived fraction and post-death IPC per depth).
+//
 // Campaigns are bit-reproducible: the same flags produce the same table
-// and JSON artifact at any -parallel setting.
+// and JSON artifact at any -parallel or -parallel-nodes setting.
 //
 // Exit codes: 0 on success (including campaigns whose runs halted or
 // were corrupted — those are the campaign's findings, not its failure),
@@ -39,10 +44,13 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	workloads := fs.String("workloads", "", "comma-separated workload names (default compress,mgrid,go)")
 	seeds := fs.Int("seeds", 0, "fault seeds per (workload, scenario) cell (default 3)")
-	nodes := fs.Int("nodes", 0, "DataScalar node count (default 2)")
+	nodes := fs.Int("nodes", 0, "DataScalar node count (default 2, or deaths+1 for cascades)")
+	topology := fs.String("topology", "bus", "interconnect for every run: bus, ring, mesh, torus")
+	deaths := fs.Int("deaths", 0, "run the cascade scenario family up to this many sequential deaths instead of the default grid")
 	instr := fs.Uint64("instr", 0, "measured instructions per run (default: sweep size)")
 	scale := fs.Int("scale", 1, "workload scale factor")
 	parallel := fs.Int("parallel", 0, "simulation worker count (0 = GOMAXPROCS, 1 = serial)")
+	parallelNodes := fs.Int("parallel-nodes", 0, "worker goroutines partitioning the nodes inside each run (results are bit-identical at any setting; 0 or 1 = serial node loop)")
 	runs := fs.Bool("runs", false, "also print every individual run")
 	jsonOut := fs.String("json", "", "write the campaign result as JSON to this file (\"-\" = stdout)")
 	if err := fs.Parse(args); err != nil {
@@ -50,6 +58,12 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	}
 	if fs.NArg() != 0 {
 		fmt.Fprintf(stderr, "dsfault: unexpected arguments %q\n", fs.Args())
+		return cli.ExitUsage
+	}
+
+	topo, err := datascalar.ParseTopologyKind(*topology)
+	if err != nil {
+		fmt.Fprintf(stderr, "dsfault: %v\n", err)
 		return cli.ExitUsage
 	}
 
@@ -62,6 +76,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 
 	cc := datascalar.FaultCampaignConfig{
 		Seeds: *seeds, Nodes: *nodes, MaxInstr: *instr,
+		Topology: topo, ParallelNodes: *parallelNodes, Deaths: *deaths,
 	}
 	if *workloads != "" {
 		cc.Workloads = strings.Split(*workloads, ",")
@@ -73,6 +88,10 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		return cli.ExitCode(err)
 	}
 	res.Table().Render(stdout)
+	if st := res.SurvivalTable(); st != nil {
+		fmt.Fprintln(stdout)
+		st.Render(stdout)
+	}
 	if *runs {
 		fmt.Fprintln(stdout)
 		for _, r := range res.Runs {

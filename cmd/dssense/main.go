@@ -1,31 +1,63 @@
 // Command dssense regenerates the paper's Figure 8: IPC sensitivity of
 // the go and compress analogues to cache size, memory access time, bus
 // clock, bus width, and RUU entries, for all five systems Figure 7
-// compares.
+// compares. -nodes resizes the larger DataScalar/traditional pair and
+// -topology swaps the interconnect, so the sweep can be repeated on
+// mesh or torus machines.
 //
 // Usage:
 //
-//	dssense [-scale N] [-instr N]
+//	dssense [-scale N] [-instr N] [-nodes N]
+//	        [-topology bus|ring|mesh|torus] [-parallel N]
+//
+// Exit codes: 0 on success, 1 on errors, 2 on bad usage.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
 
 	datascalar "github.com/wisc-arch/datascalar"
+	"github.com/wisc-arch/datascalar/internal/cli"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dssense: ")
-	scale := flag.Int("scale", 1, "workload scale factor")
-	instr := flag.Uint64("instr", 0, "measured instructions per sweep point (0 = default)")
-	parallel := flag.Int("parallel", 0, "simulation worker count (0 = GOMAXPROCS, 1 = serial)")
-	flag.Parse()
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain is main minus the process boundary, so the CLI tests can run
+// the binary in-process and assert on exit codes.
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dssense", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scale := fs.Int("scale", 1, "workload scale factor")
+	instr := fs.Uint64("instr", 0, "measured instructions per sweep point (0 = default)")
+	nodes := fs.Int("nodes", 4, "size of the larger DataScalar/traditional pair (the paper's is 4)")
+	topology := fs.String("topology", "bus", "interconnect for every run: bus, ring, mesh, torus")
+	parallel := fs.Int("parallel", 0, "simulation worker count (0 = GOMAXPROCS, 1 = serial)")
+	if err := fs.Parse(args); err != nil {
+		return cli.ExitUsage
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "dssense: unexpected arguments %q\n", fs.Args())
+		return cli.ExitUsage
+	}
+	if *nodes < 2 {
+		fmt.Fprintf(stderr, "dssense: -nodes %d: need at least 2\n", *nodes)
+		return cli.ExitUsage
+	}
+	topo, err := datascalar.ParseTopologyKind(*topology)
+	if err != nil {
+		fmt.Fprintf(stderr, "dssense: %v\n", err)
+		return cli.ExitUsage
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -33,18 +65,21 @@ func main() {
 	opts := datascalar.DefaultExperimentOptions()
 	opts.Scale = *scale
 	opts.Parallel = *parallel
+	opts.Topology = topo
 	if *instr != 0 {
 		opts.SweepInstr = *instr
 	}
 
-	res, err := datascalar.Figure8(ctx, opts)
+	res, err := datascalar.Figure8At(ctx, opts, *nodes)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(stderr, "dssense: %v\n", err)
+		return cli.ExitCode(err)
 	}
 	for i, t := range res.Tables() {
 		if i > 0 {
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
-		t.Render(os.Stdout)
+		t.Render(stdout)
 	}
+	return cli.ExitOK
 }

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/wisc-arch/datascalar/internal/cli"
+)
+
+func run(args ...string) (int, string, string) {
+	var out, errb bytes.Buffer
+	code := realMain(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestUsageErrors gates every malformed invocation behind ExitUsage
+// before any simulation starts.
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := run("-no-such-flag"); code != cli.ExitUsage {
+		t.Fatalf("unknown flag: exit %d, want %d", code, cli.ExitUsage)
+	}
+	if code, _, stderr := run("stray"); code != cli.ExitUsage || !strings.Contains(stderr, "unexpected arguments") {
+		t.Fatalf("stray argument: exit %d, stderr %q", code, stderr)
+	}
+	if code, _, stderr := run("-topology", "hypercube"); code != cli.ExitUsage || !strings.Contains(stderr, "unknown topology") {
+		t.Fatalf("bad topology: exit %d, stderr %q", code, stderr)
+	}
+	if code, _, stderr := run("-nodes", "1"); code != cli.ExitUsage || !strings.Contains(stderr, "at least 2") {
+		t.Fatalf("bad nodes: exit %d, stderr %q", code, stderr)
+	}
+}
+
+// TestTinySweep runs a minimal sensitivity sweep on a mesh at a
+// non-default size and checks the -nodes/-topology wiring reaches the
+// rendered tables.
+func TestTinySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep run in -short mode")
+	}
+	code, stdout, stderr := run("-instr", "1000", "-nodes", "8", "-topology", "mesh")
+	if code != cli.ExitOK {
+		t.Fatalf("exit %d\nstderr:\n%s", code, stderr)
+	}
+	for _, want := range []string{"Figure 8", "DS 8-node", "trad 1/8"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("output lacks %q", want)
+		}
+	}
+}

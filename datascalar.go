@@ -287,6 +287,12 @@ func Figure8(ctx context.Context, opts ExperimentOptions) (Figure8Result, error)
 	return sim.Figure8(ctx, opts)
 }
 
+// Figure8At runs the sensitivity analysis with the larger DS and
+// traditional systems at nodes instead of the paper's four.
+func Figure8At(ctx context.Context, opts ExperimentOptions, nodes int) (Figure8Result, error) {
+	return sim.Figure8At(ctx, opts, nodes)
+}
+
 // ResultTable is a rendered, aligned text table.
 type ResultTable = stats.Table
 

@@ -76,6 +76,10 @@ const (
 	// CtlFingerprint is a commit-fingerprint broadcast: Addr carries the
 	// fingerprint interval index and Seq the fingerprint value.
 	CtlFingerprint
+	// CtlWarmFill is a re-replication push: after an owner death, the
+	// page's new owner sends a warm copy of an inherited page to a
+	// standby node (Addr = page base address, Dst = standby).
+	CtlWarmFill
 )
 
 // Message is one bus transaction.

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/wisc-arch/datascalar/internal/bus"
 	"github.com/wisc-arch/datascalar/internal/fault"
 	"github.com/wisc-arch/datascalar/internal/obs"
 )
@@ -342,5 +343,190 @@ func TestDeadlockErrorFormat(t *testing.T) {
 		if n.ID == 0 && n.Committed == 0 {
 			t.Fatal("node 0 snapshot empty")
 		}
+	}
+}
+
+// TestCascadeRecovery: an ordered two-death schedule on four nodes must
+// be survived death by death — the first dead owner's pages remap to its
+// successor and are re-replicated (warm-fill), so the successor's own
+// death is again recoverable — finishing degraded on two nodes with the
+// fault-free architectural results.
+func TestCascadeRecovery(t *testing.T) {
+	clean := buildMachine(t, streamSum, 4, nil)
+	cleanRes := mustRunMachine(t, clean)
+
+	m := buildMachine(t, streamSum, 4, func(c *Config) {
+		c.Fault = fault.Config{
+			Seed:                  9,
+			Deaths:                []fault.Death{{Node: 1, Cycle: 3_000}, {Node: 2, Cycle: 12_000}},
+			Recover:               true,
+			RetryTimeoutCycles:    1_000,
+			RetryBackoffCapCycles: 1_000,
+			MaxRetries:            2,
+		}
+	})
+	r, err := m.Run()
+	if err != nil {
+		t.Fatalf("cascade run failed: %v", err)
+	}
+	f := r.Fault
+	if f == nil || len(f.Deaths) != 2 {
+		t.Fatalf("want 2 per-death records: %+v", f)
+	}
+	if f.LiveNodes != 2 {
+		t.Fatalf("want 2 survivors, got %d", f.LiveNodes)
+	}
+	for i, d := range f.Deaths {
+		if !d.Detected {
+			t.Fatalf("death %d undetected: %+v", i, d)
+		}
+		if d.DetectLatency == 0 || d.DetectedAt != d.Cycle+d.DetectLatency {
+			t.Fatalf("death %d latency inconsistent: %+v", i, d)
+		}
+		if d.RemappedPages == 0 {
+			t.Fatalf("death %d moved no pages: %+v", i, d)
+		}
+		if d.PostDeathIPC <= 0 {
+			t.Fatalf("death %d post-death throughput missing: %+v", i, d)
+		}
+		if d.LiveAfter != 3-i {
+			t.Fatalf("death %d wrong survivor count: %+v", i, d)
+		}
+	}
+	// Node 1's pages go to ring successor 2; node 2's death must find the
+	// warm replicas pushed after the first remap.
+	if f.Deaths[0].SuccessorNode != 2 || f.Deaths[1].SuccessorNode != 3 {
+		t.Fatalf("wrong successors: %+v", f.Deaths)
+	}
+	if f.WarmFillMsgs == 0 || f.WarmFillBytes == 0 {
+		t.Fatalf("no re-replication traffic: %+v", f)
+	}
+	if f.WarmRemaps == 0 {
+		t.Fatalf("second remap never hit a warm replica: %+v", f)
+	}
+	if !r.CorrespondenceOK {
+		t.Fatal("correspondence broken by cascade recovery")
+	}
+	if r.Instructions != cleanRes.Instructions {
+		t.Fatalf("committed work changed: %d vs clean %d", r.Instructions, cleanRes.Instructions)
+	}
+	if got, want := archState(m, 0), archState(clean, 0); got != want {
+		t.Fatalf("architectural results corrupted: %v vs clean %v", got, want)
+	}
+}
+
+// TestQuorumLoss: a cascade that drains the machine below MinQuorum must
+// halt with a structured quorum-loss report at the fatal death's cycle,
+// not a watchdog and not a silent answer.
+func TestQuorumLoss(t *testing.T) {
+	m := buildMachine(t, streamSum, 3, func(c *Config) {
+		c.Fault = fault.Config{
+			Seed:               9,
+			Deaths:             []fault.Death{{Node: 1, Cycle: 3_000}, {Node: 2, Cycle: 12_000}},
+			MinQuorum:          2,
+			Recover:            true,
+			RetryTimeoutCycles: 1_000,
+			MaxRetries:         3,
+		}
+	})
+	_, err := m.Run()
+	var rep *fault.Report
+	if !errors.As(err, &rep) {
+		t.Fatalf("want *fault.Report, got %v", err)
+	}
+	if rep.Class != fault.ClassQuorumLoss || rep.Node != 2 || rep.Cycle != 12_000 {
+		t.Fatalf("wrong report: %+v", rep)
+	}
+	fs := m.FaultStats()
+	if fs.LiveNodes != 1 || len(fs.Deaths) != 2 {
+		t.Fatalf("stats inconsistent with a quorum loss: %+v", fs)
+	}
+}
+
+// TestCascadeParallelIdentical: an active multi-death plan must produce
+// bit-identical results and observation streams under the conservative
+// parallel loop — fault actions are pure functions of message identity,
+// so the predict/replay protocol covers them.
+func TestCascadeParallelIdentical(t *testing.T) {
+	run := func(workers int) (Result, *obs.Trace) {
+		trace := obs.NewTrace()
+		m := buildMachine(t, streamSum, 4, func(c *Config) {
+			c.Observer = trace
+			c.SampleInterval = 500
+			c.ParallelNodes = workers
+			c.Fault = fault.Config{
+				Seed:                9,
+				Deaths:              []fault.Death{{Node: 1, Cycle: 3_000}, {Node: 2, Cycle: 12_000}},
+				Recover:             true,
+				DropRate:            0.01,
+				FingerprintInterval: 2_048,
+				RetryTimeoutCycles:  1_000,
+				MaxRetries:          4,
+			}
+		})
+		return mustRunMachine(t, m), trace
+	}
+	serial, serialTrace := run(1)
+	for _, workers := range []int{2, 4} {
+		par, parTrace := run(workers)
+		if !reflect.DeepEqual(serial, par) {
+			t.Fatalf("parallel-%d result diverged:\nserial: %+v\npar:    %+v", workers, serial, par)
+		}
+		if !reflect.DeepEqual(serialTrace, parTrace) {
+			t.Fatalf("parallel-%d observation stream diverged", workers)
+		}
+	}
+}
+
+// TestCascade64Mesh is the acceptance-scale cascade: three sequential
+// owner deaths on a 64-node mesh must complete degraded — serially and
+// with the nodes partitioned across four workers — with the same
+// committed work and architectural results as the fault-free machine.
+func TestCascade64Mesh(t *testing.T) {
+	const nodes = 64
+	mesh := func(c *Config) { c.Topology.Kind = bus.TopoMesh }
+	clean := buildMachine(t, streamSum, nodes, mesh)
+	cleanRes := mustRunMachine(t, clean)
+	if cleanRes.Cycles <= 12_000 {
+		t.Fatalf("clean run too short (%d cycles) for the death schedule", cleanRes.Cycles)
+	}
+
+	run := func(workers int) (*Machine, Result) {
+		m := buildMachine(t, streamSum, nodes, func(c *Config) {
+			mesh(c)
+			c.ParallelNodes = workers
+			c.Fault = fault.Config{
+				Seed: 5,
+				Deaths: []fault.Death{
+					{Node: 1, Cycle: 3_000},
+					{Node: 2, Cycle: 7_000},
+					{Node: 3, Cycle: 11_000},
+				},
+				Recover:               true,
+				RetryTimeoutCycles:    2_000,
+				RetryBackoffCapCycles: 2_000,
+				MaxRetries:            6,
+			}
+		})
+		return m, mustRunMachine(t, m)
+	}
+
+	m, r := run(1)
+	if r.Fault == nil || len(r.Fault.Deaths) != 3 {
+		t.Fatalf("want 3 landed deaths, got %+v", r.Fault)
+	}
+	if r.Fault.LiveNodes != nodes-3 {
+		t.Fatalf("live nodes = %d, want %d", r.Fault.LiveNodes, nodes-3)
+	}
+	if r.Instructions != cleanRes.Instructions {
+		t.Fatalf("committed work changed: %d vs clean %d", r.Instructions, cleanRes.Instructions)
+	}
+	if got, want := archState(m, 0), archState(clean, 0); got != want {
+		t.Fatalf("architectural state diverged: %v vs clean %v", got, want)
+	}
+
+	_, par := run(4)
+	if !reflect.DeepEqual(r, par) {
+		t.Fatalf("parallel-4 cascade diverged:\nserial: %+v\npar:    %+v", r, par)
 	}
 }

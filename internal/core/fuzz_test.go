@@ -220,9 +220,30 @@ func TestProtocolFuzzOnRing(t *testing.T) {
 	}
 }
 
+// fuzzDeathSchedule derives a random ordered multi-death schedule:
+// distinct nodes, nonzero spaced cycles, and always at least one
+// survivor (running below a configured quorum is still possible — that
+// is a legal, structured outcome).
+func fuzzDeathSchedule(rng *stats.RNG, nodes int) []fault.Death {
+	maxDeaths := nodes - 1
+	if maxDeaths > 3 {
+		maxDeaths = 3
+	}
+	k := 1 + rng.Intn(maxDeaths)
+	perm := rng.Perm(nodes)
+	deaths := make([]fault.Death, k)
+	cycle := uint64(1_000 + rng.Intn(8_000))
+	for i := range deaths {
+		deaths[i] = fault.Death{Node: perm[i], Cycle: cycle}
+		cycle += uint64(2_000 + rng.Intn(8_000))
+	}
+	return deaths
+}
+
 // fuzzFaultConfig derives a random-but-valid fault plan from the fuzzer
 // RNG: any mix of drops, delays, flips (with or without the fingerprint
-// exchange that could catch them), and a mid-run node death.
+// exchange that could catch them), and a mid-run death — legacy single
+// or an ordered multi-death schedule.
 func fuzzFaultConfig(rng *stats.RNG, nodes int) fault.Config {
 	fc := fault.Config{
 		Seed:               rng.Uint64(),
@@ -242,10 +263,17 @@ func fuzzFaultConfig(rng *stats.RNG, nodes int) fault.Config {
 	if rng.Intn(2) == 0 {
 		fc.FingerprintInterval = uint64(64 << rng.Intn(4))
 	}
-	if rng.Intn(3) == 0 {
+	switch rng.Intn(6) {
+	case 0, 1: // legacy single death
 		fc.DeadNode = rng.Intn(nodes)
 		fc.DeathCycle = uint64(1_000 + rng.Intn(20_000))
 		fc.Recover = rng.Intn(2) == 0
+	case 2: // ordered multi-death schedule
+		fc.Deaths = fuzzDeathSchedule(rng, nodes)
+		fc.Recover = rng.Intn(2) == 0
+		if rng.Intn(2) == 0 {
+			fc.MinQuorum = 1 + rng.Intn(nodes)
+		}
 	}
 	return fc
 }
@@ -324,6 +352,101 @@ func TestProtocolFuzzWithFaults(t *testing.T) {
 			}
 		} else if !reflect.DeepEqual(r, r2) {
 			t.Fatalf("seed %d: result not reproducible:\n%+v\n%+v", seed, r, r2)
+		}
+	}
+}
+
+// TestProtocolFuzzMultiDeathTopologies runs random programs under
+// random ordered multi-death schedules on all four interconnects. Every
+// run must terminate in exactly one of three outcomes — clean
+// completion, a structured *fault.Report, or a *DeadlockError — with
+// the same seed reproducing the same outcome bit-for-bit, and every run
+// that completes must leave its survivors with the fault-free
+// architectural state: deaths may cost cycles, never answers.
+func TestProtocolFuzzMultiDeathTopologies(t *testing.T) {
+	for ti, topo := range []bus.TopologyKind{bus.TopoBus, bus.TopoRing, bus.TopoMesh, bus.TopoTorus} {
+		topo := topo
+		for s := 0; s < 6; s++ {
+			seed := uint64(700 + 20*ti + s)
+			rng := stats.NewRNG(seed)
+			nodes := 3 + rng.Intn(2)
+			src := randomProgram(rng, 100, 4, false)
+			fc := fault.Config{
+				Seed:                  rng.Uint64(),
+				Deaths:                fuzzDeathSchedule(rng, nodes),
+				Recover:               rng.Intn(3) > 0, // mostly recovering plans
+				RetryTimeoutCycles:    500 + uint64(rng.Intn(1500)),
+				RetryBackoffCapCycles: 2_000,
+				MaxRetries:            2 + rng.Intn(3),
+			}
+			if rng.Intn(3) == 0 {
+				fc.MinQuorum = 1 + rng.Intn(nodes)
+			}
+			p, err := asm.Assemble("fuzz-cascade", src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pt, err := mem.Partition{NumNodes: nodes, BlockPages: 1, ReplicateText: true}.Build(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func(f fault.Config) (*Machine, Result, error) {
+				cfg := DefaultConfig(nodes)
+				cfg.L1.SizeBytes = 512
+				cfg.Topology.Kind = topo
+				cfg.WatchdogCycles = 2_000_000
+				cfg.DigestInterval = 8
+				cfg.Fault = f
+				m, err := NewMachine(cfg, p, pt)
+				if err != nil {
+					t.Fatalf("%s seed %d: %v", topo, seed, err)
+				}
+				r, err := m.Run()
+				return m, r, err
+			}
+
+			clean, _, err := run(fault.Config{})
+			if err != nil {
+				t.Fatalf("%s seed %d: fault-free run failed: %v", topo, seed, err)
+			}
+
+			m, r, err := run(fc)
+			if err != nil {
+				var rep *fault.Report
+				var dl *DeadlockError
+				if !errors.As(err, &rep) && !errors.As(err, &dl) {
+					t.Fatalf("%s seed %d: unstructured failure %T: %v\nfault plan: %+v", topo, seed, err, err, fc)
+				}
+			} else {
+				if !r.CorrespondenceOK {
+					t.Fatalf("%s seed %d: correspondence violated: %s\nfault plan: %+v",
+						topo, seed, m.CorrespondenceReport(), fc)
+				}
+				for i := 0; i < nodes; i++ {
+					if m.nodeDead(i) {
+						continue
+					}
+					for reg := uint8(1); reg < 32; reg++ {
+						if got, want := m.NodeEmu(i).Reg(reg), clean.NodeEmu(0).Reg(reg); got != want {
+							t.Fatalf("%s seed %d: survivor %d r%d = %d, fault-free run has %d\nfault plan: %+v",
+								topo, seed, i, reg, got, want, fc)
+						}
+					}
+				}
+			}
+
+			// Same seed, same outcome — bit-reproducible on every topology.
+			_, r2, err2 := run(fc)
+			if (err == nil) != (err2 == nil) {
+				t.Fatalf("%s seed %d: outcome flipped between runs: %v vs %v", topo, seed, err, err2)
+			}
+			if err != nil {
+				if err.Error() != err2.Error() {
+					t.Fatalf("%s seed %d: failure not reproducible:\n%v\n%v", topo, seed, err, err2)
+				}
+			} else if !reflect.DeepEqual(r, r2) {
+				t.Fatalf("%s seed %d: result not reproducible:\n%+v\n%+v", topo, seed, r, r2)
+			}
 		}
 	}
 }

@@ -97,9 +97,12 @@ type Config struct {
 	// Results, observer event streams, and samples are byte-identical to
 	// the serial loop (enforced by the differential suite in
 	// internal/sim); see docs/PERFORMANCE.md. 0 or 1 forces today's
-	// serial loop; values above Nodes are clamped. Runs with an active
-	// fault plan or TraceLine fall back to serial — fault injection
-	// couples nodes cycle-by-cycle.
+	// serial loop; values above Nodes are clamped. Active fault plans
+	// run in parallel too — injection decisions are pure functions of
+	// message identity, deaths land at window boundaries, and retry
+	// deadlines clip the horizon — except plans whose retry timeout or
+	// backoff cap is shorter than one window (see faultParallelOK),
+	// which fall back to serial, as does TraceLine.
 	ParallelNodes int
 	// ResultComm enables result communication (paper Section 5.1):
 	// PRIVB/PRIVE regions execute only at the node owning their data,
@@ -153,16 +156,11 @@ func (c Config) Validate() error {
 	if c.L1HitCycles == 0 {
 		return fmt.Errorf("core: L1 hit latency must be positive")
 	}
-	if err := c.Fault.Validate(); err != nil {
+	if err := c.Fault.ValidateFor(c.Nodes); err != nil {
 		return err
 	}
-	if c.Fault.DeathCycle != 0 {
-		if c.Nodes < 2 {
-			return fmt.Errorf("core: node death needs at least two nodes")
-		}
-		if c.Fault.DeadNode >= c.Nodes {
-			return fmt.Errorf("core: dead node %d out of range [0,%d)", c.Fault.DeadNode, c.Nodes)
-		}
+	if (c.Fault.DeathCycle != 0 || len(c.Fault.Deaths) > 0 || c.Fault.DeathRate > 0) && c.Nodes < 2 {
+		return fmt.Errorf("core: node death needs at least two nodes")
 	}
 	if c.L1.Alloc != cache.WriteNoAllocate {
 		// The correspondence protocol implemented here commits stores
@@ -258,7 +256,7 @@ func NewMachine(cfg Config, p *prog.Program, pt *mem.PageTable) (*Machine, error
 	var fs *faultState
 	if cfg.Fault.Enabled() {
 		fs = newFaultState(cfg.Fault.WithDefaults(), cfg.Nodes)
-		if cfg.Fault.DeathCycle != 0 {
+		if len(fs.schedule) > 0 {
 			// Recovery remaps ownership; page tables are shared read-only
 			// across jobs, so this run works on a private clone.
 			pt = pt.Clone()
@@ -349,11 +347,15 @@ func (m *Machine) Network() bus.Network { return m.net }
 // next event; see docs/PERFORMANCE.md for the invariants that make the
 // skipped and polled runs bit-identical.
 func (m *Machine) Run() (Result, error) {
-	if m.cfg.ParallelNodes > 1 && m.cfg.Nodes > 1 && m.fault == nil && m.cfg.TraceLine == 0 {
+	if m.cfg.ParallelNodes > 1 && m.cfg.Nodes > 1 && m.cfg.TraceLine == 0 && m.faultParallelOK() {
 		// Conservative parallel intra-run simulation: byte-identical to
 		// the loop below (see internal/core/parallel.go and the
-		// differential suite in internal/sim). The fault layer and
-		// TraceLine couple nodes cycle-by-cycle, so they stay serial.
+		// differential suite in internal/sim). Fault plans run in
+		// parallel too — injection is a pure function of message
+		// identity, so workers predict faulted deliveries and the replay
+		// re-derives the global bookkeeping in serial order; only plans
+		// whose retry timing could fire inside a window (see
+		// faultParallelOK) and TraceLine stay serial.
 		return m.runParallel()
 	}
 	watchdog := m.cfg.WatchdogCycles
@@ -716,10 +718,39 @@ func (m *Machine) collect() Result {
 		r.IPC = float64(r.Instructions) / float64(r.Cycles)
 	}
 	if m.fault != nil {
+		// Derive each death's post-death throughput in the canonical
+		// stats (FaultStats readers see it too), then deep-copy the
+		// per-death slice so the Result snapshot cannot alias live fault
+		// state.
+		for i := range m.fault.stats.Deaths {
+			if d := &m.fault.stats.Deaths[i]; m.now > d.Cycle {
+				d.PostDeathIPC = float64(r.Instructions-d.CommitsAtDeath) / float64(m.now-d.Cycle)
+			}
+		}
 		snap := m.fault.stats
+		snap.Deaths = append([]fault.DeathStats(nil), snap.Deaths...)
 		r.Fault = &snap
 	}
 	return r
+}
+
+// faultParallelOK reports whether the active fault plan (if any) is safe
+// for the conservative parallel loop. The requirement: no BSHR deadline
+// armed during a window may expire before the window's horizon — i.e.
+// RetryTimeoutCycles and the backoff cap must each cover a full window
+// (sender floor + interconnect lookahead). Then the single barrier-side
+// checkTimeouts pass at each horizon observes exactly the deadlines the
+// serial loop's per-cycle pass would, and the two schedules coincide.
+func (m *Machine) faultParallelOK() bool {
+	if m.fault == nil {
+		return true
+	}
+	w := m.cfg.BcastQueueCycles + uint64(m.cfg.DRAM.AccessCycles) + uint64(m.cfg.DRAM.BusCycles)
+	if w < 1 {
+		w = 1
+	}
+	w += m.net.Lookahead()
+	return m.fault.cfg.RetryTimeoutCycles >= w && m.fault.cfg.RetryBackoffCapCycles >= w
 }
 
 // firstLive returns the lowest-numbered node that has not died (node 0

@@ -26,7 +26,11 @@
 // messages in every run of the same configuration.
 package fault
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
 
 // Class enumerates the injected fault classes. The set is closed: dsvet
 // requires every switch over Class to cover all classes or panic in its
@@ -53,6 +57,10 @@ const (
 	// ClassLost marks a line whose retries exhausted against a live
 	// owner — delivery could not be repaired within the retry budget.
 	ClassLost
+	// ClassQuorumLoss marks a death schedule that drove the machine
+	// below its configured minimum quorum of live nodes: graceful
+	// degradation ran out of nodes to degrade onto.
+	ClassQuorumLoss
 )
 
 // String names the class.
@@ -72,6 +80,8 @@ func (c Class) String() string {
 		return "divergence"
 	case ClassLost:
 		return "lost"
+	case ClassQuorumLoss:
+		return "quorum-loss"
 	}
 	return fmt.Sprintf("class(%d)", uint8(c))
 }
@@ -79,6 +89,16 @@ func (c Class) String() string {
 // MarshalJSON renders the class by name.
 func (c Class) MarshalJSON() ([]byte, error) {
 	return []byte(`"` + c.String() + `"`), nil
+}
+
+// Death is one entry in an ordered multi-death schedule: node Node
+// fails permanently at cycle Cycle. A schedule of several deaths models
+// the cascade regime a large machine actually operates in — each death
+// remaps and re-replicates the victim's pages so the next death is
+// again survivable.
+type Death struct {
+	Node  int    `json:"node"`
+	Cycle uint64 `json:"cycle"`
 }
 
 // Config parameterizes the fault layer of one machine. The zero value
@@ -114,6 +134,30 @@ type Config struct {
 	DeadNode int
 	// DeathCycle is the cycle of the permanent failure (0 = no death).
 	DeathCycle uint64
+	// Deaths is an ordered multi-death schedule; entries may appear in
+	// any order and are executed sorted by (Cycle, Node). It composes
+	// with the legacy DeadNode/DeathCycle pair (which acts as one more
+	// schedule entry) and with DeathRate-derived random deaths.
+	Deaths []Death
+	// DeathRate is the per-node probability of a seeded random death;
+	// for each node not already in the explicit schedule, the plan mixes
+	// the seed with the node's identity to decide whether it dies and,
+	// if so, at a deterministic cycle in [1, DeathWindowCycles].
+	DeathRate float64
+	// DeathWindowCycles bounds where DeathRate-derived deaths land
+	// (default 200 000).
+	DeathWindowCycles uint64
+	// MinQuorum is the minimum number of live nodes the machine may
+	// degrade down to (effective minimum 1). A death that drops the live
+	// count below MinQuorum halts the run with a ClassQuorumLoss Report
+	// instead of continuing degraded.
+	MinQuorum int
+	// WarmFillMaxPages bounds the re-replication warm-fill per death:
+	// after remapping a dead owner's pages onto successors, the new
+	// owners push up to this many freshly inherited pages to standby
+	// replicas over the broadcast network, so a subsequent death of the
+	// successor finds warm copies (default 64).
+	WarmFillMaxPages int
 	// Recover selects the response to a detected owner death: true
 	// remaps the dead node's owned pages onto a surviving successor (a
 	// configurable backing copy is assumed, as every node's local memory
@@ -146,26 +190,87 @@ type Config struct {
 // the machine builds no fault state and touches no fault hook.
 func (c Config) Enabled() bool {
 	return c.DropRate > 0 || c.DelayRate > 0 || c.FlipRate > 0 ||
-		c.DeathCycle != 0 || c.FingerprintInterval != 0
+		c.DeathCycle != 0 || len(c.Deaths) > 0 || c.DeathRate > 0 ||
+		c.FingerprintInterval != 0
 }
 
-// Validate checks structural soundness.
+// IsZero reports whether the configuration is the zero value. Deaths
+// makes Config non-comparable, so callers that used to compare against
+// Config{} (the engine's job-inheritance path) use this instead.
+func (c Config) IsZero() bool {
+	return c.Seed == 0 && c.DropRate == 0 && c.DelayRate == 0 &&
+		c.DelayMaxCycles == 0 && c.FlipRate == 0 &&
+		c.DeadNode == 0 && c.DeathCycle == 0 && c.Deaths == nil &&
+		c.DeathRate == 0 && c.DeathWindowCycles == 0 &&
+		c.MinQuorum == 0 && c.WarmFillMaxPages == 0 && !c.Recover &&
+		c.RetryTimeoutCycles == 0 && c.RetryBackoffCapCycles == 0 &&
+		c.MaxRetries == 0 && c.FingerprintInterval == 0
+}
+
+// Validate checks structural soundness. Every defect is reported as its
+// own line-item error (errors.Join), so a contradictory schedule names
+// all of its contradictions at once.
 func (c Config) Validate() error {
+	var errs []error
 	for _, r := range []struct {
 		name string
 		v    float64
-	}{{"drop", c.DropRate}, {"delay", c.DelayRate}, {"flip", c.FlipRate}} {
+	}{{"drop", c.DropRate}, {"delay", c.DelayRate}, {"flip", c.FlipRate}, {"death", c.DeathRate}} {
 		if r.v < 0 || r.v > 1 {
-			return fmt.Errorf("fault: %s rate %v outside [0,1]", r.name, r.v)
+			errs = append(errs, fmt.Errorf("fault: %s rate %v outside [0,1]", r.name, r.v))
 		}
 	}
 	if c.DeathCycle != 0 && c.DeadNode < 0 {
-		return fmt.Errorf("fault: death cycle set with negative dead node %d", c.DeadNode)
+		errs = append(errs, fmt.Errorf("fault: death cycle set with negative dead node %d", c.DeadNode))
 	}
 	if c.MaxRetries < 0 {
-		return fmt.Errorf("fault: negative retry budget %d", c.MaxRetries)
+		errs = append(errs, fmt.Errorf("fault: negative retry budget %d", c.MaxRetries))
 	}
-	return nil
+	if c.MinQuorum < 0 {
+		errs = append(errs, fmt.Errorf("fault: negative minimum quorum %d", c.MinQuorum))
+	}
+	if c.WarmFillMaxPages < 0 {
+		errs = append(errs, fmt.Errorf("fault: negative warm-fill page budget %d", c.WarmFillMaxPages))
+	}
+	seen := map[int]uint64{}
+	if c.DeathCycle != 0 && c.DeadNode >= 0 {
+		seen[c.DeadNode] = c.DeathCycle
+	}
+	for i, d := range c.Deaths {
+		if d.Node < 0 {
+			errs = append(errs, fmt.Errorf("fault: deaths[%d]: negative node %d", i, d.Node))
+		}
+		if d.Cycle == 0 {
+			errs = append(errs, fmt.Errorf("fault: deaths[%d]: node %d scheduled to die at cycle 0", i, d.Node))
+		}
+		if prev, dup := seen[d.Node]; dup {
+			errs = append(errs, fmt.Errorf("fault: deaths[%d]: node %d already scheduled to die at cycle %d", i, d.Node, prev))
+			continue
+		}
+		seen[d.Node] = d.Cycle
+	}
+	return errors.Join(errs...)
+}
+
+// ValidateFor layers machine-shape checks on Validate: every scheduled
+// death must name a node the machine has, and the quorum must be
+// satisfiable by the machine at all (a quorum larger than N can never
+// be met). A schedule that merely *runs below* quorum is legal — that
+// is the ClassQuorumLoss terminal case the machine reports at runtime.
+func (c Config) ValidateFor(nodes int) error {
+	errs := []error{c.Validate()}
+	if c.DeathCycle != 0 && c.DeadNode >= nodes {
+		errs = append(errs, fmt.Errorf("fault: dead node %d outside machine of %d nodes", c.DeadNode, nodes))
+	}
+	for i, d := range c.Deaths {
+		if d.Node >= nodes {
+			errs = append(errs, fmt.Errorf("fault: deaths[%d]: node %d outside machine of %d nodes", i, d.Node, nodes))
+		}
+	}
+	if c.MinQuorum > nodes {
+		errs = append(errs, fmt.Errorf("fault: minimum quorum %d larger than machine of %d nodes", c.MinQuorum, nodes))
+	}
+	return errors.Join(errs...)
 }
 
 // WithDefaults fills the detection parameters left at zero.
@@ -182,6 +287,12 @@ func (c Config) WithDefaults() Config {
 	if c.MaxRetries == 0 {
 		c.MaxRetries = 8
 	}
+	if c.DeathWindowCycles == 0 {
+		c.DeathWindowCycles = 200_000
+	}
+	if c.WarmFillMaxPages == 0 {
+		c.WarmFillMaxPages = 64
+	}
 	return c
 }
 
@@ -190,10 +301,11 @@ func (c Config) WithDefaults() Config {
 // Plan may be consulted from any number of concurrently running machines
 // (the engine runs jobs in parallel) without coordination.
 type Plan struct {
-	cfg        Config
-	dropThresh uint64
+	cfg         Config
+	dropThresh  uint64
 	delayThresh uint64
-	flipThresh uint64
+	flipThresh  uint64
+	deathThresh uint64
 }
 
 // NewPlan builds a plan for cfg (defaults already applied by the
@@ -208,7 +320,43 @@ func NewPlan(cfg Config) *Plan {
 		dropThresh:  rateThreshold(cfg.DropRate),
 		delayThresh: rateThreshold(cfg.DelayRate),
 		flipThresh:  rateThreshold(cfg.FlipRate),
+		deathThresh: rateThreshold(cfg.DeathRate),
 	}
+}
+
+// Schedule returns the normalized, ordered death schedule for a machine
+// of the given node count: the legacy DeadNode/DeathCycle pair, every
+// Deaths entry, and DeathRate-derived random deaths (a pure function of
+// seed and node identity, so the schedule is identical serial or
+// parallel), sorted by (Cycle, Node). Nodes explicitly scheduled are
+// excluded from the random draw.
+func (p *Plan) Schedule(nodes int) []Death {
+	var sched []Death
+	scheduled := make(map[int]bool)
+	if p.cfg.DeathCycle != 0 {
+		sched = append(sched, Death{Node: p.cfg.DeadNode, Cycle: p.cfg.DeathCycle})
+		scheduled[p.cfg.DeadNode] = true
+	}
+	for _, d := range p.cfg.Deaths {
+		sched = append(sched, d)
+		scheduled[d.Node] = true
+	}
+	if p.deathThresh != 0 {
+		for n := 0; n < nodes; n++ {
+			if scheduled[n] || p.key(ClassDeath, n, -3, 0, 0) >= p.deathThresh {
+				continue
+			}
+			h := mix64(p.key(ClassDeath, n, -4, 0, 0))
+			sched = append(sched, Death{Node: n, Cycle: 1 + h%p.cfg.DeathWindowCycles})
+		}
+	}
+	sort.Slice(sched, func(i, j int) bool {
+		if sched[i].Cycle != sched[j].Cycle {
+			return sched[i].Cycle < sched[j].Cycle
+		}
+		return sched[i].Node < sched[j].Node
+	})
+	return sched
 }
 
 // Config returns the plan's configuration.
@@ -299,24 +447,55 @@ type Stats struct {
 	PurgedMessages int    `json:"purgedMessages"` // unsent messages lost with the dead node
 
 	// Detection side.
-	Timeouts       uint64 `json:"timeouts"`       // BSHR deadlines that fired
-	Retries        uint64 `json:"retries"`        // re-requests sent
-	RetriesServed  uint64 `json:"retriesServed"`  // re-requests answered by an owner
-	SelfServes     uint64 `json:"selfServes"`     // retries satisfied from local memory (post-remap owner)
-	DetectedDrops  uint64 `json:"detectedDrops"`  // timeouts matching an injected drop
-	FPBroadcasts   uint64 `json:"fpBroadcasts"`   // fingerprints sent
-	FPChecks       uint64 `json:"fpChecks"`       // pairwise fingerprint comparisons
-	FPMismatches   uint64 `json:"fpMismatches"`   // comparisons that disagreed
-	DetectedFlips  uint64 `json:"detectedFlips"`  // divergences matching an injected flip
-	Detections     uint64 `json:"detections"`     // faults detected (drops + flips + death)
+	Timeouts         uint64 `json:"timeouts"`         // BSHR deadlines that fired
+	Retries          uint64 `json:"retries"`          // re-requests sent
+	RetriesServed    uint64 `json:"retriesServed"`    // re-requests answered by an owner
+	SelfServes       uint64 `json:"selfServes"`       // retries satisfied from local memory (post-remap owner)
+	DetectedDrops    uint64 `json:"detectedDrops"`    // timeouts matching an injected drop
+	FPBroadcasts     uint64 `json:"fpBroadcasts"`     // fingerprints sent
+	FPChecks         uint64 `json:"fpChecks"`         // pairwise fingerprint comparisons
+	FPMismatches     uint64 `json:"fpMismatches"`     // comparisons that disagreed
+	DetectedFlips    uint64 `json:"detectedFlips"`    // divergences matching an injected flip
+	Detections       uint64 `json:"detections"`       // faults detected (drops + flips + death)
 	DetectLatencySum uint64 `json:"detectLatencySum"` // cycles from injection to detection, summed
 
-	// Recovery side.
-	DeathDetected   bool   `json:"deathDetected"`
-	DeathDetectedAt uint64 `json:"deathDetectedAt"`
-	RemappedPages   int    `json:"remappedPages"`
-	SuccessorNode   int    `json:"successorNode"`
-	Degraded        bool   `json:"degraded"` // run finished without the dead node
+	// Recovery side. The scalar fields summarize the first death (and,
+	// for RemappedPages, the total across deaths) so single-death
+	// consumers keep working; Deaths carries the full per-death record.
+	DeathDetected   bool         `json:"deathDetected"`
+	DeathDetectedAt uint64       `json:"deathDetectedAt"`
+	RemappedPages   int          `json:"remappedPages"`
+	SuccessorNode   int          `json:"successorNode"`
+	Degraded        bool         `json:"degraded"` // run finished without at least one dead node
+	Deaths          []DeathStats `json:"deaths,omitempty"`
+	WarmFillMsgs    uint64       `json:"warmFillMsgs"`  // re-replication messages sent, all deaths
+	WarmFillBytes   uint64       `json:"warmFillBytes"` // re-replication traffic, all deaths
+	WarmRemaps      int          `json:"warmRemaps"`    // remaps that landed on a warm standby copy
+	LiveNodes       int          `json:"liveNodes"`     // nodes still live at end of run (0 = fault layer saw no death)
+}
+
+// DeathStats is the per-death entry of a multi-death schedule: when the
+// node died, how long detection took, where its pages went, and what
+// the warm-fill re-replication cost — the raw material of a survival
+// curve.
+type DeathStats struct {
+	Node           int    `json:"node"`
+	Cycle          uint64 `json:"cycle"`
+	PurgedMessages int    `json:"purgedMessages"`
+	Detected       bool   `json:"detected"`
+	DetectedAt     uint64 `json:"detectedAt"`
+	DetectLatency  uint64 `json:"detectLatency"`
+	SuccessorNode  int    `json:"successorNode"` // first successor a page remapped onto (-1 before detection)
+	RemappedPages  int    `json:"remappedPages"`
+	WarmRemaps     int    `json:"warmRemaps"`     // pages whose successor already held a warm copy
+	WarmFillMsgs   uint64 `json:"warmFillMsgs"`   // re-replication pushes this death triggered
+	WarmFillBytes  uint64 `json:"warmFillBytes"`  // bytes of re-replication traffic
+	CommitsAtDeath uint64 `json:"commitsAtDeath"` // committed instructions (first live node) when the node died
+	LiveAfter      int    `json:"liveAfter"`      // live nodes remaining after this death
+	// PostDeathIPC is the survivors' throughput from this death to the end
+	// of the run (committed instructions per cycle over that window),
+	// filled in at collection time — the y-axis of a survival curve.
+	PostDeathIPC float64 `json:"postDeathIPC"`
 }
 
 // MeanDetectLatency returns the mean injection-to-detection latency in

@@ -99,15 +99,120 @@ func TestSeedsIndependent(t *testing.T) {
 	}
 }
 
+// TestValidate checks every structural line item individually: each
+// contradictory schedule must fail with a message naming the defect.
 func TestValidate(t *testing.T) {
-	if err := (Config{DropRate: 1.5}).Validate(); err == nil {
-		t.Fatal("rate > 1 must fail validation")
+	cases := []struct {
+		name string
+		cfg  Config
+		want string // substring of the error; "" = must pass
+	}{
+		{"ok-zero", Config{}, ""},
+		{"ok-rates", Config{Seed: 1, DropRate: 0.5, DelayRate: 0.1, FlipRate: 0.01}, ""},
+		{"ok-schedule", Config{Deaths: []Death{{Node: 1, Cycle: 10}, {Node: 2, Cycle: 20}}}, ""},
+		{"drop-rate-high", Config{DropRate: 1.5}, "drop rate 1.5 outside [0,1]"},
+		{"drop-rate-negative", Config{DropRate: -0.1}, "drop rate -0.1 outside [0,1]"},
+		{"delay-rate-high", Config{DelayRate: 2}, "delay rate 2 outside [0,1]"},
+		{"flip-rate-negative", Config{FlipRate: -1}, "flip rate -1 outside [0,1]"},
+		{"death-rate-high", Config{DeathRate: 1.1}, "death rate 1.1 outside [0,1]"},
+		{"negative-dead-node", Config{DeadNode: -1, DeathCycle: 5}, "negative dead node -1"},
+		{"negative-retries", Config{MaxRetries: -2}, "negative retry budget -2"},
+		{"negative-quorum", Config{MinQuorum: -3}, "negative minimum quorum -3"},
+		{"negative-warm-fill", Config{WarmFillMaxPages: -4}, "negative warm-fill page budget -4"},
+		{"death-negative-node", Config{Deaths: []Death{{Node: -1, Cycle: 10}}},
+			"deaths[0]: negative node -1"},
+		{"death-cycle-zero", Config{Deaths: []Death{{Node: 1, Cycle: 0}}},
+			"deaths[0]: node 1 scheduled to die at cycle 0"},
+		{"death-duplicate-node", Config{Deaths: []Death{{Node: 1, Cycle: 10}, {Node: 1, Cycle: 20}}},
+			"deaths[1]: node 1 already scheduled to die at cycle 10"},
+		{"death-duplicates-legacy", Config{DeadNode: 2, DeathCycle: 7, Deaths: []Death{{Node: 2, Cycle: 9}}},
+			"deaths[0]: node 2 already scheduled to die at cycle 7"},
 	}
-	if err := (Config{DeadNode: -1, DeathCycle: 5}).Validate(); err == nil {
-		t.Fatal("negative dead node with a death cycle must fail")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("want valid, got %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.want)
+			}
+			if !contains(err.Error(), tc.want) {
+				t.Fatalf("error %q lacks %q", err, tc.want)
+			}
+		})
 	}
-	if err := (Config{Seed: 1, DropRate: 0.5}).Validate(); err != nil {
-		t.Fatal(err)
+
+	// Line-item property: a schedule with several defects reports each
+	// one, not just the first.
+	err := Config{
+		DropRate:  2,
+		MinQuorum: -1,
+		Deaths:    []Death{{Node: 3, Cycle: 0}, {Node: 3, Cycle: 5}},
+	}.Validate()
+	if err == nil {
+		t.Fatal("multi-defect config validated")
+	}
+	for _, want := range []string{
+		"drop rate 2 outside [0,1]",
+		"negative minimum quorum -1",
+		"deaths[0]: node 3 scheduled to die at cycle 0",
+		"deaths[1]: node 3 already scheduled to die",
+	} {
+		if !contains(err.Error(), want) {
+			t.Errorf("joined error %q lacks line item %q", err, want)
+		}
+	}
+}
+
+// TestValidateFor checks the machine-shape line items: deaths of nodes
+// the machine does not have and quorums the machine can never meet.
+func TestValidateFor(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   Config
+		nodes int
+		want  string // substring of the error; "" = must pass
+	}{
+		{"ok", Config{Deaths: []Death{{Node: 3, Cycle: 10}}, MinQuorum: 2}, 4, ""},
+		{"legacy-node-out-of-range", Config{DeadNode: 4, DeathCycle: 5}, 4,
+			"dead node 4 outside machine of 4 nodes"},
+		{"death-node-out-of-range", Config{Deaths: []Death{{Node: 7, Cycle: 10}}}, 4,
+			"deaths[0]: node 7 outside machine of 4 nodes"},
+		{"quorum-unsatisfiable", Config{MinQuorum: 5}, 4,
+			"minimum quorum 5 larger than machine of 4 nodes"},
+		// Running *below* quorum is legal configuration — that is the
+		// runtime ClassQuorumLoss case, not a setup error.
+		{"quorum-lost-at-runtime-ok",
+			Config{Deaths: []Death{{Node: 1, Cycle: 10}, {Node: 2, Cycle: 20}}, MinQuorum: 3}, 4, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.ValidateFor(tc.nodes)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("want valid, got %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.want)
+			}
+			if !contains(err.Error(), tc.want) {
+				t.Fatalf("error %q lacks %q", err, tc.want)
+			}
+		})
+	}
+
+	// ValidateFor folds Validate in: structural and shape defects join.
+	err := Config{DropRate: -1, Deaths: []Death{{Node: 9, Cycle: 4}}}.ValidateFor(4)
+	for _, want := range []string{"drop rate -1", "node 9 outside machine"} {
+		if err == nil || !contains(err.Error(), want) {
+			t.Errorf("joined error %v lacks %q", err, want)
+		}
 	}
 }
 

@@ -141,6 +141,20 @@ func (pt *PageTable) ReassignOwner(from, to int) int {
 	return n
 }
 
+// OwnedPages returns the communicated pages owned by node, ascending.
+// The deterministic order is what makes per-page remap and warm-fill
+// decisions reproducible across runs and worker counts.
+func (pt *PageTable) OwnedPages(node int) []uint64 {
+	var out []uint64
+	for pg, e := range pt.entries {
+		if e.Kind == Communicated && e.Owner == node {
+			out = append(out, pg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Pages returns all mapped page numbers, ascending.
 func (pt *PageTable) Pages() []uint64 {
 	out := make([]uint64, 0, len(pt.entries))

@@ -96,9 +96,16 @@ const (
 	// EvFaultRemap: a dead owner's pages were remapped to a successor
 	// (Node = successor; Arg = pages moved).
 	EvFaultRemap
+	// EvFaultWarmFill: a page's new owner pushed a warm copy to a
+	// standby replica, or the standby absorbed it (Addr = page base;
+	// Arg = peer node).
+	EvFaultWarmFill
+	// EvFaultQuorumLoss: a death drove the live-node count below the
+	// configured minimum quorum (Arg = live nodes remaining).
+	EvFaultQuorumLoss
 
 	// numEventKinds stays untyped (explicit iota) so it never reads as
-	// a 28th enumerator to dsvet's exhaustive-switch check.
+	// an extra enumerator to dsvet's exhaustive-switch check.
 	numEventKinds = iota
 )
 
@@ -130,6 +137,8 @@ var eventNames = [numEventKinds]string{
 	EvFaultFingerprint:  "fault.fingerprint",
 	EvFaultDivergence:   "fault.divergence",
 	EvFaultRemap:        "fault.remap",
+	EvFaultWarmFill:     "fault.warm-fill",
+	EvFaultQuorumLoss:   "fault.quorum-loss",
 }
 
 // String names the event kind (the dotted taxonomy used in traces).

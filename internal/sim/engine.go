@@ -281,7 +281,7 @@ func runJobs(ctx context.Context, opts Options, jobs []Job) ([]JobResult, error)
 		if j.ParallelNodes == 0 {
 			j.ParallelNodes = opts.ParallelNodes
 		}
-		if j.Fault == (fault.Config{}) {
+		if j.Fault.IsZero() {
 			j.Fault = opts.Fault
 		}
 		if j.Topology == bus.TopoBus {

@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"testing"
 
+	"github.com/wisc-arch/datascalar/internal/bus"
 	"github.com/wisc-arch/datascalar/internal/fault"
 )
 
@@ -147,5 +148,65 @@ func TestFaultCampaignDeterministic(t *testing.T) {
 	}
 	if !bytes.Equal(artifacts[0], artifacts[1]) {
 		t.Fatal("campaign JSON artifacts differ between -parallel 1 and 4")
+	}
+}
+
+// TestCascadeCampaign64Mesh is the scale acceptance test for graceful
+// degradation: a three-deep sequential-death cascade on a 64-node mesh
+// must complete degraded at every depth (a monotone survival curve at
+// 100%), and the whole campaign must produce a byte-identical JSON
+// artifact when each run's nodes are partitioned across four worker
+// goroutines — fault recovery and intra-run parallelism compose.
+func TestCascadeCampaign64Mesh(t *testing.T) {
+	cc := FaultCampaignConfig{
+		Workloads: []string{"compress"},
+		Seeds:     1,
+		Nodes:     64,
+		MaxInstr:  20_000,
+		Topology:  bus.TopoMesh,
+		Deaths:    3,
+	}
+	run := func(parallelNodes int) (FaultCampaignResult, []byte) {
+		c := cc
+		c.ParallelNodes = parallelNodes
+		r, err := FaultCampaign(context.Background(), detOpts(1), c)
+		if err != nil {
+			t.Fatalf("parallel-nodes=%d: %v", parallelNodes, err)
+		}
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, r); err != nil {
+			t.Fatalf("parallel-nodes=%d: %v", parallelNodes, err)
+		}
+		return r, buf.Bytes()
+	}
+
+	serial, serialJSON := run(1)
+	if len(serial.Survival) != 3 {
+		t.Fatalf("survival curve has %d points, want 3", len(serial.Survival))
+	}
+	for i, p := range serial.Survival {
+		if p.Deaths != i+1 || p.Runs != 1 || p.Survived != 1 || p.Rate != 1 {
+			t.Errorf("survival point %d: %+v", i, p)
+		}
+	}
+	for _, r := range serial.Runs {
+		if r.Outcome != OutcomeRecovered {
+			t.Errorf("%s/%s: outcome %s, want recovered (%s)",
+				r.Workload, r.Scenario, r.Outcome, r.Detail)
+		}
+		if r.Stats == nil || len(r.Stats.Deaths) == 0 {
+			t.Errorf("%s/%s: no deaths landed", r.Workload, r.Scenario)
+		}
+	}
+	if tb := serial.SurvivalTable(); tb == nil || tb.NumRows() != 3 {
+		t.Error("survival table missing or wrong size")
+	}
+
+	par, parJSON := run(4)
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatal("parallel-nodes=4 changed the cascade campaign result")
+	}
+	if !bytes.Equal(serialJSON, parJSON) {
+		t.Fatal("parallel-nodes=4 changed the cascade campaign JSON artifact")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/wisc-arch/datascalar/internal/bus"
 	"github.com/wisc-arch/datascalar/internal/core"
 	"github.com/wisc-arch/datascalar/internal/fault"
 	"github.com/wisc-arch/datascalar/internal/stats"
@@ -67,6 +68,48 @@ func withRecover(c fault.Config, rec bool) fault.Config {
 	return c
 }
 
+// Cascade schedule shape: the first death lands after the machine has
+// warmed up, and successors are spaced far enough apart that detection
+// (MaxRetries × the backoff-capped timeout) and re-replication complete
+// between deaths — each death in the sequence tests a freshly remapped
+// ownership map, not a half-recovered one.
+const (
+	cascadeFirstDeathCycle = 4_000
+	cascadeDeathSpacing    = 8_000
+)
+
+// CascadeScenarios builds the sequential-death scenario family:
+// cascade-k kills nodes 1..k in ring order at spaced cycles with
+// recovery enabled, so the campaign measures how deep a death sequence
+// the re-replication path survives. Every scenario needs a machine of
+// at least depth+1 nodes.
+func CascadeScenarios(depth int) []FaultScenario {
+	out := make([]FaultScenario, 0, depth)
+	for k := 1; k <= depth; k++ {
+		deaths := make([]fault.Death, k)
+		for j := range deaths {
+			deaths[j] = fault.Death{
+				Node:  j + 1,
+				Cycle: cascadeFirstDeathCycle + uint64(j)*cascadeDeathSpacing,
+			}
+		}
+		out = append(out, FaultScenario{
+			Name:  fmt.Sprintf("cascade-%d", k),
+			Class: fault.ClassDeath,
+			Base: fault.Config{
+				Deaths:  deaths,
+				Recover: true,
+				// The backoff cap keeps detection latency bounded so the
+				// next death in the schedule always hits a remapped machine.
+				RetryTimeoutCycles:    1_000,
+				RetryBackoffCapCycles: 1_000,
+				MaxRetries:            4,
+			},
+		})
+	}
+	return out
+}
+
 // FaultCampaignConfig bounds a campaign. Zero fields take defaults.
 type FaultCampaignConfig struct {
 	// Workloads names the registry benchmarks to inject into (default:
@@ -78,11 +121,24 @@ type FaultCampaignConfig struct {
 	// Seeds is the number of distinct fault seeds per (workload,
 	// scenario) cell (default 3).
 	Seeds int
-	// Nodes is the DataScalar machine size (default 2).
+	// Nodes is the DataScalar machine size (default 2, or Deaths+1 for
+	// cascade campaigns).
 	Nodes int
 	// MaxInstr bounds each run's measured instructions (default
 	// Options.SweepInstr).
 	MaxInstr uint64
+	// Topology selects the interconnect for every run, baseline
+	// included (default bus).
+	Topology bus.TopologyKind
+	// ParallelNodes partitions each run's nodes across worker
+	// goroutines (core.Config.ParallelNodes); results are bit-identical
+	// at any setting.
+	ParallelNodes int
+	// Deaths, when positive, replaces the default scenario grid with
+	// the cascade family CascadeScenarios(Deaths) — sequential owner
+	// deaths of increasing depth, reported as a survival curve.
+	// Ignored when Scenarios is set explicitly.
+	Deaths int
 }
 
 func (c FaultCampaignConfig) withDefaults(opts Options) FaultCampaignConfig {
@@ -90,13 +146,20 @@ func (c FaultCampaignConfig) withDefaults(opts Options) FaultCampaignConfig {
 		c.Workloads = []string{"compress", "mgrid", "go"}
 	}
 	if len(c.Scenarios) == 0 {
-		c.Scenarios = DefaultFaultScenarios()
+		if c.Deaths > 0 {
+			c.Scenarios = CascadeScenarios(c.Deaths)
+		} else {
+			c.Scenarios = DefaultFaultScenarios()
+		}
 	}
 	if c.Seeds <= 0 {
 		c.Seeds = 3
 	}
 	if c.Nodes <= 0 {
 		c.Nodes = 2
+		if c.Deaths > 0 {
+			c.Nodes = c.Deaths + 1
+		}
 	}
 	if c.MaxInstr == 0 {
 		c.MaxInstr = opts.SweepInstr
@@ -171,12 +234,43 @@ type FaultScenarioSummary struct {
 	MeanOverheadPct float64 `json:"mean_overhead_pct"`
 }
 
-// FaultCampaignResult is the whole campaign.
+// SurvivalPoint is one x-position of a survival curve: of the runs
+// scheduled for this many deaths, how many finished their work degraded
+// instead of halting or wedging, and how fast the final survivor set
+// ran.
+type SurvivalPoint struct {
+	// Deaths is the scheduled cascade depth (the scenario's plan), and
+	// MeanDeathsSeen the mean deaths that actually landed before the
+	// runs ended — lower when a run finishes ahead of a late death.
+	Deaths         int     `json:"deaths"`
+	MeanDeathsSeen float64 `json:"mean_deaths_seen"`
+	Runs           int     `json:"runs"`
+	Survived       int     `json:"survived"`
+	// Rate is Survived/Runs.
+	Rate float64 `json:"rate"`
+	// MeanPostDeathIPC averages the survivors' throughput after the last
+	// death that landed (DeathStats.PostDeathIPC), over surviving runs
+	// that saw at least one death.
+	MeanPostDeathIPC float64 `json:"mean_post_death_ipc"`
+	// MeanOverheadPct averages the slowdown of surviving runs over the
+	// fault-free baseline.
+	MeanOverheadPct float64 `json:"mean_overhead_pct"`
+}
+
+// FaultCampaignResult is the whole campaign. Execution details that do
+// not change the numbers (worker counts) are deliberately absent, so
+// the artifact is byte-identical at any -parallel / -parallel-nodes
+// setting.
 type FaultCampaignResult struct {
 	Nodes     int                    `json:"nodes"`
 	MaxInstr  uint64                 `json:"max_instr"`
+	Topology  string                 `json:"topology"`
 	Runs      []FaultRun             `json:"runs"`
 	Summaries []FaultScenarioSummary `json:"summaries"`
+	// Survival is the survival curve over cascade scenarios (those with
+	// a multi-death schedule), one point per scheduled depth; empty for
+	// campaigns without cascade scenarios.
+	Survival []SurvivalPoint `json:"survival,omitempty"`
 }
 
 // Table renders the per-scenario summary.
@@ -197,6 +291,26 @@ func (r FaultCampaignResult) Table() *stats.Table {
 	return t
 }
 
+// SurvivalTable renders the survival curve; nil when the campaign had
+// no cascade scenarios.
+func (r FaultCampaignResult) SurvivalTable() *stats.Table {
+	if len(r.Survival) == 0 {
+		return nil
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("Survival curve: %d-node DataScalar on %s", r.Nodes, r.Topology),
+		"deaths", "seen", "runs", "survived", "rate", "post-death IPC", "overhead")
+	for _, p := range r.Survival {
+		t.AddRow(fmt.Sprintf("%d", p.Deaths),
+			fmt.Sprintf("%.1f", p.MeanDeathsSeen),
+			fmt.Sprintf("%d", p.Runs), fmt.Sprintf("%d", p.Survived),
+			stats.FormatPercent(p.Rate*100),
+			fmt.Sprintf("%.3f", p.MeanPostDeathIPC),
+			stats.FormatPercent1(p.MeanOverheadPct))
+	}
+	return t
+}
+
 // FaultCampaign runs the campaign: a fault-free baseline per workload,
 // then every (workload × scenario × seed) cell with CaptureFailure so
 // detected halts and watchdog aborts become classified outcomes instead
@@ -211,6 +325,7 @@ func FaultCampaign(ctx context.Context, opts Options, cc FaultCampaignConfig) (F
 	var out FaultCampaignResult
 	out.Nodes = cc.Nodes
 	out.MaxInstr = cc.MaxInstr
+	out.Topology = cc.Topology.String()
 
 	ws := make([]workload.Workload, len(cc.Workloads))
 	for i, name := range cc.Workloads {
@@ -225,7 +340,8 @@ func FaultCampaign(ctx context.Context, opts Options, cc FaultCampaignConfig) (F
 	base := make([]Job, len(ws))
 	for i, w := range ws {
 		base[i] = Job{Workload: w, Scale: opts.Scale, Kind: KindDS,
-			Nodes: cc.Nodes, MaxInstr: cc.MaxInstr}
+			Nodes: cc.Nodes, MaxInstr: cc.MaxInstr,
+			Topology: cc.Topology, ParallelNodes: cc.ParallelNodes}
 	}
 	baseRes, err := runJobs(ctx, opts, base)
 	if err != nil {
@@ -247,6 +363,7 @@ func FaultCampaign(ctx context.Context, opts Options, cc FaultCampaignConfig) (F
 				cells = append(cells, cell{wi, si, fc.Seed})
 				jobs = append(jobs, Job{Workload: w, Scale: opts.Scale,
 					Kind: KindDS, Nodes: cc.Nodes, MaxInstr: cc.MaxInstr,
+					Topology: cc.Topology, ParallelNodes: cc.ParallelNodes,
 					Fault: fc, CaptureFailure: true})
 			}
 		}
@@ -277,11 +394,20 @@ func FaultCampaign(ctx context.Context, opts Options, cc FaultCampaignConfig) (F
 		if st := res[i].FaultStats; st != nil {
 			run.Injected = st.InjectedDrops + st.InjectedFlips
 			run.Detected = st.DetectedDrops + st.DetectedFlips
-			if st.NodeDied {
-				run.Injected++
-			}
-			if st.DeathDetected {
-				run.Detected++
+			if len(st.Deaths) > 0 {
+				run.Injected += uint64(len(st.Deaths))
+				for _, d := range st.Deaths {
+					if d.Detected {
+						run.Detected++
+					}
+				}
+			} else {
+				if st.NodeDied {
+					run.Injected++
+				}
+				if st.DeathDetected {
+					run.Detected++
+				}
 			}
 			run.MeanDetectLatency = st.MeanDetectLatency()
 			run.Retries = st.Retries
@@ -335,6 +461,53 @@ func FaultCampaign(ctx context.Context, opts Options, cc FaultCampaignConfig) (F
 		}
 		out.Summaries = append(out.Summaries, s)
 	}
+
+	// Survival curve: one point per cascade scenario (scheduled
+	// multi-death plans), in scenario order, which CascadeScenarios
+	// emits by increasing depth.
+	for si, sc := range cc.Scenarios {
+		depth := len(sc.Base.Deaths)
+		if depth == 0 {
+			continue
+		}
+		p := SurvivalPoint{Deaths: depth}
+		var seen int
+		var ipcSum float64
+		var ipcRuns int
+		var overheadSum float64
+		for i, c := range cells {
+			if c.si != si {
+				continue
+			}
+			run := out.Runs[i]
+			p.Runs++
+			if st := run.Stats; st != nil {
+				seen += len(st.Deaths)
+			}
+			if run.Outcome != OutcomeClean && run.Outcome != OutcomeRecovered {
+				continue
+			}
+			p.Survived++
+			overheadSum += run.OverheadPct
+			if st := run.Stats; st != nil && len(st.Deaths) > 0 {
+				if ipc := st.Deaths[len(st.Deaths)-1].PostDeathIPC; ipc > 0 {
+					ipcSum += ipc
+					ipcRuns++
+				}
+			}
+		}
+		if p.Runs > 0 {
+			p.MeanDeathsSeen = float64(seen) / float64(p.Runs)
+			p.Rate = float64(p.Survived) / float64(p.Runs)
+		}
+		if ipcRuns > 0 {
+			p.MeanPostDeathIPC = ipcSum / float64(ipcRuns)
+		}
+		if p.Survived > 0 {
+			p.MeanOverheadPct = overheadSum / float64(p.Survived)
+		}
+		out.Survival = append(out.Survival, p)
+	}
 	return out, nil
 }
 
@@ -359,7 +532,10 @@ func classifyFaultOutcome(r JobResult) string {
 	if st.InjectedFlips > 0 && st.DetectedFlips == 0 {
 		return OutcomeCorrupted
 	}
-	if st.Degraded {
+	// A completed run with any landed death finished degraded — even when
+	// no survivor ever referenced the dead owner's pages, so detection
+	// (and Degraded) never triggered.
+	if st.Degraded || len(st.Deaths) > 0 {
 		return OutcomeRecovered
 	}
 	return OutcomeClean

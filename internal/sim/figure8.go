@@ -27,14 +27,16 @@ const (
 	ParamRUU      Figure8Param = "RUU entries"
 )
 
-// Figure8Point is one (parameter value, five IPCs) sample.
+// Figure8Point is one (parameter value, five IPCs) sample. DSN and
+// TradN are the larger systems of the grid — the paper's four-node
+// pair, or whatever size Figure8At was given.
 type Figure8Point struct {
 	Value   int
 	Perfect float64
 	DS2     float64
-	DS4     float64
+	DSN     float64
 	Trad2   float64
-	Trad4   float64
+	TradN   float64
 }
 
 // Figure8Series is one parameter's sweep for one benchmark.
@@ -44,20 +46,27 @@ type Figure8Series struct {
 	Points    []Figure8Point
 }
 
-// Figure8Result holds the whole sensitivity analysis.
+// Figure8Result holds the whole sensitivity analysis. Nodes is the
+// size of the larger DS/traditional pair (the paper's is 4).
 type Figure8Result struct {
+	Nodes  int
 	Series []Figure8Series
 }
 
 // Tables renders one table per (benchmark, parameter) series.
 func (r Figure8Result) Tables() []*stats.Table {
+	n := r.Nodes
+	if n == 0 {
+		n = 4
+	}
 	var out []*stats.Table
 	for _, s := range r.Series {
 		t := stats.NewTable(
 			fmt.Sprintf("Figure 8: %s — IPC vs %s", s.Benchmark, s.Param),
-			string(s.Param), "perfect", "DS 2-node", "DS 4-node", "trad 1/2", "trad 1/4")
+			string(s.Param), "perfect", "DS 2-node", fmt.Sprintf("DS %d-node", n),
+			"trad 1/2", fmt.Sprintf("trad 1/%d", n))
 		for _, p := range s.Points {
-			t.AddRowf(p.Value, p.Perfect, p.DS2, p.DS4, p.Trad2, p.Trad4)
+			t.AddRowf(p.Value, p.Perfect, p.DS2, p.DSN, p.Trad2, p.TradN)
 		}
 		out = append(out, t)
 	}
@@ -90,8 +99,19 @@ var figure8Benchmarks = []string{"go", "compress"}
 // The full grid — 2 benchmarks x 5 parameters x 5 values x 5 systems =
 // 250 independent timing runs — is enumerated as one job batch.
 func Figure8(ctx context.Context, opts Options) (Figure8Result, error) {
+	return Figure8At(ctx, opts, 4)
+}
+
+// Figure8At runs the Figure 8 sweep with the larger DS/traditional pair
+// at nodes instead of the paper's four, so the sensitivity analysis can
+// be repeated on bigger machines (combine with Options.Topology for
+// mesh/torus sweeps). nodes must be at least 2.
+func Figure8At(ctx context.Context, opts Options, nodes int) (Figure8Result, error) {
 	opts = opts.withDefaults()
-	var out Figure8Result
+	out := Figure8Result{Nodes: nodes}
+	if nodes < 2 {
+		return out, fmt.Errorf("sim: figure 8: nodes %d < 2", nodes)
+	}
 	sweeps := Figure8Sweeps()
 	var jobs []Job
 	for _, name := range figure8Benchmarks {
@@ -101,7 +121,7 @@ func Figure8(ctx context.Context, opts Options) (Figure8Result, error) {
 		}
 		for _, param := range Figure8Order {
 			for _, v := range sweeps[param] {
-				jobs = append(jobs, figure8Jobs(w, opts, param, v)...)
+				jobs = append(jobs, figure8Jobs(w, opts, param, v, nodes)...)
 			}
 		}
 	}
@@ -118,9 +138,9 @@ func Figure8(ctx context.Context, opts Options) (Figure8Result, error) {
 					Value:   v,
 					Perfect: res[i].IPC(),
 					DS2:     res[i+1].IPC(),
-					DS4:     res[i+2].IPC(),
+					DSN:     res[i+2].IPC(),
 					Trad2:   res[i+3].IPC(),
-					Trad4:   res[i+4].IPC(),
+					TradN:   res[i+4].IPC(),
 				})
 				i += 5
 			}
@@ -131,8 +151,8 @@ func Figure8(ctx context.Context, opts Options) (Figure8Result, error) {
 }
 
 // figure8Jobs enumerates one sweep point's five systems in Figure 7
-// order: perfect, DS2, DS4, trad 1/2, trad 1/4.
-func figure8Jobs(w workload.Workload, opts Options, param Figure8Param, v int) []Job {
+// order: perfect, DS2, DS-n, trad 1/2, trad 1/n.
+func figure8Jobs(w workload.Workload, opts Options, param Figure8Param, v, n int) []Job {
 	dsMut := func(cfg *core.Config) { applyDSParam(cfg, param, v) }
 	tradMut := func(cfg *traditional.Config) { applyTradParam(cfg, param, v) }
 	base := Job{Workload: w, Scale: opts.Scale, MaxInstr: opts.SweepInstr, DSMut: dsMut, TradMut: tradMut}
@@ -141,7 +161,7 @@ func figure8Jobs(w workload.Workload, opts Options, param Figure8Param, v int) [
 		kind  MachineKind
 		nodes int
 	}{
-		{KindPerfect, 0}, {KindDS, 2}, {KindDS, 4}, {KindTraditional, 2}, {KindTraditional, 4},
+		{KindPerfect, 0}, {KindDS, 2}, {KindDS, n}, {KindTraditional, 2}, {KindTraditional, n},
 	} {
 		j := base
 		j.Kind, j.Nodes = sys.kind, sys.nodes

@@ -90,11 +90,15 @@ func TestParallelNodesDifferential(t *testing.T) {
 	}
 }
 
-// TestParallelNodesActiveFaultFallback pins the conservative gate: an
-// active fault plan forces the serial node loop regardless of
-// ParallelNodes, so the full architectural outcome — fault counters,
-// recovery trajectory, CPI stacks — must be identical at any setting.
-func TestParallelNodesActiveFaultFallback(t *testing.T) {
+// TestParallelNodesActiveFaultDifferential extends the differential to
+// an *active* fault plan — a mid-run death with recovery. Fault
+// injection is a pure function of message identity and all global fault
+// bookkeeping is re-derived on the replay side, so the full
+// architectural outcome — fault counters, recovery trajectory, CPI
+// stacks — must be bit-identical at any ParallelNodes setting. (The
+// conservative gate only falls back to the serial loop when the plan's
+// retry deadlines are shorter than a window; this plan's are not.)
+func TestParallelNodesActiveFaultDifferential(t *testing.T) {
 	plan := fault.Config{DeadNode: 1, DeathCycle: 5_000, Recover: true,
 		RetryTimeoutCycles: 1_000, MaxRetries: 3}
 	run := func(parallelNodes int) []JobResult {
@@ -110,6 +114,9 @@ func TestParallelNodesActiveFaultFallback(t *testing.T) {
 	serial := run(1)
 	if serial[0].FaultStats == nil {
 		t.Fatal("active fault plan built no fault layer")
+	}
+	if !serial[0].FaultStats.Degraded {
+		t.Fatal("death plan never degraded the machine")
 	}
 	for _, pn := range []int{2, 4} {
 		if par := run(pn); !reflect.DeepEqual(serial, par) {

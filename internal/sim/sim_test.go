@@ -2,6 +2,7 @@ package sim
 
 import (
 	"context"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -286,7 +287,7 @@ func TestCountCrossings(t *testing.T) {
 func TestOptionsDefaults(t *testing.T) {
 	o := Options{}.withDefaults()
 	d := DefaultOptions()
-	if o != d {
+	if !reflect.DeepEqual(o, d) {
 		t.Fatalf("withDefaults() = %+v, want %+v", o, d)
 	}
 	custom := Options{Scale: 2}.withDefaults()
